@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation on the scaled synthetic collection (the paper's testbed ran
+single problems for hours; the scaled runs keep the harness
+laptop-sized while preserving the comparisons' *shape*).  Each bench
+writes its rendered artifact into ``benchmarks/results/`` so that
+EXPERIMENTS.md can reference the measured numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets.collection import build_collection  # noqa: E402
+from repro.datasets.loan_process import loan_application_log  # noqa: E402
+from repro.datasets.running_example import running_example_log  # noqa: E402
+
+#: Scale of the benchmark collection (see module docstring).
+MAX_TRACES = 50
+MAX_CLASSES = 10
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    Table/figure regeneration is deterministic and often expensive, so
+    one round is enough; routing it through ``benchmark`` keeps every
+    artifact-producing test alive under ``--benchmark-only``.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered benchmark artifact under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def collection():
+    """The scaled 13-log synthetic collection."""
+    return build_collection(max_traces=MAX_TRACES, max_classes=MAX_CLASSES)
+
+
+@pytest.fixture(scope="session")
+def full_width_collection():
+    """The collection with original class counts (traces still capped)."""
+    return build_collection(max_traces=MAX_TRACES, max_classes=None)
+
+
+@pytest.fixture(scope="session")
+def loan_log():
+    """The case-study loan log."""
+    return loan_application_log(num_traces=300)
+
+
+@pytest.fixture(scope="session")
+def running_log():
+    """The paper's running example."""
+    return running_example_log()

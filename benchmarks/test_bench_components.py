@@ -1,0 +1,89 @@
+"""Microbenchmarks of GECCO's building blocks (pytest-benchmark).
+
+These quantify where time goes inside the pipeline — the paper's
+observation that Step 2 (MIP) "only contributes marginally to the
+overall runtime" is checked here explicitly.
+"""
+
+import pytest
+
+from repro.core.candidates import exhaustive_candidates
+from repro.core.checker import GroupChecker
+from repro.core.dfg_candidates import dfg_candidates
+from repro.core.distance import DistanceFunction
+from repro.core.instances import InstanceIndex, instances_in_log
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.statistics import describe
+from repro.experiments.configs import constraint_set_for_log
+from repro.measures.positional import positional_distance_matrix
+
+
+@pytest.fixture(scope="module")
+def bench_log(collection):
+    return collection["bpic12"]
+
+
+def test_bench_dfg_computation(bench_log, benchmark):
+    dfg = benchmark(compute_dfg, bench_log)
+    assert dfg.nodes == bench_log.classes
+
+
+def test_bench_statistics(bench_log, benchmark):
+    stats = benchmark(describe, bench_log)
+    assert stats.num_traces == len(bench_log)
+
+
+def test_bench_instance_detection(bench_log, benchmark):
+    group = frozenset(sorted(bench_log.classes)[:4])
+    instances = benchmark(instances_in_log, bench_log, group)
+    assert isinstance(instances, list)
+
+
+def test_bench_distance_function(bench_log, benchmark):
+    group = frozenset(sorted(bench_log.classes)[:4])
+
+    def evaluate():
+        # Fresh function per round: measure uncached evaluation.
+        return DistanceFunction(bench_log, InstanceIndex(bench_log)).group_distance(group)
+
+    value = benchmark(evaluate)
+    assert value >= 0
+
+
+def test_bench_exhaustive_candidates(bench_log, benchmark):
+    constraints = constraint_set_for_log("BL1", bench_log)
+    result = benchmark.pedantic(
+        exhaustive_candidates,
+        args=(bench_log, constraints),
+        kwargs={"timeout": 30.0},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.groups) > 0
+
+
+def test_bench_dfg_candidates(bench_log, benchmark):
+    constraints = constraint_set_for_log("BL1", bench_log)
+    result = benchmark.pedantic(
+        dfg_candidates,
+        args=(bench_log, constraints),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.groups) > 0
+
+
+def test_bench_positional_matrix(bench_log, benchmark):
+    classes, matrix = benchmark(positional_distance_matrix, bench_log)
+    assert matrix.shape == (len(classes), len(classes))
+
+
+def test_step2_is_marginal(bench_log, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper §V-C: the MIP step contributes marginally to total runtime."""
+    from repro.core.gecco import Gecco, GeccoConfig
+
+    constraints = constraint_set_for_log("BL1", bench_log)
+    result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(bench_log)
+    assert result.feasible
+    assert result.timings.selection <= max(0.5, result.timings.total * 0.5)

@@ -1,0 +1,79 @@
+"""Extension benchmark: model quality before vs. after abstraction.
+
+Quantifies the paper's §I motivation — *"process discovery algorithms
+also yield more structured models"* after abstraction — across all
+three discovery substrates: the DFG-filtering miner (CFC), the alpha
+miner (net size + replay fitness) and the inductive miner (tree size).
+"""
+
+from conftest import write_result
+
+from repro.constraints import ConstraintSet, MaxDistinctClassAttribute
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.datasets.loan_process import loan_application_log
+from repro.eventlog.events import ROLE_KEY
+from repro.experiments.tables import format_table
+from repro.mining.alpha import alpha_miner
+from repro.mining.complexity import control_flow_complexity
+from repro.mining.discovery import discover_model
+from repro.mining.inductive import inductive_miner, tree_size
+from repro.mining.petri import token_replay
+
+
+def _model_row(label, log):
+    dfg_model = discover_model(log)
+    net = alpha_miner(log)
+    replay = token_replay(net, log)
+    tree = inductive_miner(log)
+    return [
+        label,
+        control_flow_complexity(dfg_model),
+        net.size,
+        round(replay.fitness, 3),
+        tree_size(tree),
+    ]
+
+
+def test_model_quality_running_example(running_log, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    constraints = ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)])
+    result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(running_log)
+    rows = [
+        _model_row("original", running_log),
+        _model_row("abstracted", result.abstracted_log),
+    ]
+    rendered = format_table(
+        ["log", "CFC", "alpha net size", "alpha fitness", "IM tree size"],
+        rows,
+        title="Model quality before/after abstraction (running example)",
+    )
+    write_result("model_quality_running.txt", rendered)
+    print("\n" + rendered)
+    original, abstracted = rows
+    assert abstracted[1] <= original[1]  # CFC
+    assert abstracted[2] < original[2]   # alpha net size
+    assert abstracted[4] < original[4]   # inductive tree size
+
+
+def test_model_quality_case_study(benchmark):
+    log = loan_application_log(num_traces=150)
+    constraints = ConstraintSet([MaxDistinctClassAttribute("origin", 1)])
+    config = GeccoConfig(strategy="dfg", beam_width="auto")
+    result = benchmark.pedantic(
+        Gecco(constraints, config).abstract, args=(log,), rounds=1, iterations=1
+    )
+    assert result.feasible
+    rows = [
+        _model_row("original", log),
+        _model_row("abstracted", result.abstracted_log),
+    ]
+    rendered = format_table(
+        ["log", "CFC", "alpha net size", "alpha fitness", "IM tree size"],
+        rows,
+        title="Model quality before/after abstraction (loan case study)",
+    )
+    write_result("model_quality_case_study.txt", rendered)
+    print("\n" + rendered)
+    original, abstracted = rows
+    assert abstracted[1] <= original[1]
+    assert abstracted[4] <= original[4]

@@ -1,0 +1,68 @@
+"""Extension benchmark: robustness of abstraction under log noise.
+
+Sweeps the noise operators over the running example and a collection
+log and reports whether GECCO still solves the problem and how the
+achieved distance degrades — quantifying the robustness the paper
+implicitly relies on when running on real (noisy) logs.
+"""
+
+from conftest import write_result
+
+from repro.constraints import ConstraintSet, MaxDistinctClassAttribute
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.datasets.noise import apply_noise
+from repro.eventlog.events import ROLE_KEY
+from repro.experiments.configs import constraint_set_for_log
+from repro.experiments.tables import format_table
+
+NOISE_LEVELS = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+def _sweep(log, constraints, config):
+    rows = []
+    for level in NOISE_LEVELS:
+        noisy = apply_noise(
+            log, swap=level, drop=level / 2, duplicate=level / 2, seed=5
+        )
+        result = Gecco(constraints, config).abstract(noisy)
+        rows.append(
+            [
+                level,
+                "yes" if result.feasible else "no",
+                len(result.grouping) if result.feasible else "-",
+                round(result.distance, 3) if result.feasible else "-",
+            ]
+        )
+    return rows
+
+
+def test_noise_robustness_running_example(running_log, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    constraints = ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)])
+    rows = _sweep(running_log, constraints, GeccoConfig(strategy="dfg"))
+    rendered = format_table(
+        ["noise", "solved", "|G|", "dist"],
+        rows,
+        title="Noise robustness (running example, role constraint)",
+    )
+    write_result("noise_running_example.txt", rendered)
+    print("\n" + rendered)
+    # Moderate noise must not break feasibility.
+    assert all(row[1] == "yes" for row in rows[:3])
+
+
+def test_noise_robustness_collection(collection, benchmark):
+    log = collection["road_fines"]
+    constraints = constraint_set_for_log("BL1", log)
+    config = GeccoConfig(strategy="dfg", beam_width="auto")
+    rows = benchmark.pedantic(
+        _sweep, args=(log, constraints, config), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        ["noise", "solved", "|G|", "dist"],
+        rows,
+        title="Noise robustness (road_fines, BL1)",
+    )
+    write_result("noise_collection.txt", rendered)
+    print("\n" + rendered)
+    assert rows[0][1] == "yes"

@@ -1,0 +1,93 @@
+"""Extension benchmark: online abstraction on a drifting stream.
+
+Measures the streaming layer (paper §VIII future work, implemented in
+:mod:`repro.streaming`): per-trace processing throughput, and how the
+drift detector concentrates expensive re-groupings around the actual
+concept drift instead of re-solving per trace.
+"""
+
+import random
+
+from conftest import write_result
+
+from repro.constraints import ConstraintSet, MaxDistinctClassAttribute
+from repro.core.gecco import GeccoConfig
+from repro.eventlog.events import ROLE_KEY, Event, Trace
+from repro.experiments.tables import format_table
+from repro.streaming import StreamingAbstractor
+
+ROLES = {
+    "receive": "clerk", "check": "clerk", "approve": "manager",
+    "reject": "manager", "notify": "clerk", "archive": "clerk",
+    "audit": "auditor", "audit_report": "auditor",
+}
+
+
+def _trace(rng: random.Random, drifted: bool) -> Trace:
+    classes = ["receive", "check"]
+    if drifted:
+        classes += ["audit", "audit_report"]
+    classes.append("approve" if rng.random() < 0.7 else "reject")
+    classes += ["notify", "archive"]
+    return Trace([Event(cls, {ROLE_KEY: ROLES[cls]}) for cls in classes])
+
+
+def _build_stream(total: int, drift_at: int, seed: int = 11) -> list[Trace]:
+    rng = random.Random(seed)
+    return [_trace(rng, drifted=index >= drift_at) for index in range(total)]
+
+
+def test_streaming_drift_concentrates_regroupings(benchmark):
+    stream = _build_stream(total=200, drift_at=100)
+    abstractor = StreamingAbstractor(
+        ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)]),
+        GeccoConfig(strategy="dfg"),
+        window_size=80,
+        min_traces=10,
+        check_every=5,
+        drift_threshold=0.15,
+    )
+
+    def run():
+        for trace in stream:
+            abstractor.process(trace)
+        return abstractor
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.stats
+    rows = [
+        ["traces processed", stats.traces_processed],
+        ["drift checks", stats.drift_checks],
+        ["re-groupings", stats.regroupings],
+        ["epochs", len(result.epochs)],
+        ["final |G|", len(result.grouping)],
+    ]
+    rendered = format_table(
+        ["metric", "value"],
+        rows,
+        title="Streaming abstraction on a drifting stream (drift at trace 100)",
+    )
+    write_result("streaming_drift.txt", rendered)
+    print("\n" + rendered)
+
+    # Re-groupings are rare relative to the stream length...
+    assert stats.regroupings <= stats.traces_processed / 10
+    # ... and the post-drift grouping covers the new audit classes.
+    final_classes = {cls for group in result.grouping for cls in group}
+    assert {"audit", "audit_report"} <= final_classes
+
+
+def test_bench_streaming_throughput(benchmark):
+    stream = _build_stream(total=60, drift_at=1_000)  # no drift
+    abstractor = StreamingAbstractor(
+        ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)]),
+        GeccoConfig(strategy="dfg"),
+        window_size=50,
+        min_traces=10,
+        check_every=10,
+    )
+    for trace in stream:
+        abstractor.process(trace)  # warm up: grouping established
+
+    probe = stream[0]
+    benchmark(abstractor.process, probe)

@@ -1,0 +1,83 @@
+"""Table V: Exh results per constraint set (paper §VI-B).
+
+Runs the exhaustive configuration over all ten Table IV constraint sets
+on the scaled collection and prints Solved / S.red / C.red / Sil. / T
+next to the paper's values.  Absolute numbers differ (synthetic logs,
+scaled trace counts, different hardware); the *shape* to check:
+
+* anti-monotonic and baseline sets (A, Gr, BL1-4) solve everywhere,
+* the monotonic M set and the combinations C1/C2 solve the fewest
+  problems (M's per-instance duration floor is highly restrictive),
+* solved problems show substantial size and complexity reductions with
+  positive silhouettes.
+"""
+
+import pytest
+
+from conftest import write_result
+
+from repro.experiments.configs import ALL_SET_NAMES
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import format_table, table5
+
+#: Paper Table V values, for side-by-side printing.
+PAPER_TABLE5 = {
+    "A": (1.00, 0.68, 0.63, 0.15),
+    "M": (0.31, 0.58, 0.55, 0.15),
+    "N": (0.77, 0.68, 0.65, 0.12),
+    "Gr": (1.00, 0.66, 0.61, 0.13),
+    "C1": (0.54, 0.68, 0.59, 0.12),
+    "C2": (0.23, 0.50, 0.40, 0.09),
+    "BL1": (1.00, 0.67, 0.61, 0.12),
+    "BL2": (1.00, 0.66, 0.61, 0.12),
+    "BL3": (1.00, 0.38, 0.29, -0.02),
+    "BL4": (1.00, 0.51, 0.46, 0.05),
+}
+
+
+@pytest.fixture(scope="module")
+def report(collection):
+    return run_experiment(
+        collection, ALL_SET_NAMES, ["Exh"], candidate_timeout=20.0
+    )
+
+
+def test_table5(report, benchmark):
+    rows, rendered = table5(report, approach="Exh")
+    paper = format_table(
+        ["Const.", "Solved", "S. red.", "C. red.", "Sil."],
+        [[name, *values] for name, values in PAPER_TABLE5.items()],
+        title="Paper Table V (original logs, for reference)",
+    )
+    artifact = rendered + "\n\n" + paper
+    write_result("table5.txt", artifact)
+    print("\n" + artifact)
+
+    by_set = {row["Const."]: row for row in rows}
+    # Shape: the easy sets all solve...
+    for name in ("A", "BL1", "BL2"):
+        assert by_set[name]["Solved"] >= 0.9
+    # ... the monotonic set is the most restrictive GECCO set ...
+    assert by_set["M"]["Solved"] <= by_set["A"]["Solved"]
+    assert by_set["C2"]["Solved"] <= by_set["C1"]["Solved"] + 1e-9
+    # ... and solved problems achieve real abstraction.
+    for name, row in by_set.items():
+        if row["Solved"] > 0:
+            assert row["S. red."] > 0.15, name
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_single_exhaustive_problem(collection, benchmark):
+    """Microbenchmark: one Exh abstraction problem end to end."""
+    from repro.experiments.runner import solve_problem
+
+    log = collection["road_fines"]
+    result = benchmark.pedantic(
+        solve_problem,
+        args=(log, "A", "Exh"),
+        kwargs={"log_name": "road_fines", "candidate_timeout": 20.0},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.solved

@@ -1,0 +1,79 @@
+"""Table VI: Exh vs DFG-inf vs DFG-k (paper §VI-B).
+
+Runs the three GECCO configurations over the six GECCO constraint sets
+(A, M, N, Gr, C1, C2) on the scaled collection.  Shape to check
+against the paper:
+
+* the configurations solve (nearly) the same problems,
+* DFG-inf's reductions stay close to Exh (within a few percent),
+* DFG-k is the fastest and may trade a little abstraction quality,
+* Exh is the slowest.
+"""
+
+import pytest
+
+from conftest import write_result
+
+from repro.experiments.configs import GECCO_SET_NAMES
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import format_table, table6
+
+#: Paper Table VI values (Solved, S.red, C.red, Sil., T(m)).
+PAPER_TABLE6 = {
+    "Exh": (0.78, 0.63, 0.57, 0.11, 130),
+    "DFG inf": (0.78, 0.62, 0.56, 0.16, 108),
+    "DFG k": (0.77, 0.56, 0.50, 0.08, 49),
+}
+
+
+@pytest.fixture(scope="module")
+def report(collection):
+    return run_experiment(
+        collection,
+        GECCO_SET_NAMES,
+        ["Exh", "DFGinf", "DFGk"],
+        candidate_timeout=20.0,
+    )
+
+
+def test_table6(report, benchmark):
+    rows, rendered = table6(report)
+    paper = format_table(
+        ["Conf.", "Solved", "S. red.", "C. red.", "Sil.", "T(m)"],
+        [[name, *values] for name, values in PAPER_TABLE6.items()],
+        title="Paper Table VI (original logs, for reference)",
+    )
+    artifact = rendered + "\n\n" + paper
+    write_result("table6.txt", artifact)
+    print("\n" + artifact)
+
+    by_conf = {row["Conf."]: row for row in rows}
+    exh, dfg_inf, dfg_k = by_conf["Exh"], by_conf["DFG inf"], by_conf["DFG k"]
+
+    # The configurations solve (nearly) the same problems.
+    assert abs(exh["Solved"] - dfg_inf["Solved"]) <= 0.15
+    # DFG-inf stays close to Exh on abstraction degree.
+    assert dfg_inf["S. red."] >= exh["S. red."] - 0.12
+    # Exh never loses to the heuristics on solved-problem quality
+    # (it optimizes over a superset of candidates).
+    assert exh["S. red."] >= dfg_k["S. red."] - 0.05
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_dfg_candidates_speedup(collection, benchmark):
+    """Microbenchmark behind Table VI: Alg. 2 with the adaptive beam."""
+    from repro.constraints import ConstraintSet
+    from repro.core.dfg_candidates import default_beam_width, dfg_candidates
+    from repro.experiments.configs import constraint_set_for_log
+
+    log = collection["bpic17"]
+    constraints = constraint_set_for_log("A", log)
+    result = benchmark.pedantic(
+        dfg_candidates,
+        args=(log, constraints),
+        kwargs={"beam_width": default_beam_width(log)},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.groups) > 0

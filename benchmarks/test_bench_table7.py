@@ -1,0 +1,130 @@
+"""Table VII: baseline comparison (paper §VI-C).
+
+Reproduces the paper's three pairings on the scaled collection:
+
+* BL1–BL3 (class-based sets): GECCO DFG-inf vs. graph querying (BL_Q);
+* BL4 (strict grouping): GECCO Exh vs. spectral partitioning (BL_P);
+* A, M, N (instance-based sets): GECCO DFG-k vs. greedy merging (BL_G).
+
+Shape to check: GECCO matches or beats each baseline on S.red / C.red /
+Sil. over its applicable sets; BL_G solves fewer problems and lands far
+from the optimum; BL_P is fast but less cohesive.
+"""
+
+import pytest
+
+from conftest import write_result
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import format_table, table7
+
+#: Paper Table VII values (Solved, S.red, C.red, Sil., T(m)).
+PAPER_TABLE7 = [
+    ("BL[1-3]", "DFG inf", 1.00, 0.63, 0.55, 0.17, 77),
+    ("BL[1-3]", "BL Q", 0.96, 0.55, 0.43, -0.20, 24),
+    ("BL4", "Exh", 1.00, 0.51, 0.46, 0.05, 147),
+    ("BL4", "BL P", 1.00, 0.51, 0.42, 0.01, 1),
+    ("A,M,N", "DFG k", 0.67, 0.59, 0.52, 0.08, 58),
+    ("A,M,N", "BL G", 0.64, 0.45, 0.37, 0.02, 24),
+]
+
+
+@pytest.fixture(scope="module")
+def report(collection):
+    rows = run_experiment(
+        collection, ["BL1", "BL2", "BL3"], ["DFGinf", "BLQ"], candidate_timeout=20.0
+    )
+    rows.rows.extend(
+        run_experiment(collection, ["BL4"], ["Exh", "BLP"], candidate_timeout=20.0).rows
+    )
+    rows.rows.extend(
+        run_experiment(
+            collection, ["A", "M", "N"], ["DFGk", "BLG"], candidate_timeout=20.0
+        ).rows
+    )
+    return rows
+
+
+def test_table7(report, benchmark):
+    rows, rendered = table7(report)
+    paper = format_table(
+        ["Const.", "Conf.", "Solved", "S. red.", "C. red.", "Sil.", "T(m)"],
+        [list(row) for row in PAPER_TABLE7],
+        title="Paper Table VII (original logs, for reference)",
+    )
+    artifact = rendered + "\n\n" + paper
+    write_result("table7.txt", artifact)
+    print("\n" + artifact)
+
+    by_key = {(row["Const."], row["Conf."]): row for row in rows}
+
+    # GECCO vs graph querying: more comprehensive candidates mean more
+    # abstraction at lower model complexity, and no fewer solutions.
+    # (The silhouette gap the paper reports (-0.20 for BL_Q) does not
+    # reliably materialize on the scaled 10-class logs, where path
+    # candidates are near-complete; S.red / C.red dominance does.)
+    gecco_q = by_key[("BL[1-3]", "DFG inf")]
+    blq = by_key[("BL[1-3]", "BL Q")]
+    assert gecco_q["S. red."] >= blq["S. red."] - 0.02
+    assert gecco_q["C. red."] >= blq["C. red."] - 0.02
+    assert gecco_q["Solved"] >= blq["Solved"] - 1e-9
+
+    # GECCO vs spectral partitioning: same group count, at least as
+    # much complexity reduction.
+    gecco_p = by_key[("BL4", "Exh")]
+    blp = by_key[("BL4", "BL P")]
+    assert gecco_p["C. red."] >= blp["C. red."] - 0.03
+
+    # GECCO vs greedy: greedy solves no more problems (it cannot repair
+    # an infeasible singleton start), and on the problems *both* solve
+    # GECCO's globally optimal selection reaches a distance no worse
+    # than hill climbing's (compare on the common subset — the
+    # per-approach table averages cover different solved subsets).
+    gecco_g = by_key[("A,M,N", "DFG k")]
+    blg = by_key[("A,M,N", "BL G")]
+    assert blg["Solved"] <= gecco_g["Solved"] + 1e-9
+    amn = ("A", "M", "N")
+    solved_by = {
+        approach: {
+            (row.log_name, row.constraint_set)
+            for row in report.rows
+            if row.approach == approach and row.solved and row.constraint_set in amn
+        }
+        for approach in ("DFGk", "BLG")
+    }
+    common = solved_by["DFGk"] & solved_by["BLG"]
+    assert common, "expected commonly solved problems"
+
+    def mean_size_red(approach):
+        rows_common = [
+            row.size_red
+            for row in report.rows
+            if row.approach == approach
+            and (row.log_name, row.constraint_set) in common
+            and row.size_red is not None
+        ]
+        return sum(rows_common) / len(rows_common)
+
+    assert mean_size_red("DFGk") >= mean_size_red("BLG") - 0.05
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_bench_spectral_partitioning(collection, benchmark):
+    from repro.baselines.partitioning import spectral_grouping
+
+    log = collection["bpic17"]
+    grouping = benchmark(spectral_grouping, log, max(1, len(log.classes) // 2))
+    assert len(grouping) == max(1, len(log.classes) // 2)
+
+
+def test_bench_greedy(collection, benchmark):
+    from repro.baselines.greedy import greedy_grouping
+    from repro.experiments.configs import constraint_set_for_log
+
+    log = collection["road_fines"]
+    constraints = constraint_set_for_log("A", log)
+    grouping, _ = benchmark.pedantic(
+        greedy_grouping, args=(log, constraints), rounds=2, iterations=1
+    )
+    assert len(grouping) >= 1

@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run even
+when the package has not been installed (the offline execution
+environment lacks ``wheel``, which breaks ``pip install -e .``; see
+README "Installation").
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,71 @@
+"""Case study: origin-constrained abstraction of a loan log (§VI-D).
+
+A BPI-2017-style loan-application process records 24 event classes from
+three IT systems (application handling A, offers O, workflow W).  Its
+DFG is spaghetti even at an 80/20 filter (paper Fig. 1).  Constraining
+groups to a single origin system (``|g.origin| <= 1``) yields a small
+set of system-pure activities whose DFG exposes the inter-system flow
+(paper Fig. 8).  The example also shows what happens *without* the
+constraint: activities mix events from all three systems.
+
+Run with:  python examples/case_study_loan.py
+"""
+
+from repro import Gecco, GeccoConfig, compute_dfg
+from repro.constraints import (
+    ConstraintSet,
+    MaxDistinctClassAttribute,
+    MaxGroupSize,
+)
+from repro.datasets import loan_application_log
+from repro.experiments.figures import dfg_to_dot
+
+
+def main() -> None:
+    log = loan_application_log(num_traces=300)
+    dfg = compute_dfg(log)
+    print(f"input log: {log}")
+    print(f"DFG edges: {len(dfg.edge_counts)}; after 80/20 filtering: "
+          f"{len(dfg.filtered(0.8).edge_counts)} (still spaghetti, cf. Fig. 1)")
+
+    constraints = ConstraintSet(
+        [MaxGroupSize(8), MaxDistinctClassAttribute("origin", 1)]
+    )
+    config = GeccoConfig(strategy="dfg", beam_width="auto", label_attribute="origin")
+    result = Gecco(constraints, config).abstract(log)
+
+    print(f"\nwith |g.origin| <= 1: {len(result.grouping)} origin-pure activities "
+          f"(paper: 7 on BPI-2017):")
+    for group in sorted(result.grouping, key=lambda g: sorted(g)[0]):
+        label = result.grouping.label_of(group)
+        print(f"  {label:<16} {{{', '.join(sorted(group))}}}")
+
+    abstracted_dfg = compute_dfg(result.abstracted_log)
+    print(f"\nabstracted DFG: {len(abstracted_dfg.edge_counts)} edges "
+          f"(80/20: {len(abstracted_dfg.filtered(0.8).edge_counts)}, cf. Fig. 8)")
+
+    # The paper's closing observation: without constraints, activities
+    # mix events from all three systems, obscuring the interrelations.
+    unconstrained = Gecco(
+        ConstraintSet([MaxGroupSize(8)]),
+        GeccoConfig(strategy="dfg", beam_width="auto"),
+    ).abstract(log)
+    mixed = [
+        group
+        for group in unconstrained.grouping
+        if len({cls.split("_", 1)[0] for cls in group}) > 1
+    ]
+    print(
+        f"\nwithout the origin constraint: {len(unconstrained.grouping)} groups, "
+        f"of which {len(mixed)} mix origin systems, e.g.:"
+    )
+    for group in mixed[:3]:
+        print(f"  {{{', '.join(sorted(group))}}}")
+
+    dot = dfg_to_dot(abstracted_dfg, keep_fraction=0.8, title="Fig8")
+    print("\nGraphviz DOT of the abstracted 80/20 DFG (paper Fig. 8):")
+    print(dot)
+
+
+if __name__ == "__main__":
+    main()

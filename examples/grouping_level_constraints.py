@@ -1,0 +1,83 @@
+"""Grouping-level constraints via lazy no-good cuts (paper §VIII, item 1).
+
+Per-group constraints cannot express requirements that couple groups —
+"keep the abstraction *balanced*" or "at most one activity may contain
+any expensive instance".  This example imposes such grouping-level
+rules on the running example and shows the lazy-constraint loop at
+work: the solver's unconstrained optimum gets rejected and cut away
+until the best *conforming* grouping emerges.
+
+Run with:  python examples/grouping_level_constraints.py
+"""
+
+from repro.constraints import ConstraintSet, MaxDistinctClassAttribute
+from repro.constraints.instancebased import MaxInstanceAggregate
+from repro.core.checker import GroupChecker
+from repro.core.dfg_candidates import dfg_candidates
+from repro.core.distance import DistanceFunction
+from repro.core.exclusive import merge_exclusive_candidates
+from repro.core.grouping_constraints import (
+    MaxGroupSizeSpread,
+    MaxViolatingGroups,
+)
+from repro.core.lazy_selection import select_with_grouping_rules
+from repro.core.selection import select_optimal_grouping
+from repro.datasets import running_example_log
+from repro.eventlog.events import ROLE_KEY
+
+
+def show_grouping(title, grouping, objective):
+    print(f"{title} (dist {objective:.3f}):")
+    for group in sorted(grouping, key=lambda g: sorted(g)[0]):
+        print(f"  {{{', '.join(sorted(group))}}}")
+
+
+def main() -> None:
+    log = running_example_log()
+    constraints = ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)])
+    checker = GroupChecker(log, constraints)
+    distance = DistanceFunction(log, checker.instances)
+    candidates = dfg_candidates(log, constraints, checker=checker).groups
+    candidates, _ = merge_exclusive_candidates(log, candidates, checker)
+
+    plain = select_optimal_grouping(log, candidates, distance)
+    show_grouping("\nunconstrained optimum (paper Fig. 7)", plain.grouping, plain.objective)
+    sizes = sorted((len(g) for g in plain.grouping), reverse=True)
+    print(f"group sizes: {sizes} -> spread {max(sizes) - min(sizes)}")
+
+    # Rule 1: balanced groups (max size - min size <= 1).
+    balanced = select_with_grouping_rules(
+        log,
+        candidates,
+        distance,
+        rules=[MaxGroupSizeSpread(1)],
+        instance_index=checker.instances,
+    )
+    show_grouping(
+        f"\nbalanced grouping after {balanced.cuts_added} no-good cuts",
+        balanced.grouping,
+        balanced.objective,
+    )
+    print(f"rejected along the way: {len(balanced.rejected_groupings)} groupings")
+
+    # Rule 2: at most one group may contain a long activity instance.
+    budgeted = select_with_grouping_rules(
+        log,
+        candidates,
+        distance,
+        rules=[
+            MaxViolatingGroups(
+                MaxInstanceAggregate("duration", "sum", 45.0), budget=1
+            )
+        ],
+        instance_index=checker.instances,
+    )
+    show_grouping(
+        f"\nbudgeted-violations grouping ({budgeted.cuts_added} cuts)",
+        budgeted.grouping,
+        budgeted.objective,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""GECCO: constraint-driven abstraction of low-level event logs.
+
+A from-scratch reproduction of Rebmann, Weidlich & van der Aa,
+*GECCO: Constraint-driven Abstraction of Low-level Event Logs*,
+ICDE 2022 (arXiv:2112.01897).
+
+The top-level namespace re-exports the public API; see ``README.md``
+for a tour and ``DESIGN.md`` for the system inventory.
+"""
+
+from repro.constraints import ConstraintSet
+from repro.core import (
+    AbstractionResult,
+    Gecco,
+    GeccoConfig,
+    Grouping,
+    abstract_log,
+    dfg_candidates,
+    exhaustive_candidates,
+)
+from repro.core.distance import DistanceFunction
+from repro.eventlog import Event, EventLog, Trace, compute_dfg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintSet",
+    "AbstractionResult",
+    "Gecco",
+    "GeccoConfig",
+    "Grouping",
+    "abstract_log",
+    "dfg_candidates",
+    "exhaustive_candidates",
+    "DistanceFunction",
+    "Event",
+    "EventLog",
+    "Trace",
+    "compute_dfg",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baselines of the paper's evaluation: BL_Q, BL_P and BL_G."""
+
+from repro.baselines.graph_query import (
+    PathQuery,
+    abstract_with_graph_query,
+    query_candidates,
+    query_from_constraints,
+)
+from repro.baselines.greedy import GreedyStats, abstract_with_greedy, greedy_grouping
+from repro.baselines.partitioning import (
+    abstract_with_partitioning,
+    kmeans,
+    spectral_grouping,
+)
+
+__all__ = [
+    "PathQuery",
+    "abstract_with_graph_query",
+    "query_candidates",
+    "query_from_constraints",
+    "GreedyStats",
+    "abstract_with_greedy",
+    "greedy_grouping",
+    "abstract_with_partitioning",
+    "kmeans",
+    "spectral_grouping",
+]

@@ -1,0 +1,192 @@
+"""Baseline BL_Q: graph-query-based candidate computation (paper §VI-A).
+
+BL_Q replaces GECCO's Step 1 with graph querying: the log's DFG is
+stored in a graph database and queried for candidate groups with
+class-level predicates, in the spirit of Cypher variable-length path
+patterns.  We store the DFG in a :mod:`networkx` digraph (playing the
+graph-database role) and provide a small query engine whose patterns
+are bounded-length directed path expressions with node- and pair-level
+predicates::
+
+    PathQuery(min_length=1, max_length=5,
+              node_predicate=...,          # e.g. class attribute filter
+              forbidden_pairs={(a, b)})    # cannot-link
+
+Because a DFG captures the log at the class level, BL_Q can only
+express class-based constraints (BL1–BL3 in the evaluation); it knows
+nothing about instances and performs no exclusive-candidate merging —
+which is exactly why its candidate sets, and hence its groupings, are
+subpar (Table VII).  Steps 2 and 3 are shared with GECCO.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.constraints.sets import ConstraintSet, class_attribute_view
+from repro.core.distance import DistanceFunction
+from repro.core.gecco import AbstractionResult, StepTimings
+from repro.core.abstraction import abstract_log
+from repro.core.instances import InstanceIndex
+from repro.core.selection import select_optimal_grouping
+from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
+from repro.eventlog.events import EventLog
+
+import time
+
+
+@dataclass
+class PathQuery:
+    """A Cypher-style variable-length path pattern over the DFG.
+
+    Matches directed simple paths whose length (in nodes) lies in
+    ``[min_length, max_length]``, every node satisfies
+    ``node_predicate``, and no unordered node pair is in
+    ``forbidden_pairs``.
+    """
+
+    min_length: int = 1
+    max_length: int = 5
+    node_predicate: Callable[[str], bool] | None = None
+    forbidden_pairs: set[frozenset[str]] = field(default_factory=set)
+
+    def admits_node(self, node: str) -> bool:
+        """Whether ``node`` may appear in a match."""
+        return self.node_predicate is None or self.node_predicate(node)
+
+    def admits_pair(self, node_a: str, node_b: str) -> bool:
+        """Whether the two nodes may co-occur in a match."""
+        return frozenset({node_a, node_b}) not in self.forbidden_pairs
+
+
+def dfg_to_graph(dfg: DirectlyFollowsGraph) -> "nx.DiGraph":
+    """Load a DFG into the networkx 'graph database'."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dfg.nodes)
+    for (a, b), count in dfg.edge_counts.items():
+        graph.add_edge(a, b, frequency=count)
+    return graph
+
+
+def query_candidates(
+    graph: "nx.DiGraph", query: PathQuery
+) -> set[frozenset[str]]:
+    """Evaluate ``query``: node sets of all matching simple paths."""
+    candidates: set[frozenset[str]] = set()
+
+    def extend(path: list[str], members: set[str]) -> None:
+        if len(path) >= query.min_length:
+            candidates.add(frozenset(members))
+        if len(path) >= query.max_length:
+            return
+        for successor in graph.successors(path[-1]):
+            if successor in members or not query.admits_node(successor):
+                continue
+            if any(not query.admits_pair(successor, node) for node in members):
+                continue
+            path.append(successor)
+            members.add(successor)
+            extend(path, members)
+            members.discard(successor)
+            path.pop()
+
+    for node in graph.nodes:
+        if query.admits_node(node):
+            extend([node], {node})
+    return candidates
+
+
+def query_from_constraints(
+    log: EventLog, constraints: ConstraintSet
+) -> PathQuery:
+    """Translate BL_Q-compatible (class-based) constraints into a query.
+
+    Supported: ``MaxGroupSize`` (path length bound), ``CannotLink``
+    (forbidden pair), ``MaxDistinctClassAttribute`` with bound 1 (node
+    predicate partitioning by the attribute is realized pairwise via
+    forbidden pairs).  Other constraint kinds are outside BL_Q's scope
+    and ignored — matching the paper's scoping of this baseline.
+    """
+    from repro.constraints.classbased import (
+        CannotLink,
+        MaxDistinctClassAttribute,
+        MaxGroupSize,
+    )
+
+    max_length = len(log.classes)
+    forbidden: set[frozenset[str]] = set()
+    attributes = class_attribute_view(log)
+    for constraint in constraints.class_based:
+        if isinstance(constraint, MaxGroupSize):
+            max_length = min(max_length, constraint.bound)
+        elif isinstance(constraint, CannotLink):
+            forbidden.add(frozenset({constraint.class_a, constraint.class_b}))
+        elif isinstance(constraint, MaxDistinctClassAttribute):
+            classes = sorted(log.classes)
+            for i, cls_a in enumerate(classes):
+                values_a = attributes.get(cls_a, {}).get(constraint.key, frozenset())
+                for cls_b in classes[i + 1 :]:
+                    values_b = attributes.get(cls_b, {}).get(
+                        constraint.key, frozenset()
+                    )
+                    if len(values_a | values_b) > constraint.bound:
+                        forbidden.add(frozenset({cls_a, cls_b}))
+    return PathQuery(min_length=1, max_length=max_length, forbidden_pairs=forbidden)
+
+
+def abstract_with_graph_query(
+    log: EventLog,
+    constraints: ConstraintSet,
+    solver: str = "scipy",
+    abstraction_strategy: str = "complete",
+) -> AbstractionResult:
+    """Run the full BL_Q pipeline: query → MIP selection → abstraction."""
+    timings = StepTimings()
+    instance_index = InstanceIndex(log)
+    distance = DistanceFunction(log, instance_index)
+
+    started = time.perf_counter()
+    graph = dfg_to_graph(compute_dfg(log))
+    query = query_from_constraints(log, constraints)
+    candidates = query_candidates(graph, query)
+    timings.candidates = time.perf_counter() - started
+
+    started = time.perf_counter()
+    selection = select_optimal_grouping(
+        log,
+        candidates,
+        distance,
+        min_groups=constraints.min_groups,
+        max_groups=constraints.max_groups,
+        backend=solver,
+    )
+    timings.selection = time.perf_counter() - started
+
+    if not selection.feasible:
+        return AbstractionResult(
+            abstracted_log=log,
+            grouping=None,
+            distance=None,
+            feasible=False,
+            num_candidates=len(candidates),
+            timings=timings,
+            original_log=log,
+        )
+
+    started = time.perf_counter()
+    abstracted = abstract_log(
+        log, selection.grouping, instance_index, strategy=abstraction_strategy
+    )
+    timings.abstraction = time.perf_counter() - started
+    return AbstractionResult(
+        abstracted_log=abstracted,
+        grouping=selection.grouping,
+        distance=selection.objective,
+        feasible=True,
+        num_candidates=len(candidates),
+        timings=timings,
+        original_log=log,
+    )

@@ -1,0 +1,273 @@
+"""Command-line interface: ``gecco`` / ``python -m repro``.
+
+Subcommands
+-----------
+``abstract``
+    Abstract a log (XES or CSV) under a JSON constraint specification
+    and write the abstracted log::
+
+        gecco abstract log.xes --constraints constraints.json \
+            --strategy dfg --output abstracted.xes
+
+``stats``
+    Print the Table III statistics of a log.
+
+``dfg``
+    Print a log's DFG as DOT (optionally 80/20-filtered).
+
+``demo``
+    Run the paper's running example end to end and print the groups.
+
+``constraint-types``
+    List the constraint types accepted in JSON specifications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.constraints.parser import known_constraint_types, parse_constraints
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.eventlog import csv_io, xes
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import EventLog
+from repro.eventlog.statistics import describe
+from repro.exceptions import ReproError
+from repro.experiments.figures import dfg_to_dot
+
+
+def _load_log(path: str) -> EventLog:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".xes":
+        return xes.load(path)
+    if suffix == ".csv":
+        return csv_io.read_csv(path)
+    raise ReproError(f"unsupported log format {suffix!r} (use .xes or .csv)")
+
+
+def _save_log(log: EventLog, path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".xes":
+        xes.dump(log, path)
+    elif suffix == ".csv":
+        csv_io.write_csv(log, path)
+    else:
+        raise ReproError(f"unsupported output format {suffix!r} (use .xes or .csv)")
+
+
+def _cmd_abstract(args: argparse.Namespace) -> int:
+    log = _load_log(args.log)
+    specs = json.loads(Path(args.constraints).read_text(encoding="utf-8"))
+    constraints = parse_constraints(specs)
+    beam_width: int | str | None
+    if args.beam_width == "auto":
+        beam_width = "auto"
+    elif args.beam_width is None:
+        beam_width = None
+    else:
+        beam_width = int(args.beam_width)
+    config = GeccoConfig(
+        strategy=args.strategy,
+        beam_width=beam_width,
+        abstraction_strategy=args.abstraction,
+        solver=args.solver,
+        candidate_timeout=args.timeout,
+    )
+    result = Gecco(constraints, config).abstract(log)
+    if not result.feasible:
+        print("INFEASIBLE: no grouping satisfies the constraints.", file=sys.stderr)
+        if result.infeasibility is not None:
+            print(result.infeasibility.summary(), file=sys.stderr)
+        return 2
+    print(f"grouping ({len(result.grouping)} groups, dist={result.distance:.3f}):")
+    for group in sorted(result.grouping, key=lambda g: sorted(g)[0]):
+        print(f"  {result.grouping.label_of(group)}: {{{', '.join(sorted(group))}}}")
+    if args.output:
+        _save_log(result.abstracted_log, args.output)
+        print(f"abstracted log written to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = describe(_load_log(args.log))
+    for key, value in stats.as_row().items():
+        print(f"{key}: {value}")
+    print(f"Events: {stats.num_events}")
+    return 0
+
+
+def _cmd_dfg(args: argparse.Namespace) -> int:
+    log = _load_log(args.log)
+    print(dfg_to_dot(compute_dfg(log), keep_fraction=args.keep, title=args.log))
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.constraints import ConstraintSet, MaxDistinctClassAttribute
+    from repro.datasets import running_example_log
+    from repro.eventlog.events import ROLE_KEY
+
+    log = running_example_log()
+    constraints = ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)])
+    result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(log)
+    print("running example, constraint |g.role| <= 1 (paper Fig. 7):")
+    print(f"  distance: {result.distance:.3f} (paper reports 3.08)")
+    for group in sorted(result.grouping, key=lambda g: sorted(g)[0]):
+        print(f"  {result.grouping.label_of(group)}: {{{', '.join(sorted(group))}}}")
+    for trace, abstracted in zip(log, result.abstracted_log):
+        original = ", ".join(event.event_class for event in trace)
+        lifted = ", ".join(event.event_class for event in abstracted)
+        print(f"  <{original}>  ->  <{lifted}>")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    log = _load_log(args.log)
+    if args.algorithm == "inductive":
+        from repro.mining.inductive import inductive_miner, tree_size
+
+        tree = inductive_miner(log)
+        print(f"process tree ({tree_size(tree)} nodes):")
+        print(f"  {tree!r}")
+    elif args.algorithm == "alpha":
+        from repro.mining.alpha import alpha_miner
+        from repro.mining.petri import petri_to_dot, token_replay
+
+        net = alpha_miner(log)
+        replay = token_replay(net, log)
+        print(f"{net}; replay fitness {replay.fitness:.3f} "
+              f"({replay.fitting_traces}/{replay.total_traces} traces fit)")
+        if args.dot:
+            print(petri_to_dot(net, title=args.log))
+    else:
+        from repro.mining.complexity import complexity_report
+        from repro.mining.discovery import discover_model
+
+        model = discover_model(log)
+        report = complexity_report(model)
+        print(f"{model}; CFC {report.cfc}, size {report.size}, "
+              f"CNC {report.cnc:.2f}")
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.constraints.suggestion import suggest_constraints
+
+    log = _load_log(args.log)
+    suggestions = suggest_constraints(log, limit=args.limit)
+    if not suggestions:
+        print("no constraint suggestions for this log")
+        return 0
+    print(f"suggested constraints for {args.log}:")
+    for suggestion in suggestions:
+        print(f"  {suggestion.describe()}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import reproduce_all
+
+    summary = reproduce_all(
+        args.output,
+        max_traces=args.max_traces,
+        max_classes=args.max_classes,
+        candidate_timeout=args.timeout,
+        include_exhaustive=not args.no_exhaustive,
+    )
+    print(summary.describe())
+    return 0
+
+
+def _cmd_constraint_types(_args: argparse.Namespace) -> int:
+    for name in known_constraint_types():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gecco",
+        description="Constraint-driven abstraction of low-level event logs (ICDE 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    abstract = sub.add_parser("abstract", help="abstract a log under constraints")
+    abstract.add_argument("log", help="input log (.xes or .csv)")
+    abstract.add_argument("--constraints", required=True, help="JSON constraint spec")
+    abstract.add_argument("--output", help="output log path (.xes or .csv)")
+    abstract.add_argument(
+        "--strategy", choices=("dfg", "exhaustive"), default="dfg"
+    )
+    abstract.add_argument(
+        "--beam-width", default=None, help="beam width k, an int or 'auto'"
+    )
+    abstract.add_argument(
+        "--abstraction", choices=("complete", "start_complete"), default="complete"
+    )
+    abstract.add_argument("--solver", choices=("scipy", "bnb"), default="scipy")
+    abstract.add_argument("--timeout", type=float, default=None)
+    abstract.set_defaults(handler=_cmd_abstract)
+
+    stats = sub.add_parser("stats", help="print log statistics")
+    stats.add_argument("log")
+    stats.set_defaults(handler=_cmd_stats)
+
+    dfg = sub.add_parser("dfg", help="print a log's DFG as DOT")
+    dfg.add_argument("log")
+    dfg.add_argument("--keep", type=float, default=1.0, help="edge keep fraction")
+    dfg.set_defaults(handler=_cmd_dfg)
+
+    demo = sub.add_parser("demo", help="run the paper's running example")
+    demo.set_defaults(handler=_cmd_demo)
+
+    discover = sub.add_parser("discover", help="discover a process model")
+    discover.add_argument("log")
+    discover.add_argument(
+        "--algorithm", choices=("dfg", "alpha", "inductive"), default="dfg"
+    )
+    discover.add_argument("--dot", action="store_true", help="print DOT (alpha)")
+    discover.set_defaults(handler=_cmd_discover)
+
+    suggest = sub.add_parser(
+        "suggest", help="suggest interesting constraints for a log"
+    )
+    suggest.add_argument("log")
+    suggest.add_argument("--limit", type=int, default=None)
+    suggest.set_defaults(handler=_cmd_suggest)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every evaluation artifact"
+    )
+    reproduce.add_argument("--output", default="reproduction_results")
+    reproduce.add_argument("--max-traces", type=int, default=50)
+    reproduce.add_argument("--max-classes", type=int, default=10)
+    reproduce.add_argument("--timeout", type=float, default=20.0)
+    reproduce.add_argument(
+        "--no-exhaustive",
+        action="store_true",
+        help="skip the slow Exh configuration",
+    )
+    reproduce.set_defaults(handler=_cmd_reproduce)
+
+    types = sub.add_parser("constraint-types", help="list JSON constraint types")
+    types.set_defaults(handler=_cmd_constraint_types)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

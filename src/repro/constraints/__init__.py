@@ -1,0 +1,86 @@
+"""Constraint framework: the paper's R_G, R_C and R_I constraint types."""
+
+from repro.constraints.base import (
+    AtLeastFraction,
+    Category,
+    CheckingMode,
+    ClassConstraint,
+    Constraint,
+    GroupingConstraint,
+    InstanceConstraint,
+    Monotonicity,
+    infer_checking_mode,
+)
+from repro.constraints.classbased import (
+    CannotLink,
+    MaxDistinctClassAttribute,
+    MaxGroupSize,
+    MinDistinctClassAttribute,
+    MinGroupSize,
+    MustLink,
+    RequiredClasses,
+)
+from repro.constraints.grouping import ExactGroups, MaxGroups, MinGroups
+from repro.constraints.instancebased import (
+    MaxConsecutiveGap,
+    MaxDistinctInstanceAttribute,
+    MaxEventsPerClass,
+    MaxInstanceAggregate,
+    MaxInstanceDuration,
+    MinDistinctInstanceAttribute,
+    MinEventsPerClass,
+    MinInstanceAggregate,
+    MinInstanceDuration,
+)
+from repro.constraints.parser import (
+    known_constraint_types,
+    parse_constraint,
+    parse_constraints,
+)
+from repro.constraints.suggestion import Suggestion, suggest_constraints
+from repro.constraints.sets import (
+    ClassAttributeView,
+    ConstraintSet,
+    InfeasibilityReport,
+    class_attribute_view,
+)
+
+__all__ = [
+    "AtLeastFraction",
+    "Category",
+    "CheckingMode",
+    "ClassConstraint",
+    "Constraint",
+    "GroupingConstraint",
+    "InstanceConstraint",
+    "Monotonicity",
+    "infer_checking_mode",
+    "CannotLink",
+    "MaxDistinctClassAttribute",
+    "MaxGroupSize",
+    "MinDistinctClassAttribute",
+    "MinGroupSize",
+    "MustLink",
+    "RequiredClasses",
+    "ExactGroups",
+    "MaxGroups",
+    "MinGroups",
+    "MaxConsecutiveGap",
+    "MaxDistinctInstanceAttribute",
+    "MaxEventsPerClass",
+    "MaxInstanceAggregate",
+    "MaxInstanceDuration",
+    "MinDistinctInstanceAttribute",
+    "MinEventsPerClass",
+    "MinInstanceAggregate",
+    "MinInstanceDuration",
+    "known_constraint_types",
+    "parse_constraint",
+    "parse_constraints",
+    "Suggestion",
+    "suggest_constraints",
+    "ClassAttributeView",
+    "ConstraintSet",
+    "InfeasibilityReport",
+    "class_attribute_view",
+]

@@ -1,0 +1,119 @@
+"""Aggregation helpers over group instances.
+
+Instance-based constraints (Table II) are almost always of the form
+*"<aggregate> of <attribute> over the instance's events <comparator>
+<threshold>"*.  This module centralizes those aggregates so constraint
+classes stay declarative.
+
+All aggregates skip events that lack the attribute; an instance with no
+carrier of the attribute yields ``None`` (the constraint then decides —
+by default such instances are treated as satisfying, mirroring the
+paper's vacuous-satisfaction convention).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from datetime import datetime
+from typing import Any
+
+from repro.eventlog.events import TIMESTAMP_KEY, Event
+
+
+def attribute_values(instance: Sequence[Event], key: str) -> list[Any]:
+    """All values of attribute ``key`` over the instance's events, in order."""
+    return [event.attributes[key] for event in instance if key in event.attributes]
+
+
+def numeric_values(instance: Sequence[Event], key: str) -> list[float]:
+    """Numeric values of ``key`` over the instance (non-numerics skipped)."""
+    values = []
+    for value in attribute_values(instance, key):
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            values.append(float(value))
+    return values
+
+
+def aggregate(instance: Sequence[Event], key: str, how: str) -> float | None:
+    """Apply aggregate ``how`` to attribute ``key`` over the instance.
+
+    Supported aggregates: ``sum``, ``avg``, ``min``, ``max``, ``count``
+    (number of events carrying the attribute) and ``distinct`` (number
+    of distinct values, any type).  Returns ``None`` when no event
+    carries the attribute (except ``count``/``distinct``, which return 0).
+    """
+    if how == "count":
+        return float(len(attribute_values(instance, key)))
+    if how == "distinct":
+        return float(len(distinct_values(instance, key)))
+    values = numeric_values(instance, key)
+    if not values:
+        return None
+    if how == "sum":
+        return sum(values)
+    if how == "avg":
+        return sum(values) / len(values)
+    if how == "min":
+        return min(values)
+    if how == "max":
+        return max(values)
+    raise ValueError(f"unknown aggregate {how!r}")
+
+#: Aggregates accepted by :func:`aggregate`.
+SUPPORTED_AGGREGATES = ("sum", "avg", "min", "max", "count", "distinct")
+
+
+def distinct_values(instance: Sequence[Event], key: str) -> set:
+    """Distinct values of attribute ``key`` over the instance's events."""
+    values = set()
+    for value in attribute_values(instance, key):
+        values.add(value)
+    return values
+
+
+def instance_duration_seconds(instance: Sequence[Event]) -> float | None:
+    """Wall-clock span of an instance: last minus first timestamp, seconds.
+
+    ``None`` when fewer than one event carries a timestamp; 0.0 for a
+    single timestamped event.
+    """
+    stamps = [
+        event.timestamp
+        for event in instance
+        if isinstance(event.attributes.get(TIMESTAMP_KEY), datetime)
+    ]
+    if not stamps:
+        return None
+    return (max(stamps) - min(stamps)).total_seconds()
+
+
+def max_gap_seconds(instance: Sequence[Event]) -> float | None:
+    """Largest gap between consecutive timestamped events, in seconds.
+
+    Supports Table II's *"time between consecutive events in a group
+    instance must be at most 10 minutes"*.  ``None`` when fewer than two
+    events carry timestamps.
+    """
+    stamps = [
+        event.timestamp
+        for event in instance
+        if isinstance(event.attributes.get(TIMESTAMP_KEY), datetime)
+    ]
+    if len(stamps) < 2:
+        return None
+    return max(
+        (later - earlier).total_seconds()
+        for earlier, later in zip(stamps, stamps[1:])
+    )
+
+
+def events_per_class(instance: Sequence[Event]) -> dict[str, int]:
+    """Number of events per event class within the instance.
+
+    Supports cardinality constraints such as Table II's *"each group
+    instance may contain at most 1 event per event class"*.
+    """
+    return dict(Counter(event.event_class for event in instance))

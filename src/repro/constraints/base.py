@@ -1,0 +1,196 @@
+"""Constraint framework foundations: categories, monotonicity, base classes.
+
+The paper (§IV-A) distinguishes three constraint categories:
+
+* **grouping constraints** (``R_G``) — bound the number of groups in the
+  final grouping and are enforced during Step 2 (MIP selection);
+* **class-based constraints** (``R_C``) — properties of an individual
+  group's event classes, checkable without touching the log's traces;
+* **instance-based constraints** (``R_I``) — properties every *instance*
+  of a group (a per-trace occurrence of the group, cf.
+  :mod:`repro.core.instances`) must satisfy.
+
+Each non-grouping constraint further carries a *monotonicity*: monotonic
+constraints can never become violated by adding classes to a group,
+anti-monotonic ones can never become violated by removing classes, and
+non-monotonic ones give no such guarantee.  Algorithms 1 and 2 derive
+their pruning strategy (the *checking mode*) from these labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.eventlog.events import Event
+
+
+class Category(enum.Enum):
+    """Constraint category per paper §IV-A."""
+
+    GROUPING = "grouping"
+    CLASS = "class"
+    INSTANCE = "instance"
+
+
+class Monotonicity(enum.Enum):
+    """Monotonicity of a constraint under group growth (Table II)."""
+
+    MONOTONIC = "monotonic"
+    ANTI_MONOTONIC = "anti-monotonic"
+    NON_MONOTONIC = "non-monotonic"
+
+
+class CheckingMode(enum.Enum):
+    """Constraint-checking mode used for search-space pruning.
+
+    Derived from a constraint set by ``setCheckingMode`` (Alg. 1
+    line 1): ``ANTI_MONOTONIC`` if any per-group constraint is
+    anti-monotonic, ``MONOTONIC`` if all per-group constraints are
+    monotonic, otherwise ``NON_MONOTONIC``.
+    """
+
+    MONOTONIC = "monotonic"
+    ANTI_MONOTONIC = "anti-monotonic"
+    NON_MONOTONIC = "non-monotonic"
+
+
+class Constraint(ABC):
+    """Base class of all GECCO constraints.
+
+    Subclasses declare their :attr:`category` and :attr:`monotonicity`
+    and implement the check method of their category's signature.  A
+    human-readable :meth:`describe` powers infeasibility diagnostics.
+    """
+
+    category: Category
+    monotonicity: Monotonicity = Monotonicity.NON_MONOTONIC
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A one-line, user-facing description of the constraint."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+class GroupingConstraint(Constraint):
+    """A constraint on the grouping as a whole (``R_G``), e.g. ``|G| <= 10``."""
+
+    category = Category.GROUPING
+
+    @abstractmethod
+    def check(self, num_groups: int) -> bool:
+        """Return ``True`` iff a grouping of ``num_groups`` groups satisfies this."""
+
+    @property
+    def max_groups(self) -> int | None:
+        """Upper bound on ``|G|`` implied by this constraint, if any."""
+        return None
+
+    @property
+    def min_groups(self) -> int | None:
+        """Lower bound on ``|G|`` implied by this constraint, if any."""
+        return None
+
+
+class ClassConstraint(Constraint):
+    """A constraint on one group's event classes (``R_C``).
+
+    Satisfaction is checked against the group in isolation, optionally
+    consulting class-level attribute values (e.g. the role assigned to
+    each event class) through ``class_attributes``: a mapping
+    ``class -> attribute key -> frozenset of observed values``.
+    """
+
+    category = Category.CLASS
+
+    @abstractmethod
+    def check(
+        self,
+        group: frozenset[str],
+        class_attributes: Mapping[str, Mapping[str, frozenset]] | None = None,
+    ) -> bool:
+        """Return ``True`` iff ``group`` satisfies this constraint."""
+
+
+class InstanceConstraint(Constraint):
+    """A constraint every instance of a group must satisfy (``R_I``).
+
+    ``check_instance`` judges a single group instance (an ordered list
+    of events from one trace).  ``check_instances`` aggregates over all
+    instances of a group in the log; the default requires *every*
+    instance to pass, while loose constraints (e.g. "95% of instances
+    must ...") override it.  Constraints are vacuously satisfied when a
+    group has no instances (paper §IV-A).
+    """
+
+    category = Category.INSTANCE
+
+    @abstractmethod
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        """Return ``True`` iff the single ``instance`` satisfies this constraint."""
+
+    def check_instances(
+        self, instances: Sequence[Sequence[Event]], group: frozenset[str]
+    ) -> bool:
+        """Return ``True`` iff the set of instances jointly satisfies this."""
+        return all(self.check_instance(instance, group) for instance in instances)
+
+
+class AtLeastFraction(InstanceConstraint):
+    """Loose wrapper: at least ``fraction`` of instances satisfy ``inner``.
+
+    Example from Table II: *"at least 95% of the group instances must
+    have a cost below 500$"* is
+    ``AtLeastFraction(MaxInstanceAggregate("cost", "sum", 500), 0.95)``.
+
+    The wrapper inherits its monotonicity from the wrapped constraint:
+    if a group change can only make ``inner`` easier per instance, it
+    can only raise the satisfied fraction.
+    """
+
+    def __init__(self, inner: InstanceConstraint, fraction: float):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not isinstance(inner, InstanceConstraint):
+            raise TypeError("inner must be an InstanceConstraint")
+        self.inner = inner
+        self.fraction = fraction
+        self.monotonicity = inner.monotonicity
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        return self.inner.check_instance(instance, group)
+
+    def check_instances(
+        self, instances: Sequence[Sequence[Event]], group: frozenset[str]
+    ) -> bool:
+        if not instances:
+            return True
+        satisfied = sum(
+            1 for instance in instances if self.inner.check_instance(instance, group)
+        )
+        return satisfied / len(instances) >= self.fraction
+
+    def describe(self) -> str:
+        return (
+            f"at least {self.fraction:.0%} of group instances satisfy: "
+            f"{self.inner.describe()}"
+        )
+
+
+def infer_checking_mode(constraints: Sequence[Constraint]) -> CheckingMode:
+    """Derive the checking mode of a constraint collection (Alg. 1 line 1).
+
+    Grouping constraints are excluded — they are not checked per group.
+    """
+    per_group = [c for c in constraints if c.category is not Category.GROUPING]
+    if any(c.monotonicity is Monotonicity.ANTI_MONOTONIC for c in per_group):
+        return CheckingMode.ANTI_MONOTONIC
+    if per_group and all(
+        c.monotonicity is Monotonicity.MONOTONIC for c in per_group
+    ):
+        return CheckingMode.MONOTONIC
+    return CheckingMode.NON_MONOTONIC

@@ -1,0 +1,172 @@
+"""Class-based constraints (``R_C``): properties of a group's classes.
+
+These constraints are checkable for a group in isolation, without a
+pass over the event log — Algorithms 1 and 2 therefore evaluate them
+before any instance-based constraint.  Table II's examples are all
+covered: group-size bounds, cannot-link / must-link pairs, and bounds
+over class-level attributes (e.g. "all classes of a group stem from the
+same origin system", ``|g.origin| <= 1``, used in the §VI-D case study).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.constraints.base import ClassConstraint, Monotonicity
+from repro.exceptions import ConstraintError
+
+ClassAttributes = Mapping[str, Mapping[str, frozenset]]
+
+
+class MinGroupSize(ClassConstraint):
+    """Each group must contain at least ``bound`` event classes (monotonic)."""
+
+    monotonicity = Monotonicity.MONOTONIC
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"MinGroupSize bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def check(self, group, class_attributes=None) -> bool:
+        return len(group) >= self.bound
+
+    def describe(self) -> str:
+        return f"|g| >= {self.bound}"
+
+
+class MaxGroupSize(ClassConstraint):
+    """Each group may contain at most ``bound`` event classes (anti-monotonic)."""
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"MaxGroupSize bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def check(self, group, class_attributes=None) -> bool:
+        return len(group) <= self.bound
+
+    def describe(self) -> str:
+        return f"|g| <= {self.bound}"
+
+
+class CannotLink(ClassConstraint):
+    """Two event classes must not end up in the same group (anti-monotonic)."""
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, class_a: str, class_b: str):
+        if class_a == class_b:
+            raise ConstraintError("CannotLink needs two distinct event classes")
+        self.class_a = class_a
+        self.class_b = class_b
+
+    def check(self, group, class_attributes=None) -> bool:
+        return not (self.class_a in group and self.class_b in group)
+
+    def describe(self) -> str:
+        return f"cannotLink({self.class_a}, {self.class_b})"
+
+
+class MustLink(ClassConstraint):
+    """Two event classes must be members of the same group (non-monotonic).
+
+    A group violates the constraint when it contains exactly one of the
+    two classes; groups containing neither or both satisfy it.
+    """
+
+    monotonicity = Monotonicity.NON_MONOTONIC
+
+    def __init__(self, class_a: str, class_b: str):
+        if class_a == class_b:
+            raise ConstraintError("MustLink needs two distinct event classes")
+        self.class_a = class_a
+        self.class_b = class_b
+
+    def check(self, group, class_attributes=None) -> bool:
+        return (self.class_a in group) == (self.class_b in group)
+
+    def describe(self) -> str:
+        return f"mustLink({self.class_a}, {self.class_b})"
+
+
+class MaxDistinctClassAttribute(ClassConstraint):
+    """At most ``bound`` distinct values of a class-level attribute per group.
+
+    ``MaxDistinctClassAttribute("org:role", 1)`` expresses the running
+    example's "each activity comprises only events performed by the same
+    role"; ``MaxDistinctClassAttribute("origin", 1)`` is the case
+    study's ``|g.origin| <= 1``.  Anti-monotonic: adding classes can
+    only add attribute values.
+    """
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, key: str, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"bound must be >= 1, got {bound}")
+        self.key = key
+        self.bound = bound
+
+    def _values(self, group, class_attributes: ClassAttributes | None) -> set:
+        if class_attributes is None:
+            raise ConstraintError(
+                f"constraint on class attribute {self.key!r} requires class "
+                "attribute data (is the attribute present in the log?)"
+            )
+        values: set = set()
+        for cls in group:
+            values.update(class_attributes.get(cls, {}).get(self.key, frozenset()))
+        return values
+
+    def check(self, group, class_attributes=None) -> bool:
+        return len(self._values(group, class_attributes)) <= self.bound
+
+    def describe(self) -> str:
+        return f"|g.{self.key}| <= {self.bound}"
+
+
+class MinDistinctClassAttribute(ClassConstraint):
+    """At least ``bound`` distinct values of a class-level attribute (monotonic)."""
+
+    monotonicity = Monotonicity.MONOTONIC
+
+    def __init__(self, key: str, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"bound must be >= 1, got {bound}")
+        self.key = key
+        self.bound = bound
+
+    def check(self, group, class_attributes=None) -> bool:
+        if class_attributes is None:
+            raise ConstraintError(
+                f"constraint on class attribute {self.key!r} requires class "
+                "attribute data (is the attribute present in the log?)"
+            )
+        values: set = set()
+        for cls in group:
+            values.update(class_attributes.get(cls, {}).get(self.key, frozenset()))
+        return len(values) >= self.bound
+
+    def describe(self) -> str:
+        return f"|g.{self.key}| >= {self.bound}"
+
+
+class RequiredClasses(ClassConstraint):
+    """The group must be drawn from a given class whitelist (anti-monotonic)."""
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, allowed: Iterable[str]):
+        self.allowed = frozenset(allowed)
+        if not self.allowed:
+            raise ConstraintError("RequiredClasses needs a non-empty whitelist")
+
+    def check(self, group, class_attributes=None) -> bool:
+        return frozenset(group) <= self.allowed
+
+    def describe(self) -> str:
+        preview = ", ".join(sorted(self.allowed)[:4])
+        return f"g ⊆ {{{preview}{', ...' if len(self.allowed) > 4 else ''}}}"

@@ -1,0 +1,81 @@
+"""Grouping constraints (``R_G``): bounds on the number of groups.
+
+These constraints are not checked per candidate group; they become
+cardinality side-constraints of the Step-2 MIP (paper Eq. 5).
+"""
+
+from __future__ import annotations
+
+from repro.constraints.base import GroupingConstraint, Monotonicity
+from repro.exceptions import ConstraintError
+
+
+class MaxGroups(GroupingConstraint):
+    """There may be at most ``bound`` groups in the final grouping."""
+
+    monotonicity = Monotonicity.NON_MONOTONIC  # n/a per Table II
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"MaxGroups bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def check(self, num_groups: int) -> bool:
+        return num_groups <= self.bound
+
+    @property
+    def max_groups(self) -> int:
+        return self.bound
+
+    def describe(self) -> str:
+        return f"|G| <= {self.bound}"
+
+
+class MinGroups(GroupingConstraint):
+    """There must be at least ``bound`` groups in the final grouping."""
+
+    monotonicity = Monotonicity.NON_MONOTONIC  # n/a per Table II
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"MinGroups bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def check(self, num_groups: int) -> bool:
+        return num_groups >= self.bound
+
+    @property
+    def min_groups(self) -> int:
+        return self.bound
+
+    def describe(self) -> str:
+        return f"|G| >= {self.bound}"
+
+
+class ExactGroups(GroupingConstraint):
+    """There must be exactly ``count`` groups (used by baseline BL4).
+
+    The paper's BL4 constraint ``|G| = |C_L| / 2`` halves the number of
+    event classes; at library level it is simply an exact cardinality.
+    """
+
+    monotonicity = Monotonicity.NON_MONOTONIC
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ConstraintError(f"ExactGroups count must be >= 1, got {count}")
+        self.count = count
+
+    def check(self, num_groups: int) -> bool:
+        return num_groups == self.count
+
+    @property
+    def max_groups(self) -> int:
+        return self.count
+
+    @property
+    def min_groups(self) -> int:
+        return self.count
+
+    def describe(self) -> str:
+        return f"|G| = {self.count}"

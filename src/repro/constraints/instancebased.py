@@ -1,0 +1,254 @@
+"""Instance-based constraints (``R_I``): properties of group instances.
+
+An *instance* of a group is one per-trace occurrence of the group's
+classes (cf. :mod:`repro.core.instances`).  These constraints require a
+pass over the event log and are therefore checked after class-based
+ones.  Table II's catalog is covered:
+
+* aggregates over event attributes per instance (sum / avg / min / max /
+  count / distinct) with lower or upper thresholds,
+* instance duration and consecutive-event gaps,
+* per-class cardinalities within an instance,
+* loose variants via :class:`repro.constraints.base.AtLeastFraction`.
+
+The paper's experimental sets map directly: **A** is
+``MaxDistinctInstanceAttribute("org:role", 3)``, **M** is
+``MinInstanceAggregate("duration", "sum", 101)``, **N** is
+``MaxInstanceAggregate("duration", "avg", 5e5)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.constraints import aggregates
+from repro.constraints.base import InstanceConstraint, Monotonicity
+from repro.eventlog.events import Event
+from repro.exceptions import ConstraintError
+
+_LOWER_IS_MONOTONIC = ("sum", "count", "distinct", "max")
+
+
+class MinInstanceAggregate(InstanceConstraint):
+    """``agg(instance.key) >= threshold`` for every instance.
+
+    For non-decreasing aggregates (``sum`` of non-negative values,
+    ``count``, ``distinct``, ``max``) a lower bound is monotonic: adding
+    classes adds events, which can only raise the aggregate.  For
+    ``avg`` and ``min`` the constraint is non-monotonic (Table II).
+    Instances without a carrier of the attribute are skipped (vacuous).
+    """
+
+    def __init__(self, key: str, how: str, threshold: float):
+        if how not in aggregates.SUPPORTED_AGGREGATES:
+            raise ConstraintError(f"unsupported aggregate {how!r}")
+        self.key = key
+        self.how = how
+        self.threshold = float(threshold)
+        if how in _LOWER_IS_MONOTONIC:
+            self.monotonicity = Monotonicity.MONOTONIC
+        else:
+            self.monotonicity = Monotonicity.NON_MONOTONIC
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        value = aggregates.aggregate(instance, self.key, self.how)
+        if value is None:
+            return True
+        return value >= self.threshold
+
+    def describe(self) -> str:
+        return f"{self.how}(g.{self.key}) >= {self.threshold:g}"
+
+
+class MaxInstanceAggregate(InstanceConstraint):
+    """``agg(instance.key) <= threshold`` for every instance.
+
+    Upper bounds on non-decreasing aggregates are anti-monotonic (e.g.
+    Table II's "the cost of a group instance must be at most 500$"),
+    whereas upper bounds on ``avg``/``min`` are non-monotonic (Table
+    II's average-duration example).
+    """
+
+    def __init__(self, key: str, how: str, threshold: float):
+        if how not in aggregates.SUPPORTED_AGGREGATES:
+            raise ConstraintError(f"unsupported aggregate {how!r}")
+        self.key = key
+        self.how = how
+        self.threshold = float(threshold)
+        if how in _LOWER_IS_MONOTONIC:
+            self.monotonicity = Monotonicity.ANTI_MONOTONIC
+        else:
+            self.monotonicity = Monotonicity.NON_MONOTONIC
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        value = aggregates.aggregate(instance, self.key, self.how)
+        if value is None:
+            return True
+        return value <= self.threshold
+
+    def describe(self) -> str:
+        return f"{self.how}(g.{self.key}) <= {self.threshold:g}"
+
+
+class MaxDistinctInstanceAttribute(InstanceConstraint):
+    """At most ``bound`` distinct values of ``key`` per instance.
+
+    The paper's constraint set **A** (``|g.role| <= 3``) is this with
+    ``key="org:role"``, ``bound=3``.  Anti-monotonic.
+    """
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, key: str, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"bound must be >= 1, got {bound}")
+        self.key = key
+        self.bound = bound
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        return len(aggregates.distinct_values(instance, self.key)) <= self.bound
+
+    def describe(self) -> str:
+        return f"|g.{self.key}| <= {self.bound}"
+
+
+class MinDistinctInstanceAttribute(InstanceConstraint):
+    """At least ``bound`` distinct values of ``key`` per instance (monotonic).
+
+    Table II: "at least 2 distinct document codes must be associated
+    with a group instance".
+    """
+
+    monotonicity = Monotonicity.MONOTONIC
+
+    def __init__(self, key: str, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"bound must be >= 1, got {bound}")
+        self.key = key
+        self.bound = bound
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        return len(aggregates.distinct_values(instance, self.key)) >= self.bound
+
+    def describe(self) -> str:
+        return f"|g.{self.key}| >= {self.bound}"
+
+
+class MaxInstanceDuration(InstanceConstraint):
+    """Every instance spans at most ``seconds`` of wall-clock time.
+
+    Anti-monotonic: adding classes can only widen an instance's span.
+    Instances with fewer than two timestamps are vacuously satisfied.
+    """
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ConstraintError(f"duration bound must be >= 0, got {seconds}")
+        self.seconds = float(seconds)
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        duration = aggregates.instance_duration_seconds(instance)
+        if duration is None:
+            return True
+        return duration <= self.seconds
+
+    def describe(self) -> str:
+        return f"duration(instance) <= {self.seconds:g}s"
+
+
+class MinInstanceDuration(InstanceConstraint):
+    """Every instance spans at least ``seconds`` (monotonic)."""
+
+    monotonicity = Monotonicity.MONOTONIC
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ConstraintError(f"duration bound must be >= 0, got {seconds}")
+        self.seconds = float(seconds)
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        duration = aggregates.instance_duration_seconds(instance)
+        if duration is None:
+            return True
+        return duration >= self.seconds
+
+    def describe(self) -> str:
+        return f"duration(instance) >= {self.seconds:g}s"
+
+
+class MaxConsecutiveGap(InstanceConstraint):
+    """Consecutive events within an instance are at most ``seconds`` apart.
+
+    Table II: "the time between consecutive events in a group instance
+    must at most be 10 minutes" is ``MaxConsecutiveGap(600)``.
+    Anti-monotonic.
+    """
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ConstraintError(f"gap bound must be >= 0, got {seconds}")
+        self.seconds = float(seconds)
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        gap = aggregates.max_gap_seconds(instance)
+        if gap is None:
+            return True
+        return gap <= self.seconds
+
+    def describe(self) -> str:
+        return f"gap(consecutive events) <= {self.seconds:g}s"
+
+
+class MaxEventsPerClass(InstanceConstraint):
+    """Each instance contains at most ``bound`` events per event class.
+
+    Table II's last cardinality example with ``bound=1``.  Anti-monotonic
+    in the sense used by the paper: splitting policies aside, adding
+    classes never reduces per-class multiplicity.
+    """
+
+    monotonicity = Monotonicity.ANTI_MONOTONIC
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise ConstraintError(f"bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        counts = aggregates.events_per_class(instance)
+        return all(count <= self.bound for count in counts.values())
+
+    def describe(self) -> str:
+        return f"instance contains <= {self.bound} events per class"
+
+
+class MinEventsPerClass(InstanceConstraint):
+    """Each instance contains at least ``bound`` events of every group class.
+
+    Expresses cardinality requirements such as "each group instance
+    should contain at least 2 events of a particular event class"
+    (paper §IV-A).  Classes of the group missing from the instance count
+    as zero.  Monotonic is *not* claimed — adding a class to the group
+    adds a new zero-count requirement — so this is non-monotonic.
+    """
+
+    monotonicity = Monotonicity.NON_MONOTONIC
+
+    def __init__(self, bound: int, classes: Sequence[str] | None = None):
+        if bound < 1:
+            raise ConstraintError(f"bound must be >= 1, got {bound}")
+        self.bound = bound
+        self.classes = frozenset(classes) if classes is not None else None
+
+    def check_instance(self, instance: Sequence[Event], group: frozenset[str]) -> bool:
+        counts = aggregates.events_per_class(instance)
+        targets = self.classes & group if self.classes is not None else group
+        return all(counts.get(cls, 0) >= self.bound for cls in targets)
+
+    def describe(self) -> str:
+        scope = "every group class" if self.classes is None else f"classes {sorted(self.classes)}"
+        return f"instance contains >= {self.bound} events of {scope}"

@@ -1,0 +1,123 @@
+"""Declarative constraint specifications (JSON-friendly dictionaries).
+
+The CLI — and any user who prefers configuration files over code —
+describes constraints as a list of dictionaries::
+
+    [
+        {"type": "max_group_size", "bound": 8},
+        {"type": "max_distinct_class_attribute", "key": "origin", "bound": 1},
+        {"type": "max_instance_aggregate", "key": "cost", "how": "sum",
+         "threshold": 500, "fraction": 0.95}
+    ]
+
+``fraction`` wraps an instance constraint into the loose
+:class:`~repro.constraints.base.AtLeastFraction` form.  Unknown types
+or missing fields raise :class:`~repro.exceptions.ConstraintError` with
+the offending specification in the message.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.constraints.base import AtLeastFraction, Constraint, InstanceConstraint
+from repro.constraints.classbased import (
+    CannotLink,
+    MaxDistinctClassAttribute,
+    MaxGroupSize,
+    MinDistinctClassAttribute,
+    MinGroupSize,
+    MustLink,
+    RequiredClasses,
+)
+from repro.constraints.grouping import ExactGroups, MaxGroups, MinGroups
+from repro.constraints.instancebased import (
+    MaxConsecutiveGap,
+    MaxDistinctInstanceAttribute,
+    MaxEventsPerClass,
+    MaxInstanceAggregate,
+    MaxInstanceDuration,
+    MinDistinctInstanceAttribute,
+    MinEventsPerClass,
+    MinInstanceAggregate,
+    MinInstanceDuration,
+)
+from repro.constraints.sets import ConstraintSet
+from repro.exceptions import ConstraintError
+
+#: type tag -> (constructor, required argument names)
+_REGISTRY: dict[str, tuple[type, tuple[str, ...]]] = {
+    "max_groups": (MaxGroups, ("bound",)),
+    "min_groups": (MinGroups, ("bound",)),
+    "exact_groups": (ExactGroups, ("count",)),
+    "max_group_size": (MaxGroupSize, ("bound",)),
+    "min_group_size": (MinGroupSize, ("bound",)),
+    "cannot_link": (CannotLink, ("class_a", "class_b")),
+    "must_link": (MustLink, ("class_a", "class_b")),
+    "max_distinct_class_attribute": (MaxDistinctClassAttribute, ("key", "bound")),
+    "min_distinct_class_attribute": (MinDistinctClassAttribute, ("key", "bound")),
+    "required_classes": (RequiredClasses, ("allowed",)),
+    "max_instance_aggregate": (MaxInstanceAggregate, ("key", "how", "threshold")),
+    "min_instance_aggregate": (MinInstanceAggregate, ("key", "how", "threshold")),
+    "max_distinct_instance_attribute": (MaxDistinctInstanceAttribute, ("key", "bound")),
+    "min_distinct_instance_attribute": (MinDistinctInstanceAttribute, ("key", "bound")),
+    "max_instance_duration": (MaxInstanceDuration, ("seconds",)),
+    "min_instance_duration": (MinInstanceDuration, ("seconds",)),
+    "max_consecutive_gap": (MaxConsecutiveGap, ("seconds",)),
+    "max_events_per_class": (MaxEventsPerClass, ("bound",)),
+    "min_events_per_class": (MinEventsPerClass, ("bound",)),
+}
+
+#: Optional arguments accepted beyond the required ones, per type.
+_OPTIONAL: dict[str, tuple[str, ...]] = {
+    "min_events_per_class": ("classes",),
+}
+
+
+def parse_constraint(spec: Mapping[str, Any]) -> Constraint:
+    """Build one constraint from its dictionary specification."""
+    if "type" not in spec:
+        raise ConstraintError(f"constraint specification lacks 'type': {dict(spec)}")
+    type_tag = spec["type"]
+    if type_tag not in _REGISTRY:
+        raise ConstraintError(
+            f"unknown constraint type {type_tag!r}; known types: "
+            + ", ".join(sorted(_REGISTRY))
+        )
+    constructor, required = _REGISTRY[type_tag]
+    allowed = set(required) | set(_OPTIONAL.get(type_tag, ())) | {"type", "fraction"}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ConstraintError(
+            f"unknown fields {sorted(unknown)} for constraint type {type_tag!r}"
+        )
+    missing = [name for name in required if name not in spec]
+    if missing:
+        raise ConstraintError(
+            f"constraint type {type_tag!r} is missing fields {missing}"
+        )
+    kwargs = {
+        name: spec[name]
+        for name in (*required, *_OPTIONAL.get(type_tag, ()))
+        if name in spec
+    }
+    constraint = constructor(**kwargs)
+    if "fraction" in spec:
+        if not isinstance(constraint, InstanceConstraint):
+            raise ConstraintError(
+                "'fraction' applies only to instance-based constraints, "
+                f"not {type_tag!r}"
+            )
+        constraint = AtLeastFraction(constraint, float(spec["fraction"]))
+    return constraint
+
+
+def parse_constraints(specs: Sequence[Mapping[str, Any]]) -> ConstraintSet:
+    """Build a :class:`ConstraintSet` from a list of specifications."""
+    return ConstraintSet([parse_constraint(spec) for spec in specs])
+
+
+def known_constraint_types() -> list[str]:
+    """All type tags the parser accepts (for CLI help output)."""
+    return sorted(_REGISTRY)

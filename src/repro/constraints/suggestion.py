@@ -1,0 +1,252 @@
+"""Constraint suggestion: propose interesting constraints for a log.
+
+The paper's conclusion names this as future work: *"we aim to develop
+an approach to suggest interesting constraints to users for a given
+log."*  This module implements that idea with transparent, data-driven
+heuristics:
+
+* **Partitioning attributes** — a categorical event attribute that is
+  constant per event class and splits the classes into a handful of
+  blocks (like ``org:role`` in the running example or ``origin`` in the
+  case study) suggests ``MaxDistinctClassAttribute(key, 1)``.
+* **Instance diversity** — a categorical attribute that varies within
+  traces suggests a bound on its per-instance diversity
+  (``MaxDistinctInstanceAttribute``), sized from the observed per-trace
+  diversity.
+* **Numeric attributes** — numeric event attributes suggest
+  per-instance aggregate caps at a high percentile of observed
+  per-trace sums (``MaxInstanceAggregate``), loose by construction.
+* **Duration** — timestamped logs suggest a per-instance duration cap
+  at a percentile of the observed trace durations.
+* **Size bounds** — the class-universe size suggests ``|g| <= ceil(sqrt(|C_L|)) + 1``
+  and ``|G| <= ceil(|C_L| / 2)``, mirroring how the paper's evaluation
+  bounds problem size.
+
+Every suggestion carries a rationale and an estimated *selectivity* (a
+rough fraction of singleton groups already satisfying it) so users can
+judge restrictiveness before running GECCO.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.constraints.base import Constraint
+from repro.constraints.classbased import MaxDistinctClassAttribute, MaxGroupSize
+from repro.constraints.grouping import MaxGroups
+from repro.constraints.instancebased import (
+    MaxDistinctInstanceAttribute,
+    MaxInstanceAggregate,
+    MaxInstanceDuration,
+)
+from repro.constraints.sets import class_attribute_view
+from repro.eventlog.events import TIMESTAMP_KEY, EventLog
+
+#: Attribute keys never suggested on (identifiers, timestamps, internals).
+_EXCLUDED_KEYS = {TIMESTAMP_KEY, "concept:name"}
+
+#: Maximum number of blocks for an attribute to count as partitioning.
+_MAX_PARTITION_BLOCKS = 8
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One suggested constraint with its rationale."""
+
+    constraint: Constraint
+    rationale: str
+    selectivity: float  # 0 = unrestrictive, 1 = extremely restrictive
+
+    def describe(self) -> str:
+        """Constraint description plus rationale, for CLI output."""
+        return f"{self.constraint.describe()}  [{self.rationale}]"
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[position]
+
+
+def _attribute_kinds(log: EventLog) -> tuple[dict[str, bool], dict[str, bool]]:
+    """Classify attribute keys: categorical (str) and numeric carriers."""
+    categorical: dict[str, bool] = {}
+    numeric: dict[str, bool] = {}
+    for trace in log:
+        for event in trace:
+            for key, value in event.attributes.items():
+                if key in _EXCLUDED_KEYS:
+                    continue
+                if isinstance(value, bool):
+                    categorical[key] = categorical.get(key, True)
+                elif isinstance(value, (int, float)):
+                    numeric[key] = numeric.get(key, True)
+                elif isinstance(value, str):
+                    categorical[key] = categorical.get(key, True)
+                elif isinstance(value, datetime):
+                    continue
+                else:
+                    categorical[key] = False
+                    numeric[key] = False
+    return (
+        {key: ok for key, ok in categorical.items() if ok},
+        {key: ok for key, ok in numeric.items() if ok},
+    )
+
+
+def _suggest_partitioning(log: EventLog, categorical: dict[str, bool]) -> list[Suggestion]:
+    view = class_attribute_view(log)
+    suggestions = []
+    num_classes = len(log.classes)
+    for key in sorted(categorical):
+        per_class = [view.get(cls, {}).get(key, frozenset()) for cls in log.classes]
+        if not all(len(values) == 1 for values in per_class):
+            continue  # not constant per class
+        blocks = {next(iter(values)) for values in per_class}
+        if not 2 <= len(blocks) <= _MAX_PARTITION_BLOCKS:
+            continue
+        suggestions.append(
+            Suggestion(
+                constraint=MaxDistinctClassAttribute(key, 1),
+                rationale=(
+                    f"attribute {key!r} is constant per class and partitions "
+                    f"the {num_classes} classes into {len(blocks)} blocks"
+                ),
+                selectivity=1.0 - 1.0 / len(blocks),
+            )
+        )
+    return suggestions
+
+
+def _suggest_instance_diversity(
+    log: EventLog, categorical: dict[str, bool]
+) -> list[Suggestion]:
+    suggestions = []
+    for key in sorted(categorical):
+        per_trace = []
+        for trace in log:
+            values = {
+                event.attributes[key]
+                for event in trace
+                if key in event.attributes
+            }
+            if values:
+                per_trace.append(len(values))
+        if not per_trace:
+            continue
+        typical = int(_percentile([float(v) for v in per_trace], 0.9))
+        if typical < 2:
+            continue  # constant within traces; the partitioning rule covers it
+        suggestions.append(
+            Suggestion(
+                constraint=MaxDistinctInstanceAttribute(key, typical),
+                rationale=(
+                    f"90% of traces involve at most {typical} distinct "
+                    f"values of {key!r}"
+                ),
+                selectivity=0.3,
+            )
+        )
+    return suggestions
+
+
+def _suggest_numeric_caps(log: EventLog, numeric: dict[str, bool]) -> list[Suggestion]:
+    suggestions = []
+    for key in sorted(numeric):
+        per_trace_sums = []
+        for trace in log:
+            values = [
+                float(event.attributes[key])
+                for event in trace
+                if isinstance(event.attributes.get(key), (int, float))
+                and not isinstance(event.attributes.get(key), bool)
+            ]
+            if values:
+                per_trace_sums.append(sum(values))
+        if len(per_trace_sums) < 2:
+            continue
+        cap = _percentile(per_trace_sums, 0.95)
+        if cap <= 0:
+            continue
+        suggestions.append(
+            Suggestion(
+                constraint=MaxInstanceAggregate(key, "sum", round(cap, 2)),
+                rationale=(
+                    f"95% of traces have sum({key}) <= {cap:.2f}; group "
+                    "instances are sub-traces, so this is loose by design"
+                ),
+                selectivity=0.1,
+            )
+        )
+    return suggestions
+
+
+def _suggest_duration_cap(log: EventLog) -> list[Suggestion]:
+    durations = []
+    for trace in log:
+        stamps = [
+            event.timestamp
+            for event in trace
+            if isinstance(event.attributes.get(TIMESTAMP_KEY), datetime)
+        ]
+        if len(stamps) >= 2:
+            durations.append((max(stamps) - min(stamps)).total_seconds())
+    if len(durations) < 2:
+        return []
+    cap = _percentile(durations, 0.95)
+    if cap <= 0:
+        return []
+    return [
+        Suggestion(
+            constraint=MaxInstanceDuration(round(cap, 1)),
+            rationale=(
+                f"95% of traces span at most {cap:.0f}s; instances are "
+                "sub-traces, so this caps only outlier activities"
+            ),
+            selectivity=0.1,
+        )
+    ]
+
+
+def _suggest_size_bounds(log: EventLog) -> list[Suggestion]:
+    num_classes = len(log.classes)
+    if num_classes < 4:
+        return []
+    group_cap = int(math.ceil(math.sqrt(num_classes))) + 1
+    return [
+        Suggestion(
+            constraint=MaxGroupSize(group_cap),
+            rationale=(
+                f"sqrt-sized groups keep activities interpretable for a "
+                f"{num_classes}-class log (the paper's evaluation uses |g| <= 8)"
+            ),
+            selectivity=0.2,
+        ),
+        Suggestion(
+            constraint=MaxGroups(max(2, num_classes // 2)),
+            rationale="halving the class count guarantees visible abstraction",
+            selectivity=0.3,
+        ),
+    ]
+
+
+def suggest_constraints(log: EventLog, limit: int | None = None) -> list[Suggestion]:
+    """Propose constraints for ``log``, most structural first.
+
+    Ordering: partitioning attributes (the strongest signal, they mirror
+    the paper's role/origin use cases), then size bounds, instance
+    diversity, duration and numeric caps.  ``limit`` truncates the list.
+    """
+    categorical, numeric = _attribute_kinds(log)
+    suggestions = (
+        _suggest_partitioning(log, categorical)
+        + _suggest_size_bounds(log)
+        + _suggest_instance_diversity(log, categorical)
+        + _suggest_duration_cap(log)
+        + _suggest_numeric_caps(log, numeric)
+    )
+    return suggestions if limit is None else suggestions[:limit]

@@ -1,0 +1,51 @@
+"""Core GECCO algorithms: instances, distance, candidates, selection, abstraction."""
+
+from repro.core.abstraction import abstract_log, abstract_trace
+from repro.core.candidates import CandidateResult, CandidateStats, exhaustive_candidates
+from repro.core.checker import GroupChecker
+from repro.core.dfg_candidates import BeamStats, default_beam_width, dfg_candidates
+from repro.core.distance import DistanceFunction
+from repro.core.exclusive import ExclusiveStats, merge_exclusive_candidates
+from repro.core.gecco import AbstractionResult, Gecco, GeccoConfig, StepTimings
+from repro.core.grouping import Grouping, singleton_grouping
+from repro.core.grouping_constraints import (
+    GroupingConstraintRule,
+    MaxGroupSizeSpread,
+    MaxMeanAggregateOverGrouping,
+    MaxViolatingGroups,
+)
+from repro.core.lazy_selection import LazySelectionResult, select_with_grouping_rules
+from repro.core.instances import InstanceIndex, instances_in_log, instances_in_trace
+from repro.core.selection import SelectionResult, select_optimal_grouping
+
+__all__ = [
+    "abstract_log",
+    "abstract_trace",
+    "CandidateResult",
+    "CandidateStats",
+    "exhaustive_candidates",
+    "GroupChecker",
+    "BeamStats",
+    "default_beam_width",
+    "dfg_candidates",
+    "DistanceFunction",
+    "ExclusiveStats",
+    "merge_exclusive_candidates",
+    "AbstractionResult",
+    "Gecco",
+    "GeccoConfig",
+    "StepTimings",
+    "Grouping",
+    "singleton_grouping",
+    "GroupingConstraintRule",
+    "MaxGroupSizeSpread",
+    "MaxMeanAggregateOverGrouping",
+    "MaxViolatingGroups",
+    "LazySelectionResult",
+    "select_with_grouping_rules",
+    "InstanceIndex",
+    "instances_in_log",
+    "instances_in_trace",
+    "SelectionResult",
+    "select_optimal_grouping",
+]

@@ -1,0 +1,146 @@
+"""Exhaustive candidate computation (paper Algorithm 1).
+
+Starting from singleton groups, the algorithm iteratively expands
+groups by one event class, keeping every group that (i) actually
+co-occurs in at least one trace (``occurs(g, L)``) and (ii) satisfies
+the per-group constraints.  Two monotonicity-based pruning strategies
+cut the search space:
+
+* **monotonic mode** — once a subgroup satisfies the (all-monotonic)
+  constraints, its supergroups' *class-based* checks can be skipped.
+  (Deviation from the paper's Alg. 1 line 5, which skips all checks:
+  under the projection instantiation of ``inst``, adding a class
+  creates new instances in traces lacking the other classes, so
+  instance-based "monotonic" constraints can still break — see
+  ``GroupChecker.holds_given_satisfying_subset``.  We re-check them to
+  preserve the paper's guarantee that the output satisfies R.);
+* **anti-monotonic mode** — once a group violates an anti-monotonic
+  constraint, no supergroup can recover, so only satisfying groups are
+  expanded.
+
+The worst case remains exponential in ``|C_L|`` (paper §V-B); a
+wall-clock ``timeout`` mirrors the paper's 5-hour cap, after which the
+candidates found so far are returned (``stats.timed_out`` is set).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.constraints.base import CheckingMode
+from repro.constraints.sets import ConstraintSet
+from repro.core.checker import GroupChecker
+from repro.eventlog.events import EventLog
+
+
+@dataclass
+class CandidateStats:
+    """Bookkeeping of one candidate-computation run."""
+
+    iterations: int = 0
+    groups_checked: int = 0
+    groups_expanded: int = 0
+    subset_prunes: int = 0
+    timed_out: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of Step 1: the candidate set plus search statistics."""
+
+    groups: set[frozenset[str]] = field(default_factory=set)
+    stats: CandidateStats = field(default_factory=CandidateStats)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+def _expand_groups(
+    groups: set[frozenset[str]], classes: frozenset[str]
+) -> set[frozenset[str]]:
+    """All one-class extensions of the given groups (``expandGroups``)."""
+    expanded: set[frozenset[str]] = set()
+    for group in groups:
+        for cls in classes - group:
+            expanded.add(group | {cls})
+    return expanded
+
+
+def _has_candidate_subset(
+    group: frozenset[str], candidates: set[frozenset[str]]
+) -> bool:
+    """``∃ g' ∈ G : g' ⊂ g`` via immediate parents.
+
+    Because ``occurs`` is anti-monotonic (subsets of co-occurring groups
+    co-occur in the same trace) and monotonic mode adds every satisfying
+    group's occurring supersets to the candidate set level by level, a
+    strict subset in the candidate set implies an immediate parent in
+    the candidate set — so checking the ``|g|`` parents suffices.
+    """
+    for cls in group:
+        if (group - {cls}) in candidates:
+            return True
+    return False
+
+
+def exhaustive_candidates(
+    log: EventLog,
+    constraints: ConstraintSet,
+    checker: GroupChecker | None = None,
+    timeout: float | None = None,
+) -> CandidateResult:
+    """Compute the complete constraint-satisfying candidate set (Alg. 1).
+
+    Parameters
+    ----------
+    checker:
+        Optional pre-built :class:`GroupChecker` (lets the caller share
+        instance caches with the distance function).
+    timeout:
+        Wall-clock budget in seconds; on expiry the candidates found so
+        far are returned with ``stats.timed_out = True``.
+    """
+    started = time.perf_counter()
+    checker = checker or GroupChecker(log, constraints)
+    mode = constraints.checking_mode
+    classes = log.classes
+    stats = CandidateStats()
+
+    candidates: set[frozenset[str]] = set()
+    to_check: set[frozenset[str]] = {frozenset([cls]) for cls in classes}
+
+    while to_check:
+        stats.iterations += 1
+        new_candidates: set[frozenset[str]] = set()
+        for group in to_check:
+            if timeout is not None and time.perf_counter() - started > timeout:
+                stats.timed_out = True
+                stats.seconds = time.perf_counter() - started
+                return CandidateResult(candidates | new_candidates, stats)
+            if mode is CheckingMode.MONOTONIC and _has_candidate_subset(
+                group, candidates
+            ):
+                stats.subset_prunes += 1
+                if checker.holds_given_satisfying_subset(group):
+                    new_candidates.add(group)
+                continue
+            stats.groups_checked += 1
+            if checker.holds(group):
+                new_candidates.add(group)
+        candidates |= new_candidates
+
+        if mode is CheckingMode.ANTI_MONOTONIC:
+            expansion_base = new_candidates
+        else:
+            expansion_base = to_check
+        expanded = _expand_groups(expansion_base, classes)
+        stats.groups_expanded += len(expanded)
+        to_check = {group for group in expanded if log.occurs(group)}
+
+    stats.seconds = time.perf_counter() - started
+    return CandidateResult(candidates, stats)

@@ -1,0 +1,136 @@
+"""DFG-based candidate computation with beam search (paper Algorithm 2).
+
+Instead of enumerating arbitrary class subsets, this instantiation of
+Step 1 walks the log's directly-follows graph: candidate groups are the
+node sets of DFG paths, grown by prepending a predecessor of the first
+node or appending a successor of the last node.  Because behaviorally
+cohesive classes sit close together in the DFG, this focuses the search
+on *cohesive candidates* and skips far-apart combinations such as
+``{rcp, arv}`` in the running example.
+
+A beam of width ``k`` bounds the frontier: each iteration keeps only
+the ``k`` candidate paths whose node sets have the lowest distance
+(Eq. 1) and discards the rest.  ``k = None`` gives the paper's DFG∞
+configuration (no beam pruning); the paper's adaptive configuration
+DFGk uses ``k = 5 * |C_L|``.
+
+The same monotonicity pruning as in Algorithm 1 applies.  Note one
+deliberate deviation from the paper's *pseudocode* (not its prose): in
+the literal pseudocode a monotonic-mode path failing ``holds`` is never
+expanded, while the accompanying text — and Algorithm 1 — state that in
+monotonic and non-monotonic modes violating groups must still be
+expanded, since their supergroups may yet satisfy the constraints.  We
+follow the text.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.constraints.base import CheckingMode
+from repro.constraints.sets import ConstraintSet
+from repro.core.candidates import CandidateResult, CandidateStats, _has_candidate_subset
+from repro.core.checker import GroupChecker
+from repro.core.distance import DistanceFunction
+from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
+from repro.eventlog.events import EventLog
+
+
+@dataclass
+class BeamStats(CandidateStats):
+    """Algorithm 2 statistics: adds beam-pruning counters."""
+
+    paths_considered: int = 0
+    paths_beam_pruned: int = 0
+
+
+def default_beam_width(log: EventLog, factor: int = 5) -> int:
+    """The paper's adaptive beam width for DFGk: ``k = 5 * |C_L|``."""
+    return factor * len(log.classes)
+
+
+def dfg_candidates(
+    log: EventLog,
+    constraints: ConstraintSet,
+    beam_width: int | None = None,
+    checker: GroupChecker | None = None,
+    distance: DistanceFunction | None = None,
+    dfg: DirectlyFollowsGraph | None = None,
+    timeout: float | None = None,
+) -> CandidateResult:
+    """Compute cohesive candidate groups by DFG traversal (Alg. 2).
+
+    Parameters
+    ----------
+    beam_width:
+        ``k``; ``None`` disables beam pruning (DFG∞ configuration).
+    checker / distance / dfg:
+        Optional pre-built collaborators so the caller can share caches.
+    timeout:
+        Wall-clock budget in seconds; on expiry the candidates found so
+        far are returned with ``stats.timed_out = True``.
+    """
+    started = time.perf_counter()
+    checker = checker or GroupChecker(log, constraints)
+    distance = distance or DistanceFunction(log, checker.instances)
+    graph = dfg or compute_dfg(log)
+    mode = constraints.checking_mode
+    stats = BeamStats()
+
+    candidates: set[frozenset[str]] = set()
+    to_check: set[tuple[str, ...]] = {(node,) for node in graph.nodes}
+
+    while to_check:
+        stats.iterations += 1
+        # Lowest-distance paths first; path tuple breaks ties deterministically.
+        sorted_paths = sorted(
+            to_check,
+            key=lambda path: (distance.group_distance(frozenset(path)), path),
+        )
+        if beam_width is not None:
+            stats.paths_beam_pruned += max(0, len(sorted_paths) - beam_width)
+            sorted_paths = sorted_paths[:beam_width]
+
+        to_expand: list[tuple[str, ...]] = []
+        for path in sorted_paths:
+            if timeout is not None and time.perf_counter() - started > timeout:
+                stats.timed_out = True
+                stats.seconds = time.perf_counter() - started
+                return CandidateResult(candidates, stats)
+            stats.paths_considered += 1
+            group = frozenset(path)
+            if mode is CheckingMode.MONOTONIC and _has_candidate_subset(
+                group, candidates
+            ):
+                stats.subset_prunes += 1
+                if checker.holds_given_satisfying_subset(group):
+                    candidates.add(group)
+                to_expand.append(path)
+                continue
+            stats.groups_checked += 1
+            if checker.holds(group):
+                candidates.add(group)
+                to_expand.append(path)
+            elif mode is not CheckingMode.ANTI_MONOTONIC:
+                # Violating paths may still lead to satisfying supergroups
+                # under monotonic / non-monotonic constraints.
+                to_expand.append(path)
+
+        next_frontier: set[tuple[str, ...]] = set()
+        for path in to_expand:
+            first, last = path[0], path[-1]
+            members = frozenset(path)
+            for successor in graph.successors(last):
+                if successor not in members:
+                    next_frontier.add(path + (successor,))
+            for predecessor in graph.predecessors(first):
+                if predecessor not in members:
+                    next_frontier.add((predecessor,) + path)
+        stats.groups_expanded += len(next_frontier)
+        to_check = {
+            path for path in next_frontier if log.occurs(frozenset(path))
+        }
+
+    stats.seconds = time.perf_counter() - started
+    return CandidateResult(candidates, stats)

@@ -1,0 +1,322 @@
+"""The GECCO facade: configuration, pipeline, and result objects.
+
+:class:`Gecco` wires the three steps of the approach together
+(Fig. 4): candidate computation (exhaustive or DFG-based, optionally
+followed by exclusive-candidate merging), MIP-based selection of an
+optimal grouping, and abstraction of the log.  The result object
+carries the abstracted log, the grouping, the achieved distance, and
+per-step timings; when the problem is infeasible it carries the
+original log plus an :class:`~repro.constraints.sets.InfeasibilityReport`
+so users can refine their constraints (paper §V-C).
+
+Typical use::
+
+    from repro import Gecco, GeccoConfig
+    from repro.constraints import ConstraintSet, MaxDistinctClassAttribute
+
+    constraints = ConstraintSet([MaxDistinctClassAttribute("org:role", 1)])
+    result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(log)
+    result.abstracted_log   # the high-level log
+    result.grouping         # the chosen groups
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.constraints.sets import ConstraintSet, InfeasibilityReport
+from repro.core.abstraction import STRATEGIES, abstract_log
+from repro.core.candidates import CandidateResult, exhaustive_candidates
+from repro.core.checker import GroupChecker
+from repro.core.dfg_candidates import default_beam_width, dfg_candidates
+from repro.core.distance import DistanceFunction
+from repro.core.exclusive import merge_exclusive_candidates
+from repro.core.grouping import Grouping
+from repro.core.instances import POLICIES, InstanceIndex
+from repro.core.selection import BACKENDS, select_optimal_grouping
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import EventLog
+from repro.exceptions import ConstraintError, InfeasibleProblemError
+
+#: Step-1 strategies.
+STEP1_STRATEGIES = ("exhaustive", "dfg")
+
+
+@dataclass
+class GeccoConfig:
+    """Configuration of the GECCO pipeline.
+
+    Attributes
+    ----------
+    strategy:
+        Step-1 instantiation: ``"exhaustive"`` (Alg. 1) or ``"dfg"``
+        (Alg. 2).
+    beam_width:
+        Beam width ``k`` for the DFG strategy.  ``None`` = unlimited
+        (the paper's DFG∞); ``"auto"`` = ``5 * |C_L|`` (the paper's
+        DFGk); an integer sets ``k`` explicitly.
+    exclusive_merging:
+        Whether to run the Algorithm-3 post pass (default ``True``).
+    instance_policy:
+        Instance-splitting policy (see :mod:`repro.core.instances`).
+    abstraction_strategy:
+        ``"complete"`` or ``"start_complete"`` (Step 3).
+    solver:
+        Step-2 backend, ``"scipy"`` (HiGHS) or ``"bnb"``.
+    candidate_timeout:
+        Wall-clock budget (seconds) for Step 1; on expiry GECCO
+        continues with the candidates found so far (paper §VI-A).
+    solver_time_limit:
+        Optional time limit for the MIP backend.
+    raise_on_infeasible:
+        Raise :class:`InfeasibleProblemError` instead of returning the
+        original log when no feasible grouping exists.
+    label_attribute:
+        Optional event-attribute key; groups whose classes share a
+        single value of it are labeled ``<value>_Activity_<i>``
+        (used for the case study's origin-system labels, Fig. 8).
+    distance:
+        The objective to minimize: ``"eq1"`` (the paper's Eq. 1,
+        default) or one of the alternatives in
+        :mod:`repro.core.alt_distance` (``"frequency"``, ``"jaccard"``,
+        ``"entropy"``) — §IV-B notes the approach is largely
+        independent of the concrete distance function.
+    """
+
+    strategy: str = "dfg"
+    beam_width: int | str | None = None
+    exclusive_merging: bool = True
+    instance_policy: str = "repeat"
+    abstraction_strategy: str = "complete"
+    solver: str = "scipy"
+    candidate_timeout: float | None = None
+    solver_time_limit: float | None = None
+    raise_on_infeasible: bool = False
+    label_attribute: str | None = None
+    distance: str = "eq1"
+
+    def __post_init__(self):
+        if self.strategy not in STEP1_STRATEGIES:
+            raise ConstraintError(
+                f"unknown strategy {self.strategy!r}; use one of {STEP1_STRATEGIES}"
+            )
+        if self.instance_policy not in POLICIES:
+            raise ConstraintError(
+                f"unknown instance policy {self.instance_policy!r}; use one of {POLICIES}"
+            )
+        if self.abstraction_strategy not in STRATEGIES:
+            raise ConstraintError(
+                f"unknown abstraction strategy {self.abstraction_strategy!r}; "
+                f"use one of {STRATEGIES}"
+            )
+        if self.solver not in BACKENDS:
+            raise ConstraintError(
+                f"unknown solver {self.solver!r}; use one of {BACKENDS}"
+            )
+        if isinstance(self.beam_width, str) and self.beam_width != "auto":
+            raise ConstraintError(
+                f"beam_width must be an int, None, or 'auto', got {self.beam_width!r}"
+            )
+        from repro.core.alt_distance import ALTERNATIVE_DISTANCES
+
+        known_distances = ("eq1", *ALTERNATIVE_DISTANCES)
+        if self.distance not in known_distances:
+            raise ConstraintError(
+                f"unknown distance {self.distance!r}; use one of {known_distances}"
+            )
+
+    # -- named configurations of the paper's evaluation --------------------
+
+    @classmethod
+    def exhaustive(cls, **overrides) -> "GeccoConfig":
+        """The paper's Exh configuration."""
+        return cls(strategy="exhaustive", **overrides)
+
+    @classmethod
+    def dfg_unlimited(cls, **overrides) -> "GeccoConfig":
+        """The paper's DFG∞ configuration (no beam pruning)."""
+        return cls(strategy="dfg", beam_width=None, **overrides)
+
+    @classmethod
+    def dfg_adaptive(cls, **overrides) -> "GeccoConfig":
+        """The paper's DFGk configuration (``k = 5 * |C_L|``)."""
+        return cls(strategy="dfg", beam_width="auto", **overrides)
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock seconds per pipeline step."""
+
+    candidates: float = 0.0
+    exclusive: float = 0.0
+    selection: float = 0.0
+    abstraction: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.candidates + self.exclusive + self.selection + self.abstraction
+
+
+@dataclass
+class AbstractionResult:
+    """Everything GECCO produced for one abstraction problem."""
+
+    abstracted_log: EventLog
+    grouping: Grouping | None
+    distance: float | None
+    feasible: bool
+    num_candidates: int
+    timings: StepTimings = field(default_factory=StepTimings)
+    candidate_stats: object | None = None
+    infeasibility: InfeasibilityReport | None = None
+    original_log: EventLog | None = None
+
+    @property
+    def size_reduction(self) -> float | None:
+        """``1 - |G| / |C_L|``, the paper's size-reduction measure."""
+        if self.grouping is None:
+            return None
+        return 1.0 - self.grouping.size_reduction
+
+
+class Gecco:
+    """The GECCO approach (Fig. 4): candidates → selection → abstraction."""
+
+    def __init__(self, constraints: ConstraintSet, config: GeccoConfig | None = None):
+        if not isinstance(constraints, ConstraintSet):
+            constraints = ConstraintSet(constraints)
+        self.constraints = constraints
+        self.config = config or GeccoConfig()
+
+    # -- pipeline -----------------------------------------------------------
+
+    def abstract(self, log: EventLog) -> AbstractionResult:
+        """Run the full pipeline on ``log``."""
+        config = self.config
+        timings = StepTimings()
+        instance_index = InstanceIndex(log, policy=config.instance_policy)
+        checker = GroupChecker(log, self.constraints, instance_index)
+        if config.distance == "eq1":
+            distance = DistanceFunction(log, instance_index)
+        else:
+            from repro.core.alt_distance import ALTERNATIVE_DISTANCES
+
+            distance = ALTERNATIVE_DISTANCES[config.distance](log, instance_index)
+        dfg = compute_dfg(log)
+
+        # Step 1: candidate computation.
+        started = time.perf_counter()
+        candidate_result = self._compute_candidates(
+            log, checker, distance, dfg
+        )
+        timings.candidates = time.perf_counter() - started
+
+        candidates = set(candidate_result.groups)
+        if config.exclusive_merging:
+            started = time.perf_counter()
+            candidates, _exclusive_stats = merge_exclusive_candidates(
+                log, candidates, checker, dfg
+            )
+            timings.exclusive = time.perf_counter() - started
+
+        # Step 2: optimal grouping.
+        started = time.perf_counter()
+        selection = select_optimal_grouping(
+            log,
+            candidates,
+            distance,
+            min_groups=self.constraints.min_groups,
+            max_groups=self.constraints.max_groups,
+            backend=config.solver,
+            time_limit=config.solver_time_limit,
+        )
+        timings.selection = time.perf_counter() - started
+
+        if not selection.feasible:
+            report = self.constraints.diagnose(
+                log, checker.class_attributes, instance_index.events, candidates
+            )
+            if config.raise_on_infeasible:
+                raise InfeasibleProblemError(
+                    "no grouping satisfies the constraints:\n" + report.summary(),
+                    report=report,
+                )
+            # Paper §V-C: return the initial log with diagnostics.
+            return AbstractionResult(
+                abstracted_log=log,
+                grouping=None,
+                distance=None,
+                feasible=False,
+                num_candidates=len(candidates),
+                timings=timings,
+                candidate_stats=candidate_result.stats,
+                infeasibility=report,
+                original_log=log,
+            )
+
+        grouping = selection.grouping
+        if config.label_attribute is not None:
+            grouping = self._relabel_by_attribute(grouping, checker)
+
+        # Step 3: abstraction.
+        started = time.perf_counter()
+        abstracted = abstract_log(
+            log,
+            grouping,
+            instance_index,
+            strategy=config.abstraction_strategy,
+        )
+        timings.abstraction = time.perf_counter() - started
+
+        return AbstractionResult(
+            abstracted_log=abstracted,
+            grouping=grouping,
+            distance=selection.objective,
+            feasible=True,
+            num_candidates=len(candidates),
+            timings=timings,
+            candidate_stats=candidate_result.stats,
+            original_log=log,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _compute_candidates(self, log, checker, distance, dfg) -> CandidateResult:
+        config = self.config
+        if config.strategy == "exhaustive":
+            return exhaustive_candidates(
+                log,
+                self.constraints,
+                checker=checker,
+                timeout=config.candidate_timeout,
+            )
+        beam_width = config.beam_width
+        if beam_width == "auto":
+            beam_width = default_beam_width(log)
+        return dfg_candidates(
+            log,
+            self.constraints,
+            beam_width=beam_width,
+            checker=checker,
+            distance=distance,
+            dfg=dfg,
+            timeout=config.candidate_timeout,
+        )
+
+    def _relabel_by_attribute(self, grouping: Grouping, checker: GroupChecker) -> Grouping:
+        """Prefix multi-class group labels with a shared attribute value."""
+        key = self.config.label_attribute
+        labels: dict[frozenset[str], str] = {}
+        counters: dict[str, int] = {}
+        for group in sorted(grouping.groups, key=lambda g: sorted(g)[0]):
+            if len(group) == 1:
+                continue
+            values: set = set()
+            for cls in group:
+                values.update(checker.class_attributes.get(cls, {}).get(key, frozenset()))
+            if len(values) == 1:
+                prefix = str(next(iter(values)))
+                counters[prefix] = counters.get(prefix, 0) + 1
+                labels[group] = f"{prefix}_Activity_{counters[prefix]}"
+        return grouping.relabel(labels) if labels else grouping

@@ -1,0 +1,138 @@
+"""Groupings: exact covers of the event-class universe.
+
+A grouping ``G`` is a set of disjoint groups of event classes whose
+union is exactly ``C_L`` (Problem 1).  This module provides the
+validated value object plus labeling utilities used when the abstracted
+log is produced (groups become high-level activity names).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.exceptions import GroupingError
+
+
+class Grouping:
+    """A validated exact cover of a set of event classes.
+
+    Parameters
+    ----------
+    groups:
+        The groups, each a collection of event-class names.
+    universe:
+        The event classes that must be covered exactly once (``C_L``).
+    labels:
+        Optional mapping from group to activity label.  Groups without
+        an explicit label are named automatically: singleton groups keep
+        their class name; larger groups get ``Activity_<i>`` (or a
+        shared attribute-derived prefix when assigned by the caller).
+    """
+
+    def __init__(
+        self,
+        groups: Iterable[Iterable[str]],
+        universe: Iterable[str],
+        labels: Mapping[frozenset[str], str] | None = None,
+    ):
+        self.groups: list[frozenset[str]] = [frozenset(group) for group in groups]
+        self.universe: frozenset[str] = frozenset(universe)
+        self._validate()
+        self.labels: dict[frozenset[str], str] = {}
+        explicit = dict(labels) if labels else {}
+        counter = 1
+        for group in sorted(self.groups, key=lambda g: sorted(g)[0]):
+            if group in explicit:
+                self.labels[group] = explicit[group]
+            elif len(group) == 1:
+                self.labels[group] = next(iter(group))
+            else:
+                self.labels[group] = f"Activity_{counter}"
+                counter += 1
+        self._class_to_group: dict[str, frozenset[str]] = {}
+        for group in self.groups:
+            for cls in group:
+                self._class_to_group[cls] = group
+
+    def _validate(self) -> None:
+        seen: set[str] = set()
+        for group in self.groups:
+            if not group:
+                raise GroupingError("grouping contains an empty group")
+            overlap = seen & group
+            if overlap:
+                raise GroupingError(
+                    f"groups are not disjoint; classes in several groups: {sorted(overlap)}"
+                )
+            seen.update(group)
+        if seen != self.universe:
+            missing = sorted(self.universe - seen)
+            extra = sorted(seen - self.universe)
+            details = []
+            if missing:
+                details.append(f"uncovered classes: {missing}")
+            if extra:
+                details.append(f"unknown classes: {extra}")
+            raise GroupingError(
+                "grouping is not an exact cover of the event classes: "
+                + "; ".join(details)
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        return iter(self.groups)
+
+    def __contains__(self, group: Iterable[str]) -> bool:
+        return frozenset(group) in set(self.groups)
+
+    def group_of(self, event_class: str) -> frozenset[str]:
+        """The group containing ``event_class``."""
+        try:
+            return self._class_to_group[event_class]
+        except KeyError:
+            raise GroupingError(f"unknown event class {event_class!r}") from None
+
+    def label_of(self, group: Iterable[str]) -> str:
+        """The activity label assigned to ``group``."""
+        group = frozenset(group)
+        try:
+            return self.labels[group]
+        except KeyError:
+            raise GroupingError(f"group {sorted(group)} is not part of this grouping") from None
+
+    def label_of_class(self, event_class: str) -> str:
+        """The activity label of the group containing ``event_class``."""
+        return self.labels[self.group_of(event_class)]
+
+    @property
+    def size_reduction(self) -> float:
+        """``|G| / |C_L|`` — the paper's size-reduction ingredient."""
+        if not self.universe:
+            return 1.0
+        return len(self.groups) / len(self.universe)
+
+    def non_trivial_groups(self) -> list[frozenset[str]]:
+        """Groups with more than one event class."""
+        return [group for group in self.groups if len(group) > 1]
+
+    def relabel(self, labels: Mapping[frozenset[str], str]) -> "Grouping":
+        """Return a copy with (some) labels replaced."""
+        merged = dict(self.labels)
+        merged.update({frozenset(k): v for k, v in labels.items()})
+        return Grouping(self.groups, self.universe, merged)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            "{" + ", ".join(sorted(group)) + "}" for group in self.groups
+        )
+        return f"Grouping([{rendered}])"
+
+
+def singleton_grouping(universe: Iterable[str]) -> Grouping:
+    """The trivial grouping mapping every class to its own group."""
+    classes = frozenset(universe)
+    return Grouping([[cls] for cls in classes], classes)

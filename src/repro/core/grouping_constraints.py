@@ -1,0 +1,127 @@
+"""Grouping-level instance constraints (the paper's first future-work item).
+
+The paper's constraints are checked per group; its conclusion proposes
+extending GECCO with *"instance-based constraints over the entire
+grouping (rather than per group)"*.  This module implements that
+extension: a :class:`GroupingConstraintRule` judges a complete
+candidate grouping, with access to every group's instances.
+
+Because such constraints couple the selection variables of the Step-2
+MIP in non-linear ways, they cannot be encoded directly; instead
+:mod:`repro.core.lazy_selection` solves the MIP iteratively, rejecting
+each optimal-but-violating grouping with a no-good cut until the best
+*conforming* grouping is found (a standard lazy-constraint scheme).
+
+Provided rules:
+
+* :class:`MaxMeanAggregateOverGrouping` — the mean of an aggregate over
+  *all* activity instances of the grouping is bounded (e.g. "the
+  average activity instance across the abstracted log costs <= 300$");
+* :class:`MaxViolatingGroups` — at most ``k`` selected groups may
+  contain any instance violating an inner per-instance constraint
+  (budgeted violation, impossible to express per group);
+* :class:`MaxGroupSizeSpread` — the difference between the largest and
+  smallest selected group is bounded (balanced abstraction).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+
+from repro.constraints.aggregates import aggregate
+from repro.constraints.base import InstanceConstraint
+from repro.eventlog.events import Event
+from repro.exceptions import ConstraintError
+
+#: ``group -> list of instances (event lists)`` for a full grouping.
+GroupingInstances = Mapping[frozenset, Sequence[Sequence[Event]]]
+
+
+class GroupingConstraintRule(ABC):
+    """A constraint evaluated on a complete grouping."""
+
+    @abstractmethod
+    def check(self, grouping_instances: GroupingInstances) -> bool:
+        """Return ``True`` iff the grouping satisfies this rule."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A one-line, user-facing description."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+class MaxMeanAggregateOverGrouping(GroupingConstraintRule):
+    """Mean of ``how(key)`` over all instances of all groups is <= threshold."""
+
+    def __init__(self, key: str, how: str, threshold: float):
+        self.key = key
+        self.how = how
+        self.threshold = float(threshold)
+
+    def check(self, grouping_instances: GroupingInstances) -> bool:
+        values = []
+        for instances in grouping_instances.values():
+            for instance in instances:
+                value = aggregate(instance, self.key, self.how)
+                if value is not None:
+                    values.append(value)
+        if not values:
+            return True  # vacuous: nothing carries the attribute
+        return sum(values) / len(values) <= self.threshold
+
+    def describe(self) -> str:
+        return f"mean over all instances of {self.how}(g.{self.key}) <= {self.threshold:g}"
+
+
+class MaxViolatingGroups(GroupingConstraintRule):
+    """At most ``budget`` groups contain an instance violating ``inner``.
+
+    A per-group version would forbid every violation; budgeting the
+    violations across the grouping is only expressible at this level.
+    """
+
+    def __init__(self, inner: InstanceConstraint, budget: int):
+        if not isinstance(inner, InstanceConstraint):
+            raise ConstraintError("inner must be an InstanceConstraint")
+        if budget < 0:
+            raise ConstraintError(f"budget must be >= 0, got {budget}")
+        self.inner = inner
+        self.budget = budget
+
+    def check(self, grouping_instances: GroupingInstances) -> bool:
+        violating = 0
+        for group, instances in grouping_instances.items():
+            if any(
+                not self.inner.check_instance(instance, group)
+                for instance in instances
+            ):
+                violating += 1
+                if violating > self.budget:
+                    return False
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"at most {self.budget} groups violate: {self.inner.describe()}"
+        )
+
+
+class MaxGroupSizeSpread(GroupingConstraintRule):
+    """``max |g| - min |g| <= spread`` over the selected groups."""
+
+    def __init__(self, spread: int):
+        if spread < 0:
+            raise ConstraintError(f"spread must be >= 0, got {spread}")
+        self.spread = spread
+
+    def check(self, grouping_instances: GroupingInstances) -> bool:
+        sizes = [len(group) for group in grouping_instances]
+        if not sizes:
+            return True
+        return max(sizes) - min(sizes) <= self.spread
+
+    def describe(self) -> str:
+        return f"max |g| - min |g| <= {self.spread}"

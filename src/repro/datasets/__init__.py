@@ -1,0 +1,56 @@
+"""Datasets: running example, synthetic collection, and case-study log."""
+
+from repro.datasets.attributes import ORIGIN_KEY, AttributeSpec, enrich_log
+from repro.datasets.collection import (
+    TABLE_III_SPECS,
+    LogSpec,
+    build_collection,
+    build_log,
+)
+from repro.datasets.loan_process import loan_application_log
+from repro.datasets.playout import playout, simulate_variants
+from repro.datasets.process_tree import (
+    Operator,
+    ProcessTree,
+    TreeSpec,
+    leaf,
+    loop,
+    par,
+    random_tree,
+    seq,
+    xor,
+)
+from repro.datasets.running_example import (
+    PAPER_OPTIMAL_DISTANCE,
+    PAPER_OPTIMAL_GROUPS,
+    ROLES,
+    interleaving_trace,
+    running_example_log,
+)
+
+__all__ = [
+    "ORIGIN_KEY",
+    "AttributeSpec",
+    "enrich_log",
+    "TABLE_III_SPECS",
+    "LogSpec",
+    "build_collection",
+    "build_log",
+    "loan_application_log",
+    "playout",
+    "simulate_variants",
+    "Operator",
+    "ProcessTree",
+    "TreeSpec",
+    "leaf",
+    "loop",
+    "par",
+    "random_tree",
+    "seq",
+    "xor",
+    "PAPER_OPTIMAL_DISTANCE",
+    "PAPER_OPTIMAL_GROUPS",
+    "ROLES",
+    "interleaving_trace",
+    "running_example_log",
+]

@@ -1,0 +1,114 @@
+"""Attribute enrichment of played-out logs.
+
+The constraint sets of the evaluation (Table IV) need categorical and
+numerical event attributes: an executing role (``org:role``), an origin
+system (``origin``), a per-event ``duration`` and a ``cost``, plus
+timestamps.  This module attaches them deterministically:
+
+* roles and origins are *class-level* attributes — every class is
+  assigned one role/origin (classes are partitioned round-robin after a
+  seeded shuffle), mirroring real logs where a process step belongs to
+  one role/system;
+* durations are drawn per event from a class-specific log-normal
+  distribution (heavy-tailed, like real service times);
+* costs are drawn per event from a class-specific uniform band;
+* timestamps accumulate the durations along each trace from a fixed
+  epoch, so duration- and gap-constraints see realistic values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+
+from repro.eventlog.events import ROLE_KEY, TIMESTAMP_KEY, EventLog
+
+#: Attribute key of the origin system (the case study's ``g.origin``).
+ORIGIN_KEY = "origin"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Parameters of the attribute enrichment.
+
+    ``duration_scale`` is the median event duration in seconds;
+    ``duration_sigma`` the log-normal shape (tail heaviness).
+    """
+
+    num_roles: int = 3
+    num_origins: int = 3
+    duration_scale: float = 600.0
+    duration_sigma: float = 1.0
+    waiting_class_fraction: float = 0.05
+    waiting_scale_factor: float = 1200.0
+    cost_range: tuple[float, float] = (10.0, 200.0)
+    start: datetime = datetime(2021, 1, 4, 8, 0, tzinfo=timezone.utc)
+    case_interarrival_seconds: float = 3600.0
+
+
+def assign_class_attribute(
+    classes: list[str], values: list[str], seed: int
+) -> dict[str, str]:
+    """Partition ``classes`` over ``values`` (seeded shuffle, round-robin)."""
+    ordered = sorted(classes)
+    rng = random.Random(seed)
+    rng.shuffle(ordered)
+    return {
+        cls: values[index % len(values)] for index, cls in enumerate(ordered)
+    }
+
+
+def enrich_log(
+    log: EventLog, spec: AttributeSpec | None = None, seed: int = 0
+) -> EventLog:
+    """Return a copy of ``log`` with roles, origins, durations, costs, timestamps."""
+    spec = spec or AttributeSpec()
+    rng = random.Random(seed + 1)
+    classes = sorted(log.classes)
+
+    roles = assign_class_attribute(
+        classes, [f"role_{i}" for i in range(spec.num_roles)], seed + 2
+    )
+    origins = assign_class_attribute(
+        classes, [f"sys_{i}" for i in range(spec.num_origins)], seed + 3
+    )
+    # Class-specific duration medians: spread around the global scale.
+    # A fraction of classes are heavy-tailed "waiting" steps (queueing
+    # for review, customer response times), whose day-scale durations
+    # mirror the public BPI logs — these are what make the paper's
+    # avg-duration constraint (set N, avg <= 5*10^5 s) actually bind.
+    class_scale = {}
+    for cls in classes:
+        scale = spec.duration_scale * math.exp(rng.uniform(-1.0, 1.0))
+        if rng.random() < spec.waiting_class_fraction:
+            scale *= spec.waiting_scale_factor
+        class_scale[cls] = scale
+    class_cost_band = {
+        cls: (
+            rng.uniform(*spec.cost_range),
+            rng.uniform(*spec.cost_range),
+        )
+        for cls in classes
+    }
+
+    enriched = log.copy()
+    for case_index, trace in enumerate(enriched):
+        clock = spec.start + timedelta(
+            seconds=case_index * spec.case_interarrival_seconds
+        )
+        for event in trace:
+            cls = event.event_class
+            duration = rng.lognormvariate(
+                math.log(class_scale[cls]), spec.duration_sigma
+            )
+            low, high = class_cost_band[cls]
+            cost = rng.uniform(min(low, high), max(low, high))
+            clock = clock + timedelta(seconds=duration)
+            event.attributes[ROLE_KEY] = roles[cls]
+            event.attributes[ORIGIN_KEY] = origins[cls]
+            event.attributes["duration"] = round(duration, 1)
+            event.attributes["cost"] = round(cost, 2)
+            event.attributes[TIMESTAMP_KEY] = clock
+    return enriched

@@ -1,0 +1,122 @@
+"""Noise injection for robustness experiments.
+
+Real logs are noisy: events get logged out of order, duplicated,
+dropped, or attributed to the wrong case.  These seeded operators
+corrupt a clean log in controlled ways so robustness of abstraction
+(and of the drift detector) can be quantified:
+
+* :func:`swap_noise` — swap adjacent events within traces;
+* :func:`drop_noise` — remove events;
+* :func:`duplicate_noise` — duplicate events in place;
+* :func:`insert_noise` — insert spurious events of existing classes at
+  random positions;
+* :func:`apply_noise` — a composite with per-operator rates.
+
+All operators preserve determinism per seed and never produce empty
+traces (a corrupted trace keeps at least one event).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.eventlog.events import EventLog, Trace
+from repro.exceptions import EventLogError
+
+
+def _validated_rate(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise EventLogError(f"noise rate must be in [0, 1], got {rate}")
+    return rate
+
+
+def swap_noise(log: EventLog, rate: float, seed: int = 0) -> EventLog:
+    """Swap each adjacent event pair with probability ``rate``."""
+    _validated_rate(rate)
+    rng = random.Random(seed)
+    traces = []
+    for trace in log:
+        events = [event.copy() for event in trace]
+        position = 0
+        while position < len(events) - 1:
+            if rng.random() < rate:
+                events[position], events[position + 1] = (
+                    events[position + 1],
+                    events[position],
+                )
+                position += 2  # do not re-swap the moved event
+            else:
+                position += 1
+        traces.append(Trace(events, dict(trace.attributes)))
+    return EventLog(traces, dict(log.attributes))
+
+
+def drop_noise(log: EventLog, rate: float, seed: int = 0) -> EventLog:
+    """Drop each event with probability ``rate`` (keeping >= 1 per trace)."""
+    _validated_rate(rate)
+    rng = random.Random(seed)
+    traces = []
+    for trace in log:
+        events = [event.copy() for event in trace if rng.random() >= rate]
+        if not events and len(trace):
+            events = [trace[0].copy()]
+        traces.append(Trace(events, dict(trace.attributes)))
+    return EventLog(traces, dict(log.attributes))
+
+
+def duplicate_noise(log: EventLog, rate: float, seed: int = 0) -> EventLog:
+    """Duplicate each event in place with probability ``rate``."""
+    _validated_rate(rate)
+    rng = random.Random(seed)
+    traces = []
+    for trace in log:
+        events = []
+        for event in trace:
+            events.append(event.copy())
+            if rng.random() < rate:
+                events.append(event.copy())
+        traces.append(Trace(events, dict(trace.attributes)))
+    return EventLog(traces, dict(log.attributes))
+
+
+def insert_noise(log: EventLog, rate: float, seed: int = 0) -> EventLog:
+    """Insert a random existing-class event per position with probability ``rate``."""
+    _validated_rate(rate)
+    rng = random.Random(seed)
+    classes = sorted(log.classes)
+    if not classes:
+        return log.copy()
+    # Sample prototype events per class so inserted events carry
+    # realistic attributes.
+    prototypes = {}
+    for trace in log:
+        for event in trace:
+            prototypes.setdefault(event.event_class, event)
+    traces = []
+    for trace in log:
+        events = []
+        for event in trace:
+            if rng.random() < rate:
+                events.append(prototypes[rng.choice(classes)].copy())
+            events.append(event.copy())
+        traces.append(Trace(events, dict(trace.attributes)))
+    return EventLog(traces, dict(log.attributes))
+
+
+def apply_noise(
+    log: EventLog,
+    swap: float = 0.0,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    insert: float = 0.0,
+    seed: int = 0,
+) -> EventLog:
+    """Apply all four operators in a fixed order (swap, drop, dup, insert)."""
+    noisy = swap_noise(log, swap, seed=seed) if swap else log.copy()
+    if drop:
+        noisy = drop_noise(noisy, drop, seed=seed + 1)
+    if duplicate:
+        noisy = duplicate_noise(noisy, duplicate, seed=seed + 2)
+    if insert:
+        noisy = insert_noise(noisy, insert, seed=seed + 3)
+    return noisy

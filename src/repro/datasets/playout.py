@@ -1,0 +1,85 @@
+"""Stochastic play-out of process trees into event logs.
+
+Given a process tree, play-out simulates cases: XOR nodes draw a child
+according to their weights, AND nodes interleave their children's
+sub-traces by a random merge, and LOOP nodes redo their body with the
+node's repeat probability (geometrically distributed, capped).  The
+result is a list of class sequences that
+:mod:`repro.datasets.attributes` turns into fully attributed traces.
+
+Play-out is seeded and therefore deterministic per (tree, seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.process_tree import Operator, ProcessTree
+from repro.eventlog.events import CLASS_KEY, Event, EventLog, Trace
+from repro.exceptions import EventLogError
+
+#: Hard cap on loop unrollings per node per case.
+MAX_LOOP_REPEATS = 5
+
+
+def _interleave(rng: random.Random, parts: list[list[str]]) -> list[str]:
+    """Random order-preserving merge of several sequences."""
+    pools = [list(part) for part in parts if part]
+    merged: list[str] = []
+    while pools:
+        weights = [len(pool) for pool in pools]
+        chosen = rng.choices(range(len(pools)), weights=weights, k=1)[0]
+        merged.append(pools[chosen].pop(0))
+        if not pools[chosen]:
+            pools.pop(chosen)
+    return merged
+
+
+def simulate_case(tree: ProcessTree, rng: random.Random) -> list[str]:
+    """Simulate one case: the class sequence of a single trace."""
+    if tree.is_leaf:
+        return [tree.label]
+    if tree.operator is Operator.SEQ:
+        sequence: list[str] = []
+        for child in tree.children:
+            sequence.extend(simulate_case(child, rng))
+        return sequence
+    if tree.operator is Operator.XOR:
+        weights = tree.weights or [1.0] * len(tree.children)
+        child = rng.choices(tree.children, weights=weights, k=1)[0]
+        return simulate_case(child, rng)
+    if tree.operator is Operator.AND:
+        parts = [simulate_case(child, rng) for child in tree.children]
+        return _interleave(rng, parts)
+    if tree.operator is Operator.LOOP:
+        do, redo = tree.children
+        sequence = simulate_case(do, rng)
+        repeats = 0
+        while repeats < MAX_LOOP_REPEATS and rng.random() < tree.repeat_probability:
+            sequence.extend(simulate_case(redo, rng))
+            sequence.extend(simulate_case(do, rng))
+            repeats += 1
+        return sequence
+    raise EventLogError(f"unknown operator {tree.operator!r}")  # pragma: no cover
+
+
+def simulate_variants(
+    tree: ProcessTree, num_traces: int, seed: int = 0
+) -> list[list[str]]:
+    """Simulate ``num_traces`` cases (class sequences only)."""
+    rng = random.Random(seed)
+    return [simulate_case(tree, rng) for _ in range(num_traces)]
+
+
+def playout(
+    tree: ProcessTree,
+    num_traces: int,
+    seed: int = 0,
+    case_prefix: str = "case",
+) -> EventLog:
+    """Play ``tree`` out into a bare event log (no attributes yet)."""
+    traces = []
+    for case_index, variant in enumerate(simulate_variants(tree, num_traces, seed)):
+        events = [Event(cls) for cls in variant]
+        traces.append(Trace(events, {CLASS_KEY: f"{case_prefix}_{case_index}"}))
+    return EventLog(traces)

@@ -1,0 +1,184 @@
+"""Process trees: the control-flow skeletons of the synthetic logs.
+
+The paper evaluates on 13 public BPI/4TU logs; this offline
+reproduction replaces them with logs *played out* from randomly
+generated process trees whose statistics are tuned to Table III.
+Process trees are the standard block-structured formalism: leaves are
+activities, inner nodes are operators —
+
+* ``SEQ``  — children in order,
+* ``XOR``  — exactly one child (weighted choice),
+* ``AND``  — children interleaved,
+* ``LOOP`` — first child, then with probability ``repeat_probability``
+  the second child followed by the first again.
+
+Random generation is fully seeded and parameterized by a target
+activity count and operator mix, so every log in the collection is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import EventLogError
+
+
+class Operator(enum.Enum):
+    """Inner-node operators of a process tree."""
+
+    SEQ = "seq"
+    XOR = "xor"
+    AND = "and"
+    LOOP = "loop"
+
+
+@dataclass
+class ProcessTree:
+    """A process-tree node.
+
+    Leaves have a ``label`` and no children; inner nodes have an
+    ``operator`` and at least one child.  ``weights`` parameterize XOR
+    choices; ``repeat_probability`` parameterizes LOOP redo chances.
+    """
+
+    label: str | None = None
+    operator: Operator | None = None
+    children: list["ProcessTree"] = field(default_factory=list)
+    weights: list[float] | None = None
+    repeat_probability: float = 0.3
+
+    def __post_init__(self):
+        if self.label is None and self.operator is None:
+            raise EventLogError("process-tree node needs a label or an operator")
+        if self.label is not None and self.operator is not None:
+            raise EventLogError("process-tree node cannot be both leaf and operator")
+        if self.operator is Operator.LOOP and len(self.children) != 2:
+            raise EventLogError("LOOP nodes need exactly two children (do, redo)")
+        if self.operator is not None and not self.children:
+            raise EventLogError(f"{self.operator.value} node needs children")
+        if self.weights is not None and len(self.weights) != len(self.children):
+            raise EventLogError("weights must parallel children")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label is not None
+
+    def leaves(self) -> list[str]:
+        """All activity labels in the subtree, in document order."""
+        if self.is_leaf:
+            return [self.label]
+        labels: list[str] = []
+        for child in self.children:
+            labels.extend(child.leaves())
+        return labels
+
+    def depth(self) -> int:
+        """Height of the subtree (leaves have depth 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return self.label
+        inner = ", ".join(repr(child) for child in self.children)
+        return f"{self.operator.value}({inner})"
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def leaf(label: str) -> ProcessTree:
+    """An activity leaf."""
+    return ProcessTree(label=label)
+
+
+def seq(*children: ProcessTree) -> ProcessTree:
+    """A sequence node."""
+    return ProcessTree(operator=Operator.SEQ, children=list(children))
+
+
+def xor(*children: ProcessTree, weights: list[float] | None = None) -> ProcessTree:
+    """An exclusive-choice node."""
+    return ProcessTree(operator=Operator.XOR, children=list(children), weights=weights)
+
+
+def par(*children: ProcessTree) -> ProcessTree:
+    """A parallel node."""
+    return ProcessTree(operator=Operator.AND, children=list(children))
+
+
+def loop(do: ProcessTree, redo: ProcessTree, repeat_probability: float = 0.3) -> ProcessTree:
+    """A loop node (``do``, optionally ``redo`` + ``do`` again)."""
+    return ProcessTree(
+        operator=Operator.LOOP,
+        children=[do, redo],
+        repeat_probability=repeat_probability,
+    )
+
+
+# -- random generation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Parameters of random tree generation.
+
+    ``operator_mix`` gives the relative odds of SEQ/XOR/AND/LOOP when
+    an inner node is created; ``max_branch`` bounds the fan-out.
+    """
+
+    num_activities: int
+    operator_mix: tuple[float, float, float, float] = (0.45, 0.30, 0.15, 0.10)
+    max_branch: int = 4
+    label_prefix: str = "act"
+
+
+def random_tree(spec: TreeSpec, seed: int = 0) -> ProcessTree:
+    """Generate a random process tree with exactly ``spec.num_activities`` leaves."""
+    if spec.num_activities < 1:
+        raise EventLogError("need at least one activity")
+    rng = random.Random(seed)
+    labels = [f"{spec.label_prefix}_{index:02d}" for index in range(spec.num_activities)]
+
+    def build(slots: list[str], depth: int = 1) -> ProcessTree:
+        if len(slots) == 1:
+            return leaf(slots[0])
+        operators = [Operator.SEQ, Operator.XOR, Operator.AND, Operator.LOOP]
+        # Real processes are sequences of phases: pin the root to SEQ so
+        # traces exercise several parts of the model (a XOR root would
+        # yield one-branch traces and degenerate average lengths).
+        if depth == 0:
+            operator = Operator.SEQ
+        else:
+            operator = rng.choices(operators, weights=spec.operator_mix, k=1)[0]
+        if operator is Operator.LOOP:
+            if len(slots) < 2:
+                operator = Operator.SEQ
+            else:
+                split = rng.randint(1, len(slots) - 1)
+                return loop(
+                    build(slots[:split], depth + 1),
+                    build(slots[split:], depth + 1),
+                    repeat_probability=rng.uniform(0.1, 0.4),
+                )
+        branch = min(len(slots), rng.randint(2, spec.max_branch))
+        # Partition the slots into `branch` contiguous chunks.
+        cut_points = sorted(rng.sample(range(1, len(slots)), branch - 1))
+        chunks = []
+        previous = 0
+        for cut in cut_points + [len(slots)]:
+            chunks.append(slots[previous:cut])
+            previous = cut
+        children = [build(chunk, depth + 1) for chunk in chunks]
+        if operator is Operator.XOR:
+            weights = [rng.uniform(0.5, 2.0) for _ in children]
+            return xor(*children, weights=weights)
+        if operator is Operator.AND:
+            return par(*children)
+        return seq(*children)
+
+    return build(labels, depth=0)

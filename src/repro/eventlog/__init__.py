@@ -1,0 +1,35 @@
+"""Event-log substrate: event model, DFGs, XES/CSV I/O, statistics.
+
+This subpackage replaces the PM4Py dependency of the paper's original
+implementation with a self-contained event-log stack.
+"""
+
+from repro.eventlog.events import (
+    CLASS_KEY,
+    ROLE_KEY,
+    TIMESTAMP_KEY,
+    Event,
+    EventLog,
+    Trace,
+    log_from_variants,
+)
+from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
+from repro.eventlog.statistics import LogStatistics, describe
+from repro.eventlog.variants import variant_count, variant_counts, top_variants
+
+__all__ = [
+    "CLASS_KEY",
+    "ROLE_KEY",
+    "TIMESTAMP_KEY",
+    "Event",
+    "EventLog",
+    "Trace",
+    "log_from_variants",
+    "DirectlyFollowsGraph",
+    "compute_dfg",
+    "LogStatistics",
+    "describe",
+    "variant_count",
+    "variant_counts",
+    "top_variants",
+]

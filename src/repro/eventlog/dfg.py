@@ -1,0 +1,170 @@
+"""Directly-follows graphs (DFGs) over event logs.
+
+A DFG has the event classes of a log as vertices and an edge ``a -> b``
+whenever some trace contains an event of class ``a`` immediately
+followed by one of class ``b`` (paper §III-A).  Edges carry their
+directly-follows frequency, which the mining substrate and the spectral
+partitioning baseline both need.
+
+Beyond plain construction, this module provides the group-level
+neighborhood operations used by Algorithm 3 (exclusive-candidate
+merging): pre/post sets of groups, the ``equal_pre_post`` equivalence
+that identifies *behavioral alternatives* (Fig. 6), and the
+``exclusive`` edge check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.eventlog.events import EventLog
+
+
+@dataclass
+class DirectlyFollowsGraph:
+    """A weighted directly-follows graph.
+
+    Attributes
+    ----------
+    nodes:
+        Event classes of the underlying log (including classes that
+        never participate in any directly-follows pair, e.g. in
+        single-event traces).
+    edge_counts:
+        Mapping ``(a, b) -> frequency`` of the directly-follows relation.
+    start_counts / end_counts:
+        How often each class starts / ends a trace (needed by process
+        discovery).
+    """
+
+    nodes: frozenset[str]
+    edge_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    start_counts: dict[str, int] = field(default_factory=dict)
+    end_counts: dict[str, int] = field(default_factory=dict)
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def edges(self) -> set[tuple[str, str]]:
+        """The set of directly-follows edges."""
+        return set(self.edge_counts)
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Return ``True`` iff ``source`` is ever directly followed by ``target``."""
+        return (source, target) in self.edge_counts
+
+    def frequency(self, source: str, target: str) -> int:
+        """Directly-follows frequency of ``(source, target)`` (0 if absent)."""
+        return self.edge_counts.get((source, target), 0)
+
+    def successors(self, node: str) -> frozenset[str]:
+        """Classes that ever directly follow ``node``."""
+        return frozenset(b for (a, b) in self.edge_counts if a == node)
+
+    def predecessors(self, node: str) -> frozenset[str]:
+        """Classes that ``node`` ever directly follows."""
+        return frozenset(a for (a, b) in self.edge_counts if b == node)
+
+    # -- group-level neighborhoods (Algorithm 3) ------------------------
+
+    def pre(self, group: Iterable[str]) -> frozenset[str]:
+        """Preset of a group: external predecessors of its members."""
+        members = frozenset(group)
+        preset: set[str] = set()
+        for node in members:
+            preset.update(self.predecessors(node))
+        return frozenset(preset - members)
+
+    def post(self, group: Iterable[str]) -> frozenset[str]:
+        """Postset of a group: external successors of its members."""
+        members = frozenset(group)
+        postset: set[str] = set()
+        for node in members:
+            postset.update(self.successors(node))
+        return frozenset(postset - members)
+
+    def exclusive(self, group_a: Iterable[str], group_b: Iterable[str]) -> bool:
+        """Return ``True`` iff no DFG edge connects ``group_a`` and ``group_b``.
+
+        This is the paper's efficient exclusiveness check of Alg. 3
+        line 11: two groups are treated as exclusive when the DFG has
+        no edge from one to the other in either direction.
+        """
+        members_a = frozenset(group_a)
+        members_b = frozenset(group_b)
+        if members_a & members_b:
+            return False
+        for a in members_a:
+            for b in members_b:
+                if (a, b) in self.edge_counts or (b, a) in self.edge_counts:
+                    return False
+        return True
+
+    def equal_pre_post(
+        self, group: Iterable[str], candidates: Iterable[frozenset[str]]
+    ) -> list[frozenset[str]]:
+        """Groups among ``candidates`` sharing ``group``'s pre- and postsets.
+
+        Two groups with identical presets and postsets are *behavioral
+        alternatives* (Fig. 6): merging them loses no behavioral
+        information.  The comparison excludes the groups' own members,
+        so e.g. ``{ckc}`` and ``{ckt}`` match when both are preceded by
+        ``{rcp}`` and followed by ``{acc, rej}``.
+        """
+        group = frozenset(group)
+        reference = (self.pre(group), self.post(group))
+        matches = []
+        for other in candidates:
+            other = frozenset(other)
+            if other == group:
+                continue
+            if (self.pre(other), self.post(other)) == reference:
+                matches.append(other)
+        return matches
+
+    # -- filtered views --------------------------------------------------
+
+    def filtered(self, keep_fraction: float) -> "DirectlyFollowsGraph":
+        """Return a copy keeping only the ``keep_fraction`` most frequent edges.
+
+        An 80/20 DFG (Fig. 1 / Fig. 8) is ``filtered(0.8)``.  Ties are
+        broken deterministically by edge name.
+        """
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+        ranked = sorted(
+            self.edge_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        kept = ranked[: max(1, round(len(ranked) * keep_fraction))] if ranked else []
+        return DirectlyFollowsGraph(
+            nodes=self.nodes,
+            edge_counts=dict(kept),
+            start_counts=dict(self.start_counts),
+            end_counts=dict(self.end_counts),
+        )
+
+    def __repr__(self) -> str:
+        return f"DirectlyFollowsGraph({len(self.nodes)} nodes, {len(self.edge_counts)} edges)"
+
+
+def compute_dfg(log: EventLog) -> DirectlyFollowsGraph:
+    """Compute the directly-follows graph of ``log`` (paper §III-A)."""
+    edge_counts: dict[tuple[str, str], int] = {}
+    start_counts: dict[str, int] = {}
+    end_counts: dict[str, int] = {}
+    for trace in log:
+        classes = trace.classes
+        if not classes:
+            continue
+        start_counts[classes[0]] = start_counts.get(classes[0], 0) + 1
+        end_counts[classes[-1]] = end_counts.get(classes[-1], 0) + 1
+        for current_cls, next_cls in zip(classes, classes[1:]):
+            edge = (current_cls, next_cls)
+            edge_counts[edge] = edge_counts.get(edge, 0) + 1
+    return DirectlyFollowsGraph(
+        nodes=log.classes,
+        edge_counts=edge_counts,
+        start_counts=start_counts,
+        end_counts=end_counts,
+    )

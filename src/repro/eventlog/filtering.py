@@ -1,0 +1,93 @@
+"""Filtering and sampling utilities over event logs.
+
+These are the standard preprocessing helpers an abstraction pipeline
+needs: keeping/dropping event classes, trace sampling for scaled-down
+experiments, and frequency-based variant filtering.
+All functions return new logs; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+
+from repro.eventlog.events import Event, EventLog, Trace
+from repro.eventlog.variants import variant_counts
+
+
+def filter_classes(
+    log: EventLog, classes: Iterable[str], keep: bool = True
+) -> EventLog:
+    """Project every trace onto (or away from) the given event classes.
+
+    Parameters
+    ----------
+    keep:
+        When ``True``, retain only events of the given classes; when
+        ``False``, drop them instead.  Traces that become empty are
+        removed.
+    """
+    wanted = frozenset(classes)
+    traces = []
+    for trace in log:
+        if keep:
+            events = [event for event in trace if event.event_class in wanted]
+        else:
+            events = [event for event in trace if event.event_class not in wanted]
+        if events:
+            traces.append(Trace(events, dict(trace.attributes)))
+    return EventLog(traces, dict(log.attributes))
+
+
+def filter_traces(log: EventLog, predicate: Callable[[Trace], bool]) -> EventLog:
+    """Keep only traces for which ``predicate`` returns ``True``."""
+    return EventLog(
+        [trace for trace in log if predicate(trace)], dict(log.attributes)
+    )
+
+
+def filter_events(log: EventLog, predicate: Callable[[Event], bool]) -> EventLog:
+    """Keep only events for which ``predicate`` returns ``True``.
+
+    Traces that become empty are dropped.
+    """
+    traces = []
+    for trace in log:
+        events = [event for event in trace if predicate(event)]
+        if events:
+            traces.append(Trace(events, dict(trace.attributes)))
+    return EventLog(traces, dict(log.attributes))
+
+
+def sample_traces(log: EventLog, size: int, seed: int = 0) -> EventLog:
+    """Uniformly sample ``size`` traces without replacement (seeded).
+
+    If the log has at most ``size`` traces, it is returned as a copy.
+    """
+    if size < 0:
+        raise ValueError(f"sample size must be non-negative, got {size}")
+    if len(log) <= size:
+        return EventLog(list(log.traces), dict(log.attributes))
+    rng = random.Random(seed)
+    indices = sorted(rng.sample(range(len(log)), size))
+    return EventLog([log[i] for i in indices], dict(log.attributes))
+
+
+def keep_top_variants(log: EventLog, count: int) -> EventLog:
+    """Keep only the traces of the ``count`` most frequent variants."""
+    if count <= 0:
+        return EventLog([], dict(log.attributes))
+    ranked = sorted(
+        variant_counts(log).items(), key=lambda item: (-item[1], item[0])
+    )
+    kept = {variant for variant, _ in ranked[:count]}
+    return filter_traces(log, lambda trace: trace.variant() in kept)
+
+
+def truncate_traces(log: EventLog, max_length: int) -> EventLog:
+    """Truncate every trace to at most ``max_length`` events."""
+    if max_length <= 0:
+        raise ValueError(f"max_length must be positive, got {max_length}")
+    return EventLog(
+        [trace[:max_length] for trace in log], dict(log.attributes)
+    )

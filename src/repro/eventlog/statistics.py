@@ -1,0 +1,59 @@
+"""Log-level descriptive statistics (the columns of the paper's Table III).
+
+For each log the paper reports: the number of event classes ``|C_L|``,
+the number of traces, the number of control-flow variants, the number of
+events per variant-compressed log ``|E|`` (events of the *unique*
+variants), and the average trace length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eventlog.events import EventLog
+from repro.eventlog.variants import variant_counts
+
+
+@dataclass(frozen=True)
+class LogStatistics:
+    """Descriptive statistics of an event log (one Table III row)."""
+
+    num_classes: int
+    num_traces: int
+    num_variants: int
+    num_variant_events: int
+    avg_trace_length: float
+    num_events: int
+
+    def as_row(self) -> dict[str, float]:
+        """The statistics as a Table III row dictionary."""
+        return {
+            "|CL|": self.num_classes,
+            "Traces": self.num_traces,
+            "Variants": self.num_variants,
+            "|E|": self.num_variant_events,
+            "Avg |sigma|": round(self.avg_trace_length, 2),
+        }
+
+
+def describe(log: EventLog) -> LogStatistics:
+    """Compute the Table III statistics for ``log``.
+
+    ``|E|`` follows the paper's convention of counting the events of the
+    variant-compressed log (the sum of variant lengths): e.g. the credit
+    log [20] with 10,035 traces of length 15 but a single variant is
+    reported with ``|E| = 14`` edges-worth of distinct behavior — the
+    paper's ``|E|`` column is in the hundreds even for logs with millions
+    of events, which only matches the variant-compressed reading.
+    """
+    counts = variant_counts(log)
+    num_traces = len(log)
+    total_events = log.event_count
+    return LogStatistics(
+        num_classes=len(log.classes),
+        num_traces=num_traces,
+        num_variants=len(counts),
+        num_variant_events=sum(len(variant) for variant in counts),
+        avg_trace_length=(total_events / num_traces) if num_traces else 0.0,
+        num_events=total_events,
+    )

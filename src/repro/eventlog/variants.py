@@ -1,0 +1,45 @@
+"""Control-flow variants of an event log.
+
+A *variant* is the sequence of event classes of a trace; the number of
+distinct variants is a standard measure of a log's behavioral
+variability (Table III reports it for every log in the paper's
+collection).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.eventlog.events import EventLog, Trace
+
+
+def variant_of(trace: Trace) -> tuple[str, ...]:
+    """The variant (class sequence) of a single trace."""
+    return trace.variant()
+
+
+def variant_counts(log: EventLog) -> dict[tuple[str, ...], int]:
+    """Map each variant to the number of traces exhibiting it."""
+    return dict(Counter(trace.variant() for trace in log))
+
+
+def variant_count(log: EventLog) -> int:
+    """Number of distinct variants in ``log``."""
+    return len({trace.variant() for trace in log})
+
+
+def top_variants(
+    log: EventLog, limit: int | None = None
+) -> list[tuple[tuple[str, ...], int]]:
+    """Variants sorted by descending frequency (ties broken lexically)."""
+    ranked = sorted(
+        variant_counts(log).items(), key=lambda item: (-item[1], item[0])
+    )
+    return ranked if limit is None else ranked[:limit]
+
+
+def traces_of_variant(log: EventLog, variant: Iterable[str]) -> list[int]:
+    """Indices of traces whose class sequence equals ``variant``."""
+    wanted = tuple(variant)
+    return [index for index, trace in enumerate(log) if trace.variant() == wanted]

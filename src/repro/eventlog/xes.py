@@ -1,0 +1,172 @@
+"""XES import and export built on the standard library's ``xml.etree``.
+
+The paper's implementation relies on PM4Py for event-log handling; since
+this reproduction implements its own substrate, this module provides a
+self-contained reader/writer for the XES interchange format (IEEE
+1849-2016) covering the attribute kinds GECCO needs: ``string``,
+``int``, ``float``, ``boolean`` and ``date``.  Nested/list attributes
+are flattened with a ``parent:child`` key convention on import and are
+not re-nested on export, which is lossless for every log this package
+produces.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from datetime import datetime, timezone
+from typing import Any, IO
+
+from repro.eventlog.events import CLASS_KEY, Event, EventLog, Trace
+from repro.exceptions import XESParseError
+
+_XES_TAGS = {"string", "int", "float", "boolean", "date", "id"}
+
+
+def _strip_namespace(tag: str) -> str:
+    """Drop an ``{namespace}`` prefix from an element tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _parse_value(tag: str, raw: str) -> Any:
+    if tag == "string" or tag == "id":
+        return raw
+    if tag == "int":
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise XESParseError(f"invalid int attribute value {raw!r}") from exc
+    if tag == "float":
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise XESParseError(f"invalid float attribute value {raw!r}") from exc
+    if tag == "boolean":
+        return raw.strip().lower() == "true"
+    if tag == "date":
+        text = raw.strip()
+        if text.endswith("Z"):
+            text = text[:-1] + "+00:00"
+        try:
+            stamp = datetime.fromisoformat(text)
+        except ValueError as exc:
+            raise XESParseError(f"invalid date attribute value {raw!r}") from exc
+        if stamp.tzinfo is None:
+            stamp = stamp.replace(tzinfo=timezone.utc)
+        return stamp
+    raise XESParseError(f"unsupported XES attribute tag {tag!r}")
+
+
+def _collect_attributes(element: ET.Element, prefix: str = "") -> dict[str, Any]:
+    """Collect (and flatten) the XES attributes below ``element``."""
+    attributes: dict[str, Any] = {}
+    for child in element:
+        tag = _strip_namespace(child.tag)
+        if tag not in _XES_TAGS:
+            continue
+        key = child.get("key")
+        if key is None:
+            raise XESParseError(f"XES attribute element <{tag}> without key")
+        value = child.get("value")
+        if value is None:
+            raise XESParseError(f"XES attribute {key!r} without value")
+        full_key = f"{prefix}{key}"
+        attributes[full_key] = _parse_value(tag, value)
+        if len(child):  # nested attributes -> flatten
+            attributes.update(_collect_attributes(child, prefix=f"{full_key}:"))
+    return attributes
+
+
+def loads(text: str) -> EventLog:
+    """Parse an XES document from a string into an :class:`EventLog`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XESParseError(f"malformed XML: {exc}") from exc
+    return _log_from_root(root)
+
+
+def load(source: str | os.PathLike | IO) -> EventLog:
+    """Parse an XES document from a path or file object."""
+    try:
+        tree = ET.parse(source)
+    except ET.ParseError as exc:
+        raise XESParseError(f"malformed XML: {exc}") from exc
+    except OSError as exc:
+        raise XESParseError(f"cannot read XES source: {exc}") from exc
+    return _log_from_root(tree.getroot())
+
+
+def _log_from_root(root: ET.Element) -> EventLog:
+    if _strip_namespace(root.tag) != "log":
+        raise XESParseError(f"expected <log> root element, got <{root.tag}>")
+    log_attributes = _collect_attributes(root)
+    traces = []
+    for trace_element in root:
+        if _strip_namespace(trace_element.tag) != "trace":
+            continue
+        trace_attributes = _collect_attributes(trace_element)
+        events = []
+        for event_element in trace_element:
+            if _strip_namespace(event_element.tag) != "event":
+                continue
+            event_attributes = _collect_attributes(event_element)
+            event_class = event_attributes.pop(CLASS_KEY, None)
+            if event_class is None:
+                raise XESParseError("event without concept:name attribute")
+            events.append(Event(str(event_class), event_attributes))
+        traces.append(Trace(events, trace_attributes))
+    return EventLog(traces, log_attributes)
+
+
+def _attribute_element(key: str, value: Any) -> ET.Element:
+    if isinstance(value, bool):
+        tag, text = "boolean", "true" if value else "false"
+    elif isinstance(value, int):
+        tag, text = "int", str(value)
+    elif isinstance(value, float):
+        tag, text = "float", repr(value)
+    elif isinstance(value, datetime):
+        stamp = value if value.tzinfo else value.replace(tzinfo=timezone.utc)
+        tag, text = "date", stamp.isoformat()
+    else:
+        tag, text = "string", str(value)
+    return ET.Element(tag, {"key": key, "value": text})
+
+
+def to_element(log: EventLog) -> ET.Element:
+    """Serialize ``log`` into an XES ``<log>`` element tree."""
+    root = ET.Element("log", {"xes.version": "1.0"})
+    for key, value in sorted(log.attributes.items()):
+        root.append(_attribute_element(key, value))
+    for trace in log:
+        trace_element = ET.SubElement(root, "trace")
+        for key, value in sorted(trace.attributes.items()):
+            trace_element.append(_attribute_element(key, value))
+        for event in trace:
+            event_element = ET.SubElement(trace_element, "event")
+            event_element.append(_attribute_element(CLASS_KEY, event.event_class))
+            for key, value in sorted(event.attributes.items()):
+                event_element.append(_attribute_element(key, value))
+    return root
+
+
+def dumps(log: EventLog) -> str:
+    """Serialize ``log`` to an XES document string."""
+    element = to_element(log)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode", xml_declaration=True)
+
+
+def dump(log: EventLog, target: str | os.PathLike | IO) -> None:
+    """Serialize ``log`` to an XES file (path or binary file object)."""
+    text = dumps(log)
+    if hasattr(target, "write"):
+        data = text
+        try:
+            target.write(data)
+        except TypeError:
+            target.write(data.encode("utf-8"))
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the GECCO reproduction package.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch the package's failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EventLogError(ReproError):
+    """Raised for malformed event logs or invalid log operations."""
+
+
+class XESParseError(EventLogError):
+    """Raised when an XES document cannot be parsed into an event log."""
+
+
+class ConstraintError(ReproError):
+    """Raised for invalid constraint definitions or parameters."""
+
+
+class GroupingError(ReproError):
+    """Raised when a grouping is structurally invalid (not an exact cover)."""
+
+
+class InfeasibleProblemError(ReproError):
+    """Raised when no grouping can satisfy the imposed constraints.
+
+    Carries a :class:`repro.constraints.sets.InfeasibilityReport` in
+    :attr:`report` when diagnostics are available, so users can refine
+    their constraints (cf. paper §V-C).
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class SolverError(ReproError):
+    """Raised when a MIP backend fails for reasons other than infeasibility."""
+
+
+class DiscoveryError(ReproError):
+    """Raised when process discovery cannot produce a model."""

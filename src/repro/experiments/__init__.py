@@ -1,0 +1,44 @@
+"""Experiment harness: constraint sets, runner, tables and figures."""
+
+from repro.experiments.configs import (
+    ALL_SET_NAMES,
+    BASELINE_SET_NAMES,
+    GECCO_SET_NAMES,
+    applicable,
+    constraint_set_for_log,
+)
+from repro.experiments.runner import (
+    APPROACHES,
+    ExperimentReport,
+    ProblemResult,
+    run_experiment,
+    solve_problem,
+)
+from repro.experiments.persistence import export_csv, load_report, save_report
+from repro.experiments.reproduce import ReproductionSummary, reproduce_all
+from repro.experiments.tables import format_table, table3, table5, table6, table7
+from repro.experiments import figures
+
+__all__ = [
+    "ALL_SET_NAMES",
+    "BASELINE_SET_NAMES",
+    "GECCO_SET_NAMES",
+    "applicable",
+    "constraint_set_for_log",
+    "APPROACHES",
+    "ExperimentReport",
+    "ProblemResult",
+    "run_experiment",
+    "solve_problem",
+    "export_csv",
+    "load_report",
+    "save_report",
+    "ReproductionSummary",
+    "reproduce_all",
+    "format_table",
+    "table3",
+    "table5",
+    "table6",
+    "table7",
+    "figures",
+]

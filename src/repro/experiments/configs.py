@@ -1,0 +1,114 @@
+"""The evaluation's constraint sets (paper Table IV).
+
+Every set additionally includes the class-based constraint ``|g| <= 8``
+used in the paper to bound problem size.  The instance-based sets use
+the logs' ``duration`` attribute (seconds) and ``org:role``; BL3 uses
+the class-level ``origin`` attribute.  BL2's cannot-link pair and BL4's
+group count depend on the log and are bound per log by
+:func:`constraint_set_for_log`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.constraints import (
+    CannotLink,
+    ConstraintSet,
+    ExactGroups,
+    MaxDistinctClassAttribute,
+    MaxDistinctInstanceAttribute,
+    MaxGroups,
+    MaxGroupSize,
+    MaxInstanceAggregate,
+    MinInstanceAggregate,
+)
+from repro.eventlog.events import ROLE_KEY, EventLog
+
+#: Names of the GECCO constraint sets evaluated in Table V.
+GECCO_SET_NAMES = ("A", "M", "N", "Gr", "C1", "C2")
+
+#: Names of the baseline constraint sets.
+BASELINE_SET_NAMES = ("BL1", "BL2", "BL3", "BL4")
+
+ALL_SET_NAMES = GECCO_SET_NAMES + BASELINE_SET_NAMES
+
+#: The base constraint included in every set.
+BASE_MAX_GROUP_SIZE = 8
+
+
+def _base() -> list:
+    return [MaxGroupSize(BASE_MAX_GROUP_SIZE)]
+
+
+def _two_frequent_classes(log: EventLog) -> tuple[str, str]:
+    """The two most frequent classes (BL2's cannot-link pair)."""
+    ranked = sorted(log.class_counts.items(), key=lambda item: (-item[1], item[0]))
+    if len(ranked) < 2:
+        raise ValueError("log needs at least two classes for BL2")
+    return ranked[0][0], ranked[1][0]
+
+
+def constraint_set_for_log(name: str, log: EventLog) -> ConstraintSet:
+    """Instantiate Table IV set ``name`` for a concrete log.
+
+    Set definitions (constraint categories as in the paper):
+
+    * ``A``   (R_I): ``|g.role| <= 3`` per instance (anti-monotonic);
+    * ``M``   (R_I): ``sum(g.duration) >= 101`` per instance (monotonic);
+    * ``N``   (R_I): ``avg(g.duration) <= 5 * 10^5`` per instance
+      (non-monotonic);
+    * ``Gr``  (R_G): ``|G| <= 3``;
+    * ``C1``  = A ∧ N ∧ Gr;  ``C2`` = A ∧ M ∧ N ∧ Gr;
+    * ``BL1`` (R_C): ``|g| <= 5``;
+    * ``BL2`` (R_C): BL1 plus a cannot-link between the log's two most
+      frequent classes;
+    * ``BL3`` (R_C): ``|g.D| = 1`` over the class-level ``origin``
+      attribute;
+    * ``BL4`` (R_G): ``|G| = |C_L| / 2``.
+    """
+    constraints: list = _base()
+    if name == "A":
+        constraints.append(MaxDistinctInstanceAttribute(ROLE_KEY, 3))
+    elif name == "M":
+        constraints.append(MinInstanceAggregate("duration", "sum", 101.0))
+    elif name == "N":
+        constraints.append(MaxInstanceAggregate("duration", "avg", 5e5))
+    elif name == "Gr":
+        constraints.append(MaxGroups(3))
+    elif name == "C1":
+        constraints.append(MaxDistinctInstanceAttribute(ROLE_KEY, 3))
+        constraints.append(MaxInstanceAggregate("duration", "avg", 5e5))
+        constraints.append(MaxGroups(3))
+    elif name == "C2":
+        constraints.append(MaxDistinctInstanceAttribute(ROLE_KEY, 3))
+        constraints.append(MinInstanceAggregate("duration", "sum", 101.0))
+        constraints.append(MaxInstanceAggregate("duration", "avg", 5e5))
+        constraints.append(MaxGroups(3))
+    elif name == "BL1":
+        constraints.append(MaxGroupSize(5))
+    elif name == "BL2":
+        constraints.append(MaxGroupSize(5))
+        constraints.append(CannotLink(*_two_frequent_classes(log)))
+    elif name == "BL3":
+        constraints.append(MaxDistinctClassAttribute("origin", 1))
+    elif name == "BL4":
+        constraints.append(ExactGroups(max(1, len(log.classes) // 2)))
+    else:
+        raise ValueError(f"unknown constraint set {name!r}; use one of {ALL_SET_NAMES}")
+    return ConstraintSet(constraints)
+
+
+def applicable(name: str, log: EventLog) -> bool:
+    """Whether a set applies to the log (BL3 needs the origin attribute)."""
+    if name == "BL3":
+        return any(
+            "origin" in event.attributes for trace in log for event in trace
+        )
+    if name == "BL2":
+        return len(log.classes) >= 2
+    return True
+
+
+#: Builder signature for custom sets in the runner.
+ConstraintBuilder = Callable[[EventLog], ConstraintSet]

@@ -1,0 +1,111 @@
+"""Rendering of the paper's figures: DFGs as DOT and ASCII.
+
+Every figure in the paper is (a view of) a directly-follows graph or a
+bipartite candidate/class graph.  These helpers render them as Graphviz
+DOT (for files) and as deterministic ASCII edge lists (for terminal
+output and golden tests):
+
+* Fig. 1 / Fig. 8 — 80/20-filtered DFG of the loan log, before/after
+  abstraction (:func:`dfg_to_dot` with ``keep_fraction=0.8``);
+* Fig. 2 / Fig. 3 — running-example DFG before/after abstraction;
+* Fig. 6 — behavioral alternatives highlighted
+  (:func:`dot_with_alternatives`);
+* Fig. 7 — candidate/class bipartite graph (:func:`bipartite_to_dot`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
+from repro.eventlog.events import EventLog
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def dfg_to_dot(
+    dfg: DirectlyFollowsGraph,
+    keep_fraction: float = 1.0,
+    title: str = "DFG",
+) -> str:
+    """Render a DFG as Graphviz DOT (optionally frequency-filtered)."""
+    graph = dfg if keep_fraction >= 1.0 else dfg.filtered(keep_fraction)
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes):
+        count = dfg.start_counts.get(node, 0) + dfg.end_counts.get(node, 0)
+        shape = "box" if count else "ellipse"
+        lines.append(f"  {_quote(node)} [shape={shape}];")
+    for (a, b), count in sorted(graph.edge_counts.items()):
+        lines.append(f"  {_quote(a)} -> {_quote(b)} [label={count}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfg_to_ascii(dfg: DirectlyFollowsGraph, keep_fraction: float = 1.0) -> str:
+    """Deterministic edge-list rendering of a DFG."""
+    graph = dfg if keep_fraction >= 1.0 else dfg.filtered(keep_fraction)
+    lines = [f"nodes: {', '.join(sorted(graph.nodes))}"]
+    for (a, b), count in sorted(graph.edge_counts.items()):
+        lines.append(f"  {a} -> {b}  [{count}]")
+    return "\n".join(lines)
+
+
+def log_dfg_dot(log: EventLog, keep_fraction: float = 1.0, title: str = "DFG") -> str:
+    """DOT of a log's DFG (the Fig. 1/2/3/8 shape)."""
+    return dfg_to_dot(compute_dfg(log), keep_fraction=keep_fraction, title=title)
+
+
+def dot_with_alternatives(
+    dfg: DirectlyFollowsGraph,
+    alternatives: Iterable[frozenset[str]],
+    exclusives: Iterable[frozenset[str]] = (),
+    title: str = "Fig6",
+) -> str:
+    """Fig. 6: proper behavioral alternatives (blue) vs. exclusives (red)."""
+    blue = {cls for group in alternatives for cls in group}
+    red = {cls for group in exclusives for cls in group}
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    for node in sorted(dfg.nodes):
+        if node in blue:
+            lines.append(f"  {_quote(node)} [color=blue, penwidth=2];")
+        elif node in red:
+            lines.append(f"  {_quote(node)} [color=red, penwidth=2];")
+        else:
+            lines.append(f"  {_quote(node)};")
+    for (a, b), count in sorted(dfg.edge_counts.items()):
+        lines.append(f"  {_quote(a)} -> {_quote(b)} [label={count}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bipartite_to_dot(
+    candidates: Iterable[frozenset[str]],
+    selected: Iterable[frozenset[str]] = (),
+    distances: Mapping[frozenset[str], float] | None = None,
+    title: str = "Fig7",
+) -> str:
+    """Fig. 7: candidate groups vs. event classes, optimum highlighted."""
+    candidates = sorted({frozenset(group) for group in candidates}, key=sorted)
+    chosen = {frozenset(group) for group in selected}
+    classes = sorted({cls for group in candidates for cls in group})
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=TB;"]
+    for cls in classes:
+        lines.append(f"  {_quote('class:' + cls)} [label={_quote(cls)}, shape=circle];")
+    for group in candidates:
+        label = "{" + ", ".join(sorted(group)) + "}"
+        if distances is not None and group in distances:
+            label += f"\\ndist={distances[group]:.2f}"
+        style = ", style=filled, fillcolor=lightgray" if group in chosen else ""
+        lines.append(
+            f"  {_quote('group:' + '|'.join(sorted(group)))} "
+            f"[label={_quote(label)}, shape=box{style}];"
+        )
+    for group in candidates:
+        group_id = "group:" + "|".join(sorted(group))
+        for cls in sorted(group):
+            lines.append(f"  {_quote(group_id)} -> {_quote('class:' + cls)};")
+    lines.append("}")
+    return "\n".join(lines)

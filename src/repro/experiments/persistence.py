@@ -1,0 +1,92 @@
+"""Persistence of experiment reports (JSON and CSV).
+
+Long experiment grids should survive interpreter restarts and be
+consumable by external tooling (spreadsheets, notebooks).  Reports
+round-trip losslessly through JSON; CSV export flattens the same rows
+for spreadsheet use.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import IO
+
+from repro.exceptions import ReproError
+from repro.experiments.runner import ExperimentReport, ProblemResult
+
+_FIELDS = [
+    "log_name",
+    "constraint_set",
+    "approach",
+    "solved",
+    "size_red",
+    "complexity_red",
+    "silhouette",
+    "seconds",
+    "num_groups",
+    "num_candidates",
+    "error",
+]
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """Serialize a report to plain data."""
+    return {
+        "rows": [
+            {field: getattr(row, field) for field in _FIELDS}
+            for row in report.rows
+        ]
+    }
+
+
+def report_from_dict(data: dict) -> ExperimentReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    if "rows" not in data:
+        raise ReproError("experiment report data lacks 'rows'")
+    rows = []
+    for entry in data["rows"]:
+        unknown = set(entry) - set(_FIELDS)
+        if unknown:
+            raise ReproError(f"unknown report fields: {sorted(unknown)}")
+        rows.append(ProblemResult(**entry))
+    return ExperimentReport(rows=rows)
+
+
+def save_report(report: ExperimentReport, target: str | os.PathLike | IO) -> None:
+    """Write a report as JSON."""
+    data = report_to_dict(report)
+    if hasattr(target, "write"):
+        json.dump(data, target, indent=2)
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+
+
+def load_report(source: str | os.PathLike | IO) -> ExperimentReport:
+    """Read a report written by :func:`save_report`."""
+    if hasattr(source, "read"):
+        data = json.load(source)
+    else:
+        with open(source, encoding="utf-8") as handle:
+            data = json.load(handle)
+    return report_from_dict(data)
+
+
+def export_csv(report: ExperimentReport, target: str | os.PathLike | IO) -> None:
+    """Write the report rows as CSV (one row per abstraction problem)."""
+    if hasattr(target, "write"):
+        handle = target
+        close = False
+    else:
+        handle = open(target, "w", newline="", encoding="utf-8")
+        close = True
+    try:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for row in report.rows:
+            writer.writerow({field: getattr(row, field) for field in _FIELDS})
+    finally:
+        if close:
+            handle.close()

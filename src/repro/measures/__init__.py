@@ -1,0 +1,24 @@
+"""Evaluation measures: size/complexity reduction and silhouette."""
+
+from repro.measures.positional import (
+    class_position_profiles,
+    positional_distance_matrix,
+)
+from repro.measures.reduction import (
+    complexity_reduction,
+    size_reduction,
+    size_reduction_of,
+    variant_reduction,
+)
+from repro.measures.silhouette import silhouette_coefficient, silhouette_from_matrix
+
+__all__ = [
+    "class_position_profiles",
+    "positional_distance_matrix",
+    "complexity_reduction",
+    "size_reduction",
+    "size_reduction_of",
+    "variant_reduction",
+    "silhouette_coefficient",
+    "silhouette_from_matrix",
+]

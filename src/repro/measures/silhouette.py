@@ -1,0 +1,68 @@
+"""Silhouette coefficient of a grouping (cluster-quality measure).
+
+For each event class ``i`` in group ``A``:
+
+* ``a(i)`` — mean distance to the other members of ``A``;
+* ``b(i)`` — the smallest, over other groups ``B``, mean distance to
+  the members of ``B``;
+* ``s(i) = (b(i) - a(i)) / max(a(i), b(i))``.
+
+Classes in singleton groups contribute ``s(i) = 0`` (the standard
+convention).  The grouping's coefficient is the mean over all classes;
+values near 1 indicate cohesive, well-separated groups, values below 0
+indicate classes closer to another group than to their own (the paper's
+BL_Q baseline lands there).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.eventlog.events import EventLog
+from repro.exceptions import GroupingError
+from repro.measures.positional import positional_distance_matrix
+
+
+def silhouette_from_matrix(
+    grouping: Iterable[Iterable[str]],
+    classes: list[str],
+    matrix: np.ndarray,
+) -> float:
+    """Silhouette coefficient from a precomputed distance matrix."""
+    groups = [frozenset(group) for group in grouping]
+    index = {cls: position for position, cls in enumerate(classes)}
+    for group in groups:
+        unknown = [cls for cls in group if cls not in index]
+        if unknown:
+            raise GroupingError(f"classes missing from distance matrix: {unknown}")
+    if len(groups) <= 1:
+        return 0.0
+
+    scores: list[float] = []
+    for group in groups:
+        members = [index[cls] for cls in group]
+        others = [
+            [index[cls] for cls in other] for other in groups if other != group
+        ]
+        for i in members:
+            if len(members) == 1:
+                scores.append(0.0)
+                continue
+            within = [matrix[i, j] for j in members if j != i]
+            a_i = float(np.mean(within))
+            b_i = min(
+                float(np.mean([matrix[i, j] for j in other])) for other in others
+            )
+            denominator = max(a_i, b_i)
+            scores.append(0.0 if denominator == 0 else (b_i - a_i) / denominator)
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def silhouette_coefficient(
+    log: EventLog, grouping: Iterable[Iterable[str]]
+) -> float:
+    """Silhouette coefficient of ``grouping`` over ``log``'s classes."""
+    classes, matrix = positional_distance_matrix(log)
+    return silhouette_from_matrix(grouping, classes, matrix)

@@ -1,0 +1,37 @@
+"""Mining substrate: discovery (DFG-filtering + alpha), complexity, replay."""
+
+from repro.mining.alpha import alpha_miner, order_relations
+from repro.mining.complexity import (
+    ComplexityReport,
+    complexity_report,
+    control_flow_complexity,
+)
+from repro.mining.discovery import DiscoveryParameters, discover_model
+from repro.mining.inductive import inductive_miner, tree_size
+from repro.mining.model import ProcessModel, SplitKind
+from repro.mining.petri import (
+    PetriNet,
+    Place,
+    ReplayResult,
+    petri_to_dot,
+    token_replay,
+)
+
+__all__ = [
+    "alpha_miner",
+    "order_relations",
+    "ComplexityReport",
+    "complexity_report",
+    "control_flow_complexity",
+    "DiscoveryParameters",
+    "discover_model",
+    "inductive_miner",
+    "tree_size",
+    "ProcessModel",
+    "SplitKind",
+    "PetriNet",
+    "Place",
+    "ReplayResult",
+    "petri_to_dot",
+    "token_replay",
+]

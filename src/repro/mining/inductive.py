@@ -1,0 +1,191 @@
+"""Inductive-miner-style discovery of process trees from event logs.
+
+Implements the directly-follows variant of the inductive miner (IMd,
+Leemans et al.): recursively partition the event classes by the four
+standard cuts of the directly-follows graph and emit the corresponding
+process-tree operator —
+
+* **xor cut** — the undirected DFG is disconnected: each weakly
+  connected component becomes a choice branch;
+* **sequence cut** — the condensation of the DFG into strongly
+  connected components admits a reachability-layered ordering: each
+  layer becomes a sequence child;
+* **parallel cut** — the classes split into parts with directly-follows
+  edges in *both* directions across every part pair, each part touching
+  a start and an end class;
+* **loop cut** — a body containing all start/end classes plus redo
+  parts whose edges only re-enter the body.
+
+When no cut applies, the *flower fallthrough* (a loop over the choice
+of all remaining classes) keeps discovery total.  The result is a
+:class:`repro.datasets.process_tree.ProcessTree` — the same formalism
+the synthetic-log generator plays out, which makes rediscovery
+round-trips directly testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.datasets.process_tree import ProcessTree, leaf, loop, par, seq, xor
+from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
+from repro.eventlog.events import EventLog
+from repro.exceptions import DiscoveryError
+
+
+def _sub_dfg(dfg: DirectlyFollowsGraph, classes: frozenset[str]) -> DirectlyFollowsGraph:
+    """Restrict a DFG to ``classes``; boundary edges define start/end."""
+    edge_counts = {
+        (a, b): count
+        for (a, b), count in dfg.edge_counts.items()
+        if a in classes and b in classes
+    }
+    start_counts = {cls: count for cls, count in dfg.start_counts.items() if cls in classes}
+    end_counts = {cls: count for cls, count in dfg.end_counts.items() if cls in classes}
+    # Classes entered from outside behave as starts of the fragment,
+    # classes leaving to outside as ends.
+    for (a, b), count in dfg.edge_counts.items():
+        if b in classes and a not in classes:
+            start_counts[b] = start_counts.get(b, 0) + count
+        if a in classes and b not in classes:
+            end_counts[a] = end_counts.get(a, 0) + count
+    if not start_counts:
+        start_counts = {cls: 1 for cls in classes}
+    if not end_counts:
+        end_counts = {cls: 1 for cls in classes}
+    return DirectlyFollowsGraph(
+        nodes=classes,
+        edge_counts=edge_counts,
+        start_counts=start_counts,
+        end_counts=end_counts,
+    )
+
+
+def _xor_cut(dfg: DirectlyFollowsGraph) -> list[frozenset[str]] | None:
+    graph = nx.Graph()
+    graph.add_nodes_from(dfg.nodes)
+    graph.add_edges_from(dfg.edge_counts)
+    components = sorted(
+        (frozenset(c) for c in nx.connected_components(graph)),
+        key=lambda part: sorted(part),
+    )
+    return components if len(components) > 1 else None
+
+
+def _sequence_cut(dfg: DirectlyFollowsGraph) -> list[frozenset[str]] | None:
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(dfg.nodes)
+    digraph.add_edges_from(dfg.edge_counts)
+    condensation = nx.condensation(digraph)
+    if condensation.number_of_nodes() < 2:
+        return None
+    # Layer SCCs by longest-path depth in the (acyclic) condensation;
+    # merge incomparable SCCs into the same layer.
+    order = list(nx.topological_sort(condensation))
+    depth: dict[int, int] = {}
+    for node in order:
+        predecessors = list(condensation.predecessors(node))
+        depth[node] = 1 + max((depth[p] for p in predecessors), default=-1)
+    layers: dict[int, set[str]] = {}
+    for node, node_depth in depth.items():
+        layers.setdefault(node_depth, set()).update(
+            condensation.nodes[node]["members"]
+        )
+    if len(layers) < 2:
+        return None
+    ordered = [frozenset(layers[key]) for key in sorted(layers)]
+    # A valid sequence cut requires no backward edges across layers.
+    position = {cls: index for index, part in enumerate(ordered) for cls in part}
+    for a, b in dfg.edge_counts:
+        if position[a] > position[b]:
+            return None
+    return ordered
+
+
+def _parallel_cut(dfg: DirectlyFollowsGraph) -> list[frozenset[str]] | None:
+    # Build the graph of "not fully mutual" pairs; its connected
+    # components are the candidate parallel parts.
+    graph = nx.Graph()
+    graph.add_nodes_from(dfg.nodes)
+    for a, b in itertools.combinations(sorted(dfg.nodes), 2):
+        mutual = dfg.has_edge(a, b) and dfg.has_edge(b, a)
+        if not mutual:
+            graph.add_edge(a, b)
+    parts = sorted(
+        (frozenset(c) for c in nx.connected_components(graph)),
+        key=lambda part: sorted(part),
+    )
+    if len(parts) < 2:
+        return None
+    starts, ends = set(dfg.start_counts), set(dfg.end_counts)
+    for part in parts:
+        if not (part & starts) or not (part & ends):
+            return None
+    return parts
+
+
+def _loop_cut(dfg: DirectlyFollowsGraph) -> list[frozenset[str]] | None:
+    starts, ends = set(dfg.start_counts), set(dfg.end_counts)
+    body_seed = starts | ends
+    if body_seed == set(dfg.nodes):
+        return None
+    redo = frozenset(set(dfg.nodes) - body_seed)
+    body = frozenset(body_seed)
+    # Redo parts may only connect from body ends and back to body starts.
+    for a, b in dfg.edge_counts:
+        if a in body and b in redo and a not in ends:
+            return None
+        if a in redo and b in body and b not in starts:
+            return None
+    if not redo:
+        return None
+    return [body, redo]
+
+
+def inductive_miner(log: EventLog) -> ProcessTree:
+    """Discover a process tree from ``log`` (IMd-style)."""
+    if len(log) == 0:
+        raise DiscoveryError("cannot discover a tree from an empty log")
+    return _discover(compute_dfg(log))
+
+
+def _flower(classes: frozenset[str]) -> ProcessTree:
+    """The fallthrough: any sequence over the classes (loop of choices)."""
+    ordered = sorted(classes)
+    if len(ordered) == 1:
+        return loop(leaf(ordered[0]), leaf(ordered[0]))
+    choice = xor(*[leaf(cls) for cls in ordered])
+    return loop(choice, xor(*[leaf(cls) for cls in ordered]))
+
+
+def _discover(dfg: DirectlyFollowsGraph) -> ProcessTree:
+    classes = dfg.nodes
+    if len(classes) == 1:
+        only = next(iter(classes))
+        if dfg.has_edge(only, only):
+            return loop(leaf(only), leaf(only))
+        return leaf(only)
+
+    cut = _xor_cut(dfg)
+    if cut:
+        return xor(*[_discover(_sub_dfg(dfg, part)) for part in cut])
+    cut = _sequence_cut(dfg)
+    if cut:
+        return seq(*[_discover(_sub_dfg(dfg, part)) for part in cut])
+    cut = _parallel_cut(dfg)
+    if cut:
+        return par(*[_discover(_sub_dfg(dfg, part)) for part in cut])
+    cut = _loop_cut(dfg)
+    if cut:
+        body, redo = cut
+        return loop(_discover(_sub_dfg(dfg, body)), _discover(_sub_dfg(dfg, redo)))
+    return _flower(classes)
+
+
+def tree_size(tree: ProcessTree) -> int:
+    """Number of nodes in a process tree (structuredness ingredient)."""
+    if tree.is_leaf:
+        return 1
+    return 1 + sum(tree_size(child) for child in tree.children)

@@ -1,0 +1,18 @@
+"""MIP substrate: modeling layer and solver backends (Gurobi replacement)."""
+
+from repro.mip.branch_and_bound import SetPartitionSolver
+from repro.mip.model import EQ, GE, LE, BinaryProgram, LinearConstraint
+from repro.mip.result import SolverResult, SolverStatus
+from repro.mip import scipy_backend
+
+__all__ = [
+    "BinaryProgram",
+    "LinearConstraint",
+    "LE",
+    "EQ",
+    "GE",
+    "SetPartitionSolver",
+    "SolverResult",
+    "SolverStatus",
+    "scipy_backend",
+]

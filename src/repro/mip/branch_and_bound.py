@@ -1,0 +1,209 @@
+"""Self-contained branch-and-bound solver for weighted set partitioning.
+
+GECCO's Step-2 MIP is a *weighted exact cover*: pick disjoint candidate
+groups covering every event class exactly once at minimal total
+distance, optionally with bounds on the number of picked groups
+(paper Eqs. 3–5).  This solver exploits that structure directly and
+serves both as a Gurobi-free fallback and as an independent oracle to
+cross-check the HiGHS backend in tests.
+
+Search strategy
+---------------
+* **Branching**: always extend the uncovered class with the fewest
+  compatible candidates (minimum-remaining-values), trying candidates
+  in ascending cost-per-class order so good incumbents appear early.
+* **Bounding**: the cost of covering the remaining classes is bounded
+  from below by the sum, over uncovered classes, of the cheapest
+  *cost share* ``cost(g)/|g|`` among candidates containing the class —
+  admissible because any partition charges each class exactly its
+  group's share, which is at least the class's minimum share.
+* **Cardinality pruning**: a partial solution with ``m`` groups is
+  pruned when ``m`` exceeds the maximum, when even one group per
+  remaining class cannot reach the minimum, or when the remaining
+  classes cannot be covered with few enough groups given the largest
+  candidate size.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import SolverError
+from repro.mip.result import SolverResult, SolverStatus
+
+
+class SetPartitionSolver:
+    """Branch-and-bound solver for one weighted set-partitioning instance.
+
+    Parameters
+    ----------
+    universe:
+        Event classes that must each be covered exactly once.
+    candidates:
+        Candidate groups (subsets of the universe).
+    costs:
+        Cost per candidate, parallel to ``candidates``.  Costs must be
+        non-negative for the bound to be admissible.
+    min_count / max_count:
+        Optional bounds on the number of selected candidates.
+    node_limit:
+        Safety valve on explored search nodes.
+    """
+
+    def __init__(
+        self,
+        universe: Sequence[str],
+        candidates: Sequence[frozenset[str]],
+        costs: Sequence[float],
+        min_count: int | None = None,
+        max_count: int | None = None,
+        node_limit: int = 2_000_000,
+    ):
+        if len(candidates) != len(costs):
+            raise SolverError("candidates and costs must have equal length")
+        if any(cost < 0 for cost in costs):
+            raise SolverError("set-partition costs must be non-negative")
+        self.universe = tuple(sorted(set(universe)))
+        self.candidates = [frozenset(candidate) for candidate in candidates]
+        for candidate in self.candidates:
+            if not candidate <= set(self.universe):
+                raise SolverError(
+                    f"candidate {sorted(candidate)} is not a subset of the universe"
+                )
+            if not candidate:
+                raise SolverError("empty candidate group")
+        self.costs = [float(cost) for cost in costs]
+        self.min_count = min_count
+        self.max_count = max_count
+        self.node_limit = node_limit
+
+        self._by_class: dict[str, list[int]] = {cls: [] for cls in self.universe}
+        for position, candidate in enumerate(self.candidates):
+            for cls in candidate:
+                self._by_class[cls].append(position)
+        # Candidates per class in ascending cost-per-class order.
+        for cls, positions in self._by_class.items():
+            positions.sort(key=lambda p: self.costs[p] / len(self.candidates[p]))
+        self._min_share = {
+            cls: min(
+                (self.costs[p] / len(self.candidates[p]) for p in positions),
+                default=math.inf,
+            )
+            for cls, positions in self._by_class.items()
+        }
+        self._max_candidate_size = max(
+            (len(candidate) for candidate in self.candidates), default=1
+        )
+
+        self._best_cost = math.inf
+        self._best_selection: list[int] | None = None
+        self._nodes = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(self) -> SolverResult:
+        """Run the search; returns an optimal selection or infeasibility."""
+        if any(not positions for positions in self._by_class.values()):
+            missing = [cls for cls, pos in self._by_class.items() if not pos]
+            return SolverResult(
+                SolverStatus.INFEASIBLE,
+                message=f"classes without covering candidate: {missing}",
+            )
+        if not self.universe:
+            feasible_empty = (self.min_count or 0) <= 0
+            if feasible_empty:
+                return SolverResult(SolverStatus.OPTIMAL, objective=0.0, values={})
+            return SolverResult(
+                SolverStatus.INFEASIBLE, message="empty universe cannot meet min_count"
+            )
+        self._search(frozenset(), [], 0.0)
+        if self._best_selection is None:
+            return SolverResult(
+                SolverStatus.INFEASIBLE,
+                nodes_explored=self._nodes,
+                message="exhausted search without feasible partition",
+            )
+        values = {f"g{p}": 0 for p in range(len(self.candidates))}
+        for position in self._best_selection:
+            values[f"g{position}"] = 1
+        return SolverResult(
+            SolverStatus.OPTIMAL,
+            objective=self._best_cost,
+            values=values,
+            nodes_explored=self._nodes,
+        )
+
+    def selected_groups(self, result: SolverResult) -> list[frozenset[str]]:
+        """Decode a result's selected variables back into groups."""
+        return [
+            self.candidates[int(name[1:])]
+            for name in result.selected()
+        ]
+
+    # -- search --------------------------------------------------------------
+
+    def _lower_bound(self, covered: frozenset[str]) -> float:
+        return sum(
+            self._min_share[cls] for cls in self.universe if cls not in covered
+        )
+
+    def _cardinality_prunes(self, covered: frozenset[str], count: int) -> bool:
+        remaining = len(self.universe) - len(covered)
+        if self.max_count is not None:
+            # Even the largest candidates cannot cover the rest within budget.
+            needed = math.ceil(remaining / self._max_candidate_size)
+            if count + needed > self.max_count:
+                return True
+        if self.min_count is not None:
+            # Each further group covers at least one class.
+            if count + remaining < self.min_count:
+                return True
+        return False
+
+    def _search(
+        self, covered: frozenset[str], selection: list[int], cost: float
+    ) -> None:
+        self._nodes += 1
+        if self._nodes > self.node_limit:
+            raise SolverError(
+                f"branch-and-bound node limit ({self.node_limit}) exceeded"
+            )
+        if len(covered) == len(self.universe):
+            count = len(selection)
+            if self.min_count is not None and count < self.min_count:
+                return
+            if self.max_count is not None and count > self.max_count:
+                return
+            if cost < self._best_cost:
+                self._best_cost = cost
+                self._best_selection = list(selection)
+            return
+        if cost + self._lower_bound(covered) >= self._best_cost:
+            return
+        if self._cardinality_prunes(covered, len(selection)):
+            return
+
+        # Branch on the uncovered class with the fewest compatible options.
+        branch_class = None
+        branch_options: list[int] | None = None
+        for cls in self.universe:
+            if cls in covered:
+                continue
+            options = [
+                position
+                for position in self._by_class[cls]
+                if not (self.candidates[position] & covered)
+            ]
+            if not options:
+                return  # dead end: class can no longer be covered
+            if branch_options is None or len(options) < len(branch_options):
+                branch_class, branch_options = cls, options
+                if len(options) == 1:
+                    break
+        assert branch_options is not None and branch_class is not None
+        for position in branch_options:
+            candidate = self.candidates[position]
+            selection.append(position)
+            self._search(covered | candidate, selection, cost + self.costs[position])
+            selection.pop()

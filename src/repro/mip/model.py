@@ -1,0 +1,117 @@
+"""A small modeling layer for binary linear programs.
+
+The paper formulates Step 2 as a MIP and hands it to Gurobi.  This
+reproduction cannot ship Gurobi, so it provides (i) this backend-neutral
+model layer, (ii) a :mod:`scipy`-HiGHS backend
+(:mod:`repro.mip.scipy_backend`), and (iii) a self-contained
+branch-and-bound solver specialized for the weighted set-partitioning
+structure (:mod:`repro.mip.branch_and_bound`).  All backends consume a
+:class:`BinaryProgram`.
+
+Only what GECCO needs is modeled: binary variables, linear constraints
+with ``<= / == / >=`` senses, and a linear minimization objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import SolverError
+
+#: Constraint senses.
+LE, EQ, GE = "<=", "==", ">="
+_SENSES = (LE, EQ, GE)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum(coefficients[v] * v) <sense> rhs`` over binary variables."""
+
+    coefficients: tuple[tuple[str, float], ...]
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Check the constraint under a complete 0/1 assignment."""
+        total = sum(
+            coefficient * assignment.get(variable, 0)
+            for variable, coefficient in self.coefficients
+        )
+        if self.sense == LE:
+            return total <= self.rhs + 1e-9
+        if self.sense == GE:
+            return total >= self.rhs - 1e-9
+        return abs(total - self.rhs) <= 1e-9
+
+
+class BinaryProgram:
+    """A binary linear program: minimize ``c @ x`` s.t. linear constraints."""
+
+    def __init__(self):
+        self._objective: dict[str, float] = {}
+        self._variables: list[str] = []
+        self._variable_set: set[str] = set()
+        self.constraints: list[LinearConstraint] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_variable(self, name: str, cost: float = 0.0) -> str:
+        """Declare a binary variable with objective coefficient ``cost``."""
+        if name in self._variable_set:
+            raise SolverError(f"variable {name!r} declared twice")
+        self._variables.append(name)
+        self._variable_set.add(name)
+        self._objective[name] = float(cost)
+        return name
+
+    def add_constraint(
+        self,
+        coefficients: Mapping[str, float],
+        sense: str,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        """Add ``sum(coeff * var) <sense> rhs``."""
+        if sense not in _SENSES:
+            raise SolverError(f"unknown constraint sense {sense!r}")
+        for variable in coefficients:
+            if variable not in self._variable_set:
+                raise SolverError(f"constraint references unknown variable {variable!r}")
+        self.constraints.append(
+            LinearConstraint(
+                coefficients=tuple(sorted(coefficients.items())),
+                sense=sense,
+                rhs=float(rhs),
+                name=name,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def variables(self) -> list[str]:
+        """Variable names in declaration order."""
+        return list(self._variables)
+
+    def cost_of(self, variable: str) -> float:
+        """Objective coefficient of ``variable``."""
+        return self._objective[variable]
+
+    def objective_value(self, assignment: Mapping[str, int]) -> float:
+        """Objective under a 0/1 assignment."""
+        return sum(
+            cost * assignment.get(variable, 0)
+            for variable, cost in self._objective.items()
+        )
+
+    def is_feasible(self, assignment: Mapping[str, int]) -> bool:
+        """Whether a complete 0/1 assignment satisfies every constraint."""
+        return all(constraint.evaluate(assignment) for constraint in self.constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryProgram({len(self._variables)} variables, "
+            f"{len(self.constraints)} constraints)"
+        )

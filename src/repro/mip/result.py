@@ -1,0 +1,50 @@
+"""Solver result types shared by all MIP backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SolverStatus(enum.Enum):
+    """Outcome of a MIP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class SolverResult:
+    """Result of solving a binary program.
+
+    Attributes
+    ----------
+    status:
+        Outcome classification.
+    objective:
+        Objective value at the solution (``None`` unless optimal).
+    values:
+        Variable assignment as ``name -> 0/1`` (``None`` unless optimal).
+    nodes_explored:
+        Search nodes visited (backend-specific; 0 when unknown).
+    message:
+        Backend diagnostic text.
+    """
+
+    status: SolverStatus
+    objective: float | None = None
+    values: dict[str, int] | None = None
+    nodes_explored: int = 0
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolverStatus.OPTIMAL
+
+    def selected(self) -> list[str]:
+        """Names of variables set to 1 (empty when not optimal)."""
+        if not self.values:
+            return []
+        return [name for name, value in self.values.items() if value]

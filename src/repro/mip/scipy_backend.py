@@ -1,0 +1,73 @@
+"""Binary-program backend built on ``scipy.optimize.milp`` (HiGHS).
+
+This plays the role Gurobi plays in the paper's implementation: a
+general MIP solver the Step-2 formulation is handed to.  HiGHS is exact
+for the problem sizes GECCO produces (one binary variable per candidate
+group) and returns provably optimal solutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint as SciPyLinearConstraint, milp
+
+from repro.exceptions import SolverError
+from repro.mip.model import EQ, GE, LE, BinaryProgram
+from repro.mip.result import SolverResult, SolverStatus
+
+
+def solve(program: BinaryProgram, time_limit: float | None = None) -> SolverResult:
+    """Solve ``program`` to optimality with HiGHS.
+
+    Parameters
+    ----------
+    time_limit:
+        Optional wall-clock limit in seconds handed to HiGHS.
+    """
+    variables = program.variables
+    if not variables:
+        return SolverResult(SolverStatus.OPTIMAL, objective=0.0, values={})
+    index = {name: position for position, name in enumerate(variables)}
+    costs = np.array([program.cost_of(name) for name in variables], dtype=float)
+
+    constraints = []
+    for constraint in program.constraints:
+        row = np.zeros(len(variables))
+        for variable, coefficient in constraint.coefficients:
+            row[index[variable]] = coefficient
+        if constraint.sense == LE:
+            lower, upper = -np.inf, constraint.rhs
+        elif constraint.sense == GE:
+            lower, upper = constraint.rhs, np.inf
+        elif constraint.sense == EQ:
+            lower = upper = constraint.rhs
+        else:  # pragma: no cover - model layer already validates senses
+            raise SolverError(f"unknown sense {constraint.sense!r}")
+        constraints.append(SciPyLinearConstraint(row, lower, upper))
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    outcome = milp(
+        c=costs,
+        integrality=np.ones(len(variables)),
+        bounds=Bounds(0, 1),
+        constraints=constraints or None,
+        options=options or None,
+    )
+
+    if outcome.status == 0 and outcome.x is not None:
+        values = {
+            name: int(round(outcome.x[index[name]])) for name in variables
+        }
+        return SolverResult(
+            SolverStatus.OPTIMAL,
+            objective=float(costs @ outcome.x),
+            values=values,
+            message=str(outcome.message),
+        )
+    if outcome.status == 2:
+        return SolverResult(SolverStatus.INFEASIBLE, message=str(outcome.message))
+    if outcome.status == 3:
+        return SolverResult(SolverStatus.UNBOUNDED, message=str(outcome.message))
+    return SolverResult(SolverStatus.ERROR, message=str(outcome.message))

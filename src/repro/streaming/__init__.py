@@ -1,0 +1,19 @@
+"""Online abstraction: sliding windows, drift detection, re-grouping."""
+
+from repro.streaming.abstractor import (
+    GroupingEpoch,
+    StreamingAbstractor,
+    StreamingStats,
+)
+from repro.streaming.drift import DriftDetector, DriftVerdict, dfg_distance
+from repro.streaming.window import TraceWindow
+
+__all__ = [
+    "GroupingEpoch",
+    "StreamingAbstractor",
+    "StreamingStats",
+    "DriftDetector",
+    "DriftVerdict",
+    "dfg_distance",
+    "TraceWindow",
+]

@@ -1,0 +1,103 @@
+"""Drift detection over streaming directly-follows behavior.
+
+To adapt a grouping "dynamically to new arrivals in a stream" (paper
+§VIII) without re-solving after every trace, the streaming abstractor
+re-groups only when the observed behavior has *drifted*.  Drift is
+measured between directly-follows frequency profiles: the detector
+keeps the profile the current grouping was computed on (the
+*reference*) and compares it against the profile of the current window
+using total-variation-style distance over normalized edge frequencies,
+plus a hard trigger when event classes appear or disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eventlog.dfg import DirectlyFollowsGraph
+from repro.exceptions import EventLogError
+
+
+def _normalized_profile(dfg: DirectlyFollowsGraph) -> dict[tuple[str, str], float]:
+    total = sum(dfg.edge_counts.values())
+    if total == 0:
+        return {}
+    return {edge: count / total for edge, count in dfg.edge_counts.items()}
+
+
+def dfg_distance(reference: DirectlyFollowsGraph, current: DirectlyFollowsGraph) -> float:
+    """Total-variation distance between two DFG frequency profiles.
+
+    0 means identical directly-follows behavior, 1 means disjoint.
+    """
+    profile_a = _normalized_profile(reference)
+    profile_b = _normalized_profile(current)
+    edges = set(profile_a) | set(profile_b)
+    return 0.5 * sum(
+        abs(profile_a.get(edge, 0.0) - profile_b.get(edge, 0.0)) for edge in edges
+    )
+
+
+@dataclass
+class DriftVerdict:
+    """Outcome of one drift check."""
+
+    drifted: bool
+    distance: float
+    new_classes: frozenset[str]
+    lost_classes: frozenset[str]
+
+    @property
+    def reason(self) -> str:
+        if not self.drifted:
+            return "stable"
+        reasons = []
+        if self.new_classes:
+            reasons.append(f"new classes {sorted(self.new_classes)}")
+        if self.lost_classes:
+            reasons.append(f"lost classes {sorted(self.lost_classes)}")
+        if not reasons or self.distance > 0:
+            reasons.append(f"DF distance {self.distance:.3f}")
+        return ", ".join(reasons)
+
+
+class DriftDetector:
+    """Compares the current window's DFG against a reference DFG.
+
+    Parameters
+    ----------
+    threshold:
+        Total-variation distance above which drift is declared.
+        Class appearance/disappearance always declares drift (the
+        grouping would not even be an exact cover anymore).
+    """
+
+    def __init__(self, threshold: float = 0.2):
+        if not 0.0 < threshold <= 1.0:
+            raise EventLogError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.reference: DirectlyFollowsGraph | None = None
+
+    def rebase(self, dfg: DirectlyFollowsGraph) -> None:
+        """Adopt ``dfg`` as the new reference profile."""
+        self.reference = dfg
+
+    def check(self, current: DirectlyFollowsGraph) -> DriftVerdict:
+        """Judge whether ``current`` drifted away from the reference."""
+        if self.reference is None:
+            return DriftVerdict(
+                drifted=True,
+                distance=1.0,
+                new_classes=current.nodes,
+                lost_classes=frozenset(),
+            )
+        new_classes = current.nodes - self.reference.nodes
+        lost_classes = self.reference.nodes - current.nodes
+        distance = dfg_distance(self.reference, current)
+        drifted = bool(new_classes or lost_classes) or distance > self.threshold
+        return DriftVerdict(
+            drifted=drifted,
+            distance=distance,
+            new_classes=frozenset(new_classes),
+            lost_classes=frozenset(lost_classes),
+        )

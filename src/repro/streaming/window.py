@@ -1,0 +1,60 @@
+"""Sliding trace windows over an event stream.
+
+The online setting (the paper's third future-work item) observes
+completed traces one at a time.  GECCO's algorithms need a log, so the
+streaming layer maintains a bounded window of the most recent traces —
+a count-based sliding window with optional tumbling behavior — and
+materializes it as an :class:`~repro.eventlog.events.EventLog` on
+demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.eventlog.events import EventLog, Trace
+from repro.exceptions import EventLogError
+
+
+class TraceWindow:
+    """A bounded FIFO window of completed traces.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of traces retained; the oldest trace is evicted
+        when a new one arrives at capacity.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise EventLogError(f"window capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._traces: deque[Trace] = deque()
+        self.total_seen = 0
+
+    def push(self, trace: Trace) -> Trace | None:
+        """Add ``trace``; returns the evicted trace, if any."""
+        if not isinstance(trace, Trace):
+            raise EventLogError(f"expected Trace, got {type(trace).__name__}")
+        self.total_seen += 1
+        evicted = None
+        if len(self._traces) >= self.capacity:
+            evicted = self._traces.popleft()
+        self._traces.append(trace)
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._traces) >= self.capacity
+
+    def as_log(self) -> EventLog:
+        """Materialize the current window as an event log."""
+        return EventLog(list(self._traces))
+
+    def clear(self) -> None:
+        """Drop all retained traces (tumbling-window reset)."""
+        self._traces.clear()

@@ -1,0 +1,112 @@
+"""Unit tests for Step 3: abstracted-log creation."""
+
+import pytest
+
+from repro.core.abstraction import abstract_log, abstract_trace
+from repro.core.grouping import Grouping
+from repro.core.instances import InstanceIndex
+from repro.datasets import PAPER_OPTIMAL_GROUPS, interleaving_trace, running_example_log
+from repro.eventlog.events import EventLog
+from repro.exceptions import GroupingError
+
+
+@pytest.fixture(scope="module")
+def paper_grouping(running_log):
+    return Grouping(
+        PAPER_OPTIMAL_GROUPS,
+        running_log.classes,
+        labels={
+            frozenset({"rcp", "ckc", "ckt"}): "clrk1",
+            frozenset({"prio", "inf", "arv"}): "clrk2",
+        },
+    )
+
+
+class TestCompleteStrategy:
+    def test_sigma1_abstraction(self, running_log, paper_grouping):
+        abstracted = abstract_log(running_log, paper_grouping)
+        # σ1 = <rcp, ckc, acc, prio, inf, arv> -> <clrk1, acc, clrk2>.
+        assert [e.event_class for e in abstracted[0]] == ["clrk1", "acc", "clrk2"]
+
+    def test_sigma4_loop_abstraction(self, running_log, paper_grouping):
+        abstracted = abstract_log(running_log, paper_grouping)
+        # σ4 contains two clrk1 instances (rejected, then accepted round).
+        assert [e.event_class for e in abstracted[3]] == [
+            "clrk1", "rej", "clrk1", "acc", "clrk2",
+        ]
+
+    def test_events_carry_provenance(self, running_log, paper_grouping):
+        abstracted = abstract_log(running_log, paper_grouping)
+        first = abstracted[0][0]
+        assert first["gecco:group"] == "ckc,ckt,rcp"
+        assert first["gecco:instance_size"] == 2
+        assert first["lifecycle:transition"] == "complete"
+
+    def test_timestamps_are_instance_completion(self, running_log, paper_grouping):
+        abstracted = abstract_log(running_log, paper_grouping)
+        original = running_log[0]
+        # clrk1's completion in σ1 is ckc (position 1).
+        assert abstracted[0][0].timestamp == original[1].timestamp
+        assert abstracted[0][0]["gecco:start_timestamp"] == original[0].timestamp
+
+    def test_trace_attributes_preserved(self, running_log, paper_grouping):
+        abstracted = abstract_log(running_log, paper_grouping)
+        assert abstracted[0].case_id == running_log[0].case_id
+
+    def test_log_attribute_records_strategy(self, running_log, paper_grouping):
+        abstracted = abstract_log(running_log, paper_grouping)
+        assert abstracted.attributes["gecco:abstraction_strategy"] == "complete"
+
+
+class TestStartCompleteStrategy:
+    def test_paper_sigma5_interleaving(self, paper_grouping):
+        """σ5 = <rcp, ckc, prio, acc, inf, arv> (paper §V-D).
+
+        Start+complete must expose that clrk2 starts before acc and
+        completes after: <clrk1_s?, ..., clrk2_s, acc, clrk2_c>.
+        The paper shows <clrk1_s, clrk1_c, clrk2_s, acc, clrk2_c>.
+        """
+        log = EventLog([interleaving_trace()])
+        index = InstanceIndex(log)
+        abstracted = abstract_trace(
+            log[0], paper_grouping, index, 0, strategy="start_complete"
+        )
+        assert [e.event_class for e in abstracted] == [
+            "clrk1_s", "clrk1_c", "clrk2_s", "acc", "clrk2_c",
+        ]
+
+    def test_complete_strategy_hides_interleaving(self, paper_grouping):
+        log = EventLog([interleaving_trace()])
+        index = InstanceIndex(log)
+        abstracted = abstract_trace(
+            log[0], paper_grouping, index, 0, strategy="complete"
+        )
+        assert [e.event_class for e in abstracted] == ["clrk1", "acc", "clrk2"]
+
+    def test_single_event_instances_emit_plain_label(self, running_log, paper_grouping):
+        abstracted = abstract_log(
+            running_log, paper_grouping, strategy="start_complete"
+        )
+        classes = [e.event_class for e in abstracted[0]]
+        assert "acc" in classes  # unary instance: no _s/_c pair
+        assert "acc_s" not in classes
+
+    def test_lifecycle_attributes(self, running_log, paper_grouping):
+        abstracted = abstract_log(
+            running_log, paper_grouping, strategy="start_complete"
+        )
+        lifecycles = {e["lifecycle:transition"] for e in abstracted[0]}
+        assert lifecycles == {"start", "complete"}
+
+
+class TestValidation:
+    def test_unknown_strategy(self, running_log, paper_grouping):
+        with pytest.raises(GroupingError):
+            abstract_log(running_log, paper_grouping, strategy="middle")
+
+    def test_grouping_must_match_log(self, paper_grouping):
+        from repro.eventlog.events import log_from_variants
+
+        other = log_from_variants([["x", "y"]])
+        with pytest.raises(GroupingError):
+            abstract_log(other, paper_grouping)

@@ -1,0 +1,84 @@
+"""Unit tests for instance aggregation helpers."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constraints import aggregates
+from repro.eventlog.events import TIMESTAMP_KEY, Event
+
+
+def stamped(cls, offset_minutes, **attrs):
+    base = datetime(2021, 1, 1, tzinfo=timezone.utc)
+    attrs[TIMESTAMP_KEY] = base + timedelta(minutes=offset_minutes)
+    return Event(cls, attrs)
+
+
+class TestAttributeValues:
+    def test_values_in_order(self):
+        instance = [Event("a", {"x": 1}), Event("b"), Event("c", {"x": 3})]
+        assert aggregates.attribute_values(instance, "x") == [1, 3]
+
+    def test_numeric_skips_non_numeric_and_bool(self):
+        instance = [
+            Event("a", {"x": 1}),
+            Event("b", {"x": "text"}),
+            Event("c", {"x": True}),
+            Event("d", {"x": 2.5}),
+        ]
+        assert aggregates.numeric_values(instance, "x") == [1.0, 2.5]
+
+    def test_distinct_values(self):
+        instance = [Event("a", {"x": 1}), Event("b", {"x": 1}), Event("c", {"x": 2})]
+        assert aggregates.distinct_values(instance, "x") == {1, 2}
+
+
+class TestAggregate:
+    @pytest.fixture
+    def instance(self):
+        return [Event("a", {"v": 10}), Event("b", {"v": 20}), Event("c", {"v": 30})]
+
+    @pytest.mark.parametrize(
+        "how,expected",
+        [("sum", 60), ("avg", 20), ("min", 10), ("max", 30), ("count", 3), ("distinct", 3)],
+    )
+    def test_aggregates(self, instance, how, expected):
+        assert aggregates.aggregate(instance, "v", how) == expected
+
+    def test_missing_attribute_returns_none(self, instance):
+        assert aggregates.aggregate(instance, "missing", "sum") is None
+        assert aggregates.aggregate(instance, "missing", "count") == 0
+        assert aggregates.aggregate(instance, "missing", "distinct") == 0
+
+    def test_unknown_aggregate(self, instance):
+        with pytest.raises(ValueError):
+            aggregates.aggregate(instance, "v", "median")
+
+
+class TestTimeAggregates:
+    def test_duration(self):
+        instance = [stamped("a", 0), stamped("b", 30), stamped("c", 45)]
+        assert aggregates.instance_duration_seconds(instance) == 45 * 60
+
+    def test_duration_single_event(self):
+        assert aggregates.instance_duration_seconds([stamped("a", 0)]) == 0.0
+
+    def test_duration_none_without_timestamps(self):
+        assert aggregates.instance_duration_seconds([Event("a")]) is None
+
+    def test_max_gap(self):
+        instance = [stamped("a", 0), stamped("b", 10), stamped("c", 40)]
+        assert aggregates.max_gap_seconds(instance) == 30 * 60
+
+    def test_max_gap_needs_two_stamps(self):
+        assert aggregates.max_gap_seconds([stamped("a", 0)]) is None
+        assert aggregates.max_gap_seconds([stamped("a", 0), Event("b")]) is None
+
+
+class TestEventsPerClass:
+    def test_counts(self):
+        instance = [Event("a"), Event("a"), Event("b")]
+        assert aggregates.events_per_class(instance) == {"a": 2, "b": 1}
+
+    def test_empty(self):
+        assert aggregates.events_per_class([]) == {}

@@ -1,0 +1,108 @@
+"""Unit tests for the alternative distance functions."""
+
+import pytest
+
+from repro.core.alt_distance import (
+    ALTERNATIVE_DISTANCES,
+    EntropyDistance,
+    FrequencyWeightedDistance,
+    JaccardDistance,
+)
+from repro.core.selection import select_optimal_grouping
+from repro.eventlog.events import log_from_variants
+from repro.exceptions import GroupingError
+
+
+@pytest.fixture(params=sorted(ALTERNATIVE_DISTANCES))
+def distance(request, running_log):
+    return ALTERNATIVE_DISTANCES[request.param](running_log)
+
+
+class TestProtocol:
+    def test_non_negative(self, distance, running_log):
+        for cls in running_log.classes:
+            assert distance.group_distance({cls}) >= 0.0
+
+    def test_singleton_positive(self, distance, running_log):
+        for cls in running_log.classes:
+            assert distance.group_distance({cls}) > 0.0
+
+    def test_empty_group_rejected(self, distance):
+        with pytest.raises(GroupingError):
+            distance.group_distance(frozenset())
+
+    def test_memoized(self, distance):
+        value_a = distance.group_distance({"rcp", "ckc"})
+        value_b = distance.group_distance({"rcp", "ckc"})
+        assert value_a == value_b
+        assert frozenset({"rcp", "ckc"}) in distance._cache
+
+    def test_grouping_distance_sums(self, distance, running_log):
+        groups = [{"rcp", "ckc"}, {"acc"}]
+        assert distance.grouping_distance(groups) == pytest.approx(
+            sum(distance.group_distance(g) for g in groups)
+        )
+
+    def test_usable_in_step2(self, distance, running_log):
+        candidates = {frozenset({cls}) for cls in running_log.classes}
+        candidates.add(frozenset({"prio", "inf", "arv"}))
+        result = select_optimal_grouping(
+            running_log, candidates, distance, backend="bnb"
+        )
+        assert result.feasible
+
+
+class TestFrequencyWeighted:
+    def test_matches_eq1_on_uniform_variants(self):
+        """With all-distinct variants, weighting degenerates to Eq. 1."""
+        from repro.core.distance import DistanceFunction
+
+        log = log_from_variants([["a", "b", "c"], ["a", "c", "b"]])
+        weighted = FrequencyWeightedDistance(log)
+        plain = DistanceFunction(log)
+        for group in ({"a", "b"}, {"b", "c"}, {"a"}):
+            assert weighted.group_distance(group) == pytest.approx(
+                plain.group_distance(group)
+            )
+
+    def test_frequent_variant_dominates(self):
+        # Interruption only in the frequent variant weighs heavier than
+        # one in the rare variant.
+        log_frequent = log_from_variants({("a", "x", "b"): 9, ("a", "b"): 1})
+        log_rare = log_from_variants({("a", "x", "b"): 1, ("a", "b"): 9})
+        heavy = FrequencyWeightedDistance(log_frequent).group_distance({"a", "b"})
+        light = FrequencyWeightedDistance(log_rare).group_distance({"a", "b"})
+        assert heavy > light
+
+
+class TestJaccard:
+    def test_perfect_cooccurrence(self):
+        log = log_from_variants([["a", "b"], ["a", "b"]])
+        distance = JaccardDistance(log)
+        assert distance.group_distance({"a", "b"}) == pytest.approx(0.5)
+
+    def test_disjoint_classes(self):
+        log = log_from_variants([["a"], ["b"]])
+        distance = JaccardDistance(log)
+        assert distance.group_distance({"a", "b"}) == pytest.approx(1.5)
+
+    def test_order_insensitive(self):
+        ordered = log_from_variants([["a", "b"]] * 4)
+        scrambled = log_from_variants([["b", "a"]] * 4)
+        assert JaccardDistance(ordered).group_distance(
+            {"a", "b"}
+        ) == pytest.approx(JaccardDistance(scrambled).group_distance({"a", "b"}))
+
+
+class TestEntropy:
+    def test_single_ordering_is_cheap(self):
+        log = log_from_variants([["a", "b"]] * 8)
+        distance = EntropyDistance(log)
+        assert distance.group_distance({"a", "b"}) == pytest.approx(0.5)
+
+    def test_mixed_orderings_cost_more(self):
+        stable = log_from_variants([["a", "b"]] * 8)
+        mixed = log_from_variants({("a", "b"): 4, ("b", "a"): 4})
+        assert EntropyDistance(mixed).group_distance(
+            {"a", "b"}
+        ) > EntropyDistance(stable).group_distance({"a", "b"})

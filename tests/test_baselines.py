@@ -1,0 +1,166 @@
+"""Unit tests for the three baselines (BL_Q, BL_P, BL_G)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.graph_query import (
+    PathQuery,
+    abstract_with_graph_query,
+    dfg_to_graph,
+    query_candidates,
+    query_from_constraints,
+)
+from repro.baselines.greedy import abstract_with_greedy, greedy_grouping
+from repro.baselines.partitioning import (
+    abstract_with_partitioning,
+    kmeans,
+    normalized_adjacency,
+    spectral_grouping,
+)
+from repro.constraints import (
+    CannotLink,
+    ConstraintSet,
+    MaxDistinctClassAttribute,
+    MaxGroups,
+    MaxGroupSize,
+)
+from repro.core.dfg_candidates import dfg_candidates
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import ROLE_KEY, log_from_variants
+from repro.exceptions import ConstraintError, GroupingError
+
+
+class TestGraphQueryEngine:
+    def test_path_node_sets(self):
+        log = log_from_variants([["a", "b", "c"]])
+        graph = dfg_to_graph(compute_dfg(log))
+        candidates = query_candidates(graph, PathQuery(max_length=2))
+        assert frozenset({"a", "b"}) in candidates
+        assert frozenset({"b", "c"}) in candidates
+        assert frozenset({"a", "b", "c"}) not in candidates  # length bound
+
+    def test_forbidden_pairs(self):
+        log = log_from_variants([["a", "b", "c"]])
+        graph = dfg_to_graph(compute_dfg(log))
+        query = PathQuery(max_length=3, forbidden_pairs={frozenset({"a", "b"})})
+        candidates = query_candidates(graph, query)
+        assert frozenset({"a", "b"}) not in candidates
+        assert frozenset({"b", "c"}) in candidates
+
+    def test_node_predicate(self):
+        log = log_from_variants([["a", "b", "c"]])
+        graph = dfg_to_graph(compute_dfg(log))
+        query = PathQuery(max_length=3, node_predicate=lambda n: n != "b")
+        candidates = query_candidates(graph, query)
+        assert all("b" not in group for group in candidates)
+
+    def test_query_from_constraints_translates_bounds(self, running_log):
+        constraints = ConstraintSet([MaxGroupSize(5), CannotLink("rcp", "acc")])
+        query = query_from_constraints(running_log, constraints)
+        assert query.max_length == 5
+        assert frozenset({"rcp", "acc"}) in query.forbidden_pairs
+
+    def test_query_from_class_attribute_constraint(self, running_log):
+        constraints = ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)])
+        query = query_from_constraints(running_log, constraints)
+        # clerk/manager mixes are forbidden pairwise.
+        assert frozenset({"rcp", "acc"}) in query.forbidden_pairs
+        assert frozenset({"rcp", "ckc"}) not in query.forbidden_pairs
+
+    def test_pipeline_solves_running_example(self, running_log):
+        constraints = ConstraintSet(
+            [MaxGroupSize(5), MaxDistinctClassAttribute(ROLE_KEY, 1)]
+        )
+        result = abstract_with_graph_query(running_log, constraints)
+        assert result.feasible
+        # Grouping satisfies the constraints it can express.
+        for group in result.grouping:
+            assert len(group) <= 5
+
+    def test_fewer_candidates_than_gecco(self, running_log, role_constraints):
+        """BL_Q misses exclusive merges: {ckc, ckt} is path-unreachable."""
+        constraints = ConstraintSet(
+            [MaxGroupSize(8), MaxDistinctClassAttribute(ROLE_KEY, 1)]
+        )
+        graph = dfg_to_graph(compute_dfg(running_log))
+        query = query_from_constraints(running_log, constraints)
+        candidates = query_candidates(graph, query)
+        assert frozenset({"ckc", "ckt"}) not in candidates
+
+
+class TestSpectralPartitioning:
+    def test_kmeans_deterministic_and_complete(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(20, 3))
+        labels_a = kmeans(points, 4, seed=5)
+        labels_b = kmeans(points, 4, seed=5)
+        assert np.array_equal(labels_a, labels_b)
+        assert set(labels_a) == {0, 1, 2, 3}
+
+    def test_kmeans_invalid_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(GroupingError):
+            kmeans(points, 5)
+
+    def test_adjacency_symmetric_normalized(self, running_log):
+        dfg = compute_dfg(running_log)
+        classes = sorted(running_log.classes)
+        adjacency = normalized_adjacency(dfg, classes)
+        assert np.allclose(adjacency, adjacency.T)
+        assert adjacency.max() <= 2.0 + 1e-9
+
+    def test_spectral_grouping_is_exact_cover(self, running_log):
+        grouping = spectral_grouping(running_log, 4)
+        assert len(grouping) == 4
+        assert frozenset().union(*grouping.groups) == running_log.classes
+
+    def test_too_many_groups_rejected(self, running_log):
+        with pytest.raises(GroupingError):
+            spectral_grouping(running_log, 100)
+
+    def test_pipeline(self, running_log):
+        result = abstract_with_partitioning(running_log, 4)
+        assert result.feasible
+        assert len(result.grouping) == 4
+        assert result.abstracted_log.classes  # produced a log
+
+
+class TestGreedy:
+    def test_improves_over_singletons(self, running_log, role_constraints):
+        from repro.core.distance import DistanceFunction
+
+        grouping, stats = greedy_grouping(running_log, role_constraints)
+        distance = DistanceFunction(running_log)
+        singleton_cost = sum(
+            distance.group_distance({cls}) for cls in running_log.classes
+        )
+        assert distance.grouping_distance(grouping) <= singleton_cost
+        assert stats.merges > 0
+
+    def test_respects_constraints(self, running_log, role_constraints):
+        from repro.constraints import class_attribute_view
+
+        grouping, _ = greedy_grouping(running_log, role_constraints)
+        view = class_attribute_view(running_log)
+        for group in grouping:
+            for constraint in role_constraints.class_based:
+                assert constraint.check(group, view)
+
+    def test_rejects_grouping_constraints(self, running_log):
+        constraints = ConstraintSet([MaxGroups(3)])
+        with pytest.raises(ConstraintError):
+            greedy_grouping(running_log, constraints)
+
+    def test_suboptimal_compared_to_gecco(self, running_log, role_constraints):
+        """The Table VII story: greedy >= GECCO's optimal distance."""
+        from repro.core.gecco import Gecco, GeccoConfig
+
+        gecco = Gecco(role_constraints, GeccoConfig.exhaustive()).abstract(running_log)
+        greedy = abstract_with_greedy(running_log, role_constraints)
+        assert greedy.feasible and gecco.feasible
+        assert greedy.distance >= gecco.distance - 1e-9
+
+    def test_pipeline(self, running_log, role_constraints):
+        result = abstract_with_greedy(running_log, role_constraints)
+        assert result.feasible
+        assert result.abstracted_log is not None

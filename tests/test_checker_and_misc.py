@@ -1,0 +1,137 @@
+"""Tests for the group checker, config knobs, and package plumbing."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    MaxGroupSize,
+    MinGroupSize,
+    MinInstanceAggregate,
+)
+from repro.core.checker import GroupChecker
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.exceptions import (
+    ConstraintError,
+    DiscoveryError,
+    EventLogError,
+    GroupingError,
+    InfeasibleProblemError,
+    ReproError,
+    SolverError,
+    XESParseError,
+)
+
+
+class TestGroupChecker:
+    def test_holds_memoized(self, running_log, role_constraints):
+        checker = GroupChecker(running_log, role_constraints)
+        group = frozenset({"rcp", "ckc"})
+        assert checker.holds(group)
+        checks = checker.checks_performed
+        assert checker.holds(group)
+        assert checker.checks_performed == checks
+
+    def test_holds_class_only_skips_instances(self, running_log):
+        constraints = ConstraintSet(
+            [MaxGroupSize(3), MinInstanceAggregate("duration", "sum", 1e12)]
+        )
+        checker = GroupChecker(running_log, constraints)
+        group = frozenset({"rcp", "ckc"})
+        # Class-based part passes, instance-based is impossible.
+        assert checker.holds_class_only(group)
+        assert not checker.holds(group)
+
+    def test_subset_shortcut_rechecks_instances(self, running_log):
+        """The soundness fix: a satisfied subset does not exempt the
+        supergroup from instance-based validation."""
+        constraints = ConstraintSet(
+            [MinInstanceAggregate("duration", "sum", 20.0)]
+        )
+        checker = GroupChecker(running_log, constraints)
+        assert checker.holds(frozenset({"ckt"}))  # 30 >= 20
+        # {ckt, prio} gains a singleton <prio> instance in sigma_1 (5 < 20).
+        assert not checker.holds_given_satisfying_subset(frozenset({"ckt", "prio"}))
+
+    def test_subset_shortcut_agrees_with_full_holds(self, running_log):
+        constraints = ConstraintSet(
+            [MinGroupSize(1), MinInstanceAggregate("duration", "sum", 20.0)]
+        )
+        shortcut_checker = GroupChecker(running_log, constraints)
+        full_checker = GroupChecker(running_log, constraints)
+        for group in (
+            frozenset({"ckt", "rej"}),
+            frozenset({"ckt", "prio"}),
+            frozenset({"rcp", "ckc"}),
+        ):
+            if full_checker.holds_class_only(group):
+                assert shortcut_checker.holds_given_satisfying_subset(
+                    group
+                ) == full_checker.holds(group)
+
+    def test_shortcut_trivial_without_instance_constraints(self, running_log):
+        checker = GroupChecker(running_log, ConstraintSet([MinGroupSize(1)]))
+        assert checker.holds_given_satisfying_subset(frozenset({"rcp", "arv"}))
+
+
+class TestDistanceConfig:
+    def test_alternative_distance_selectable(self, running_log, role_constraints):
+        result = Gecco(
+            role_constraints, GeccoConfig(distance="jaccard")
+        ).abstract(running_log)
+        assert result.feasible
+
+    def test_unknown_distance_rejected(self):
+        with pytest.raises(ConstraintError):
+            GeccoConfig(distance="euclidean")
+
+    def test_eq1_is_default(self):
+        assert GeccoConfig().distance == "eq1"
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            EventLogError,
+            XESParseError,
+            ConstraintError,
+            GroupingError,
+            InfeasibleProblemError,
+            SolverError,
+            DiscoveryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_xes_error_is_eventlog_error(self):
+        assert issubclass(XESParseError, EventLogError)
+
+    def test_infeasible_carries_report(self):
+        error = InfeasibleProblemError("nope", report="details")
+        assert error.report == "details"
+
+
+class TestPackagePlumbing:
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "constraint-types"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "max_group_size" in completed.stdout
+
+    def test_public_api_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

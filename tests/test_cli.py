@@ -1,0 +1,128 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import running_example_log
+from repro.eventlog import csv_io, xes
+
+
+@pytest.fixture
+def xes_path(tmp_path):
+    path = tmp_path / "log.xes"
+    xes.dump(running_example_log(), path)
+    return str(path)
+
+
+@pytest.fixture
+def constraints_path(tmp_path):
+    path = tmp_path / "constraints.json"
+    path.write_text(
+        json.dumps(
+            [{"type": "max_distinct_class_attribute", "key": "org:role", "bound": 1}]
+        )
+    )
+    return str(path)
+
+
+class TestAbstract:
+    def test_abstract_to_xes(self, xes_path, constraints_path, tmp_path, capsys):
+        out = str(tmp_path / "abstracted.xes")
+        code = main(
+            ["abstract", xes_path, "--constraints", constraints_path, "--output", out]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "grouping (4 groups" in captured.out
+        abstracted = xes.load(out)
+        assert len(abstracted) == 4
+
+    def test_abstract_to_csv(self, xes_path, constraints_path, tmp_path):
+        out = str(tmp_path / "abstracted.csv")
+        assert main(
+            ["abstract", xes_path, "--constraints", constraints_path, "--output", out]
+        ) == 0
+        assert len(csv_io.read_csv(out)) == 4
+
+    def test_infeasible_exit_code(self, xes_path, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(
+            json.dumps(
+                [{"type": "min_instance_aggregate", "key": "duration",
+                  "how": "sum", "threshold": 1e12}]
+            )
+        )
+        code = main(["abstract", xes_path, "--constraints", str(spec)])
+        assert code == 2
+        assert "INFEASIBLE" in capsys.readouterr().err
+
+    def test_beam_width_option(self, xes_path, constraints_path):
+        assert main(
+            ["abstract", xes_path, "--constraints", constraints_path,
+             "--beam-width", "auto"]
+        ) == 0
+        assert main(
+            ["abstract", xes_path, "--constraints", constraints_path,
+             "--beam-width", "10"]
+        ) == 0
+
+    def test_unsupported_format(self, constraints_path, tmp_path, capsys):
+        bogus = tmp_path / "log.txt"
+        bogus.write_text("hi")
+        code = main(["abstract", str(bogus), "--constraints", constraints_path])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_stats(self, xes_path, capsys):
+        assert main(["stats", xes_path]) == 0
+        out = capsys.readouterr().out
+        assert "|CL|: 8" in out
+        assert "Traces: 4" in out
+
+    def test_dfg(self, xes_path, capsys):
+        assert main(["dfg", xes_path]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_dfg_filtered(self, xes_path, capsys):
+        assert main(["dfg", xes_path, "--keep", "0.5"]) == 0
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "3.083" in out
+
+    def test_constraint_types(self, capsys):
+        assert main(["constraint-types"]) == 0
+        assert "max_group_size" in capsys.readouterr().out
+
+    def test_discover_dfg(self, xes_path, capsys):
+        assert main(["discover", xes_path]) == 0
+        out = capsys.readouterr().out
+        assert "CFC" in out
+
+    def test_discover_alpha(self, xes_path, capsys):
+        assert main(["discover", xes_path, "--algorithm", "alpha"]) == 0
+        assert "fitness" in capsys.readouterr().out
+
+    def test_discover_alpha_dot(self, xes_path, capsys):
+        assert main(["discover", xes_path, "--algorithm", "alpha", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_discover_inductive(self, xes_path, capsys):
+        assert main(["discover", xes_path, "--algorithm", "inductive"]) == 0
+        assert "process tree" in capsys.readouterr().out
+
+    def test_suggest(self, xes_path, capsys):
+        assert main(["suggest", xes_path]) == 0
+        out = capsys.readouterr().out
+        assert "org:role" in out
+
+    def test_suggest_limit(self, xes_path, capsys):
+        assert main(["suggest", xes_path, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        # Header plus exactly one suggestion line.
+        assert len(out.strip().splitlines()) == 2

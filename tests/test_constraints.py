@@ -1,0 +1,323 @@
+"""Unit tests for the constraint framework (all three categories)."""
+
+import pytest
+
+from repro.constraints import (
+    AtLeastFraction,
+    CannotLink,
+    CheckingMode,
+    ConstraintSet,
+    ExactGroups,
+    MaxConsecutiveGap,
+    MaxDistinctClassAttribute,
+    MaxDistinctInstanceAttribute,
+    MaxEventsPerClass,
+    MaxGroups,
+    MaxGroupSize,
+    MaxInstanceAggregate,
+    MaxInstanceDuration,
+    MinDistinctClassAttribute,
+    MinDistinctInstanceAttribute,
+    MinEventsPerClass,
+    MinGroups,
+    MinGroupSize,
+    MinInstanceAggregate,
+    MinInstanceDuration,
+    Monotonicity,
+    MustLink,
+    RequiredClasses,
+    class_attribute_view,
+    infer_checking_mode,
+)
+from repro.eventlog.events import Event
+from repro.exceptions import ConstraintError
+
+
+def make_instance(*specs):
+    """Build an instance from (class, attrs) pairs or plain class names."""
+    events = []
+    for spec in specs:
+        if isinstance(spec, tuple):
+            events.append(Event(spec[0], spec[1]))
+        else:
+            events.append(Event(spec))
+    return events
+
+
+class TestGroupingConstraints:
+    def test_max_groups(self):
+        constraint = MaxGroups(3)
+        assert constraint.check(3)
+        assert not constraint.check(4)
+        assert constraint.max_groups == 3
+        assert constraint.min_groups is None
+
+    def test_min_groups(self):
+        constraint = MinGroups(2)
+        assert constraint.check(2)
+        assert not constraint.check(1)
+        assert constraint.min_groups == 2
+
+    def test_exact_groups(self):
+        constraint = ExactGroups(4)
+        assert constraint.check(4)
+        assert not constraint.check(3)
+        assert constraint.max_groups == constraint.min_groups == 4
+
+    @pytest.mark.parametrize("cls", [MaxGroups, MinGroups, ExactGroups])
+    def test_invalid_bounds(self, cls):
+        with pytest.raises(ConstraintError):
+            cls(0)
+
+
+class TestClassConstraints:
+    def test_group_size_bounds(self):
+        assert MinGroupSize(2).check(frozenset({"a", "b"}))
+        assert not MinGroupSize(3).check(frozenset({"a", "b"}))
+        assert MaxGroupSize(2).check(frozenset({"a", "b"}))
+        assert not MaxGroupSize(1).check(frozenset({"a", "b"}))
+
+    def test_monotonicity_labels(self):
+        assert MinGroupSize(2).monotonicity is Monotonicity.MONOTONIC
+        assert MaxGroupSize(2).monotonicity is Monotonicity.ANTI_MONOTONIC
+        assert MustLink("a", "b").monotonicity is Monotonicity.NON_MONOTONIC
+
+    def test_cannot_link(self):
+        constraint = CannotLink("a", "b")
+        assert constraint.check(frozenset({"a", "c"}))
+        assert not constraint.check(frozenset({"a", "b"}))
+
+    def test_cannot_link_same_class(self):
+        with pytest.raises(ConstraintError):
+            CannotLink("a", "a")
+
+    def test_must_link(self):
+        constraint = MustLink("a", "b")
+        assert constraint.check(frozenset({"a", "b"}))
+        assert constraint.check(frozenset({"c"}))
+        assert not constraint.check(frozenset({"a", "c"}))
+
+    def test_class_attribute_bounds(self, running_log):
+        view = class_attribute_view(running_log)
+        same_role = MaxDistinctClassAttribute("org:role", 1)
+        assert same_role.check(frozenset({"rcp", "ckc"}), view)
+        assert not same_role.check(frozenset({"rcp", "acc"}), view)
+        spread = MinDistinctClassAttribute("org:role", 2)
+        assert spread.check(frozenset({"rcp", "acc"}), view)
+        assert not spread.check(frozenset({"rcp", "ckc"}), view)
+
+    def test_class_attribute_requires_view(self):
+        with pytest.raises(ConstraintError):
+            MaxDistinctClassAttribute("org:role", 1).check(frozenset({"a"}), None)
+
+    def test_required_classes(self):
+        constraint = RequiredClasses({"a", "b"})
+        assert constraint.check(frozenset({"a"}))
+        assert not constraint.check(frozenset({"a", "c"}))
+
+    def test_required_classes_empty(self):
+        with pytest.raises(ConstraintError):
+            RequiredClasses([])
+
+
+class TestInstanceConstraints:
+    def test_aggregate_bounds(self):
+        instance = make_instance(("a", {"cost": 100}), ("b", {"cost": 300}))
+        group = frozenset({"a", "b"})
+        assert MaxInstanceAggregate("cost", "sum", 500).check_instance(instance, group)
+        assert not MaxInstanceAggregate("cost", "sum", 300).check_instance(instance, group)
+        assert MinInstanceAggregate("cost", "sum", 400).check_instance(instance, group)
+        assert MaxInstanceAggregate("cost", "avg", 200).check_instance(instance, group)
+        assert MinInstanceAggregate("cost", "min", 100).check_instance(instance, group)
+        assert MaxInstanceAggregate("cost", "max", 300).check_instance(instance, group)
+
+    def test_vacuous_when_attribute_missing(self):
+        instance = make_instance("a", "b")
+        group = frozenset({"a", "b"})
+        assert MaxInstanceAggregate("cost", "sum", 0).check_instance(instance, group)
+        assert MinInstanceAggregate("cost", "avg", 1e9).check_instance(instance, group)
+
+    def test_monotonicity_by_aggregate(self):
+        assert (
+            MinInstanceAggregate("cost", "sum", 1).monotonicity
+            is Monotonicity.MONOTONIC
+        )
+        assert (
+            MaxInstanceAggregate("cost", "sum", 1).monotonicity
+            is Monotonicity.ANTI_MONOTONIC
+        )
+        assert (
+            MaxInstanceAggregate("cost", "avg", 1).monotonicity
+            is Monotonicity.NON_MONOTONIC
+        )
+        assert (
+            MinInstanceAggregate("cost", "avg", 1).monotonicity
+            is Monotonicity.NON_MONOTONIC
+        )
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ConstraintError):
+            MaxInstanceAggregate("cost", "median", 1)
+
+    def test_distinct_attribute_bounds(self):
+        instance = make_instance(
+            ("a", {"org:role": "clerk"}), ("b", {"org:role": "boss"})
+        )
+        group = frozenset({"a", "b"})
+        assert MaxDistinctInstanceAttribute("org:role", 2).check_instance(instance, group)
+        assert not MaxDistinctInstanceAttribute("org:role", 1).check_instance(
+            instance, group
+        )
+        assert MinDistinctInstanceAttribute("org:role", 2).check_instance(instance, group)
+
+    def test_duration_bounds(self, running_log):
+        # First trace spans 5 hours (events one hour apart).
+        instance = list(running_log[0])
+        group = running_log[0].class_set
+        assert MaxInstanceDuration(5 * 3600).check_instance(instance, group)
+        assert not MaxInstanceDuration(3600).check_instance(instance, group)
+        assert MinInstanceDuration(3600).check_instance(instance, group)
+        assert MaxConsecutiveGap(3600).check_instance(instance, group)
+        assert not MaxConsecutiveGap(1800).check_instance(instance, group)
+
+    def test_duration_vacuous_without_timestamps(self):
+        instance = make_instance("a", "b")
+        group = frozenset({"a", "b"})
+        assert MaxInstanceDuration(0).check_instance(instance, group)
+        assert MaxConsecutiveGap(0).check_instance(instance, group)
+
+    def test_events_per_class(self):
+        instance = make_instance("a", "a", "b")
+        group = frozenset({"a", "b"})
+        assert MaxEventsPerClass(2).check_instance(instance, group)
+        assert not MaxEventsPerClass(1).check_instance(instance, group)
+        assert MinEventsPerClass(1).check_instance(instance, group)
+        assert not MinEventsPerClass(2).check_instance(instance, group)
+
+    def test_min_events_scoped_classes(self):
+        instance = make_instance("a", "a", "b")
+        group = frozenset({"a", "b"})
+        constraint = MinEventsPerClass(2, classes=["a"])
+        assert constraint.check_instance(instance, group)
+
+    def test_at_least_fraction(self):
+        inner = MaxInstanceAggregate("cost", "sum", 100)
+        loose = AtLeastFraction(inner, 0.5)
+        good = make_instance(("a", {"cost": 50}))
+        bad = make_instance(("a", {"cost": 500}))
+        group = frozenset({"a"})
+        assert loose.check_instances([good, good, bad], group)
+        assert not loose.check_instances([good, bad, bad], group)
+        assert loose.check_instances([], group)  # vacuous
+
+    def test_at_least_fraction_validation(self):
+        inner = MaxInstanceAggregate("cost", "sum", 100)
+        with pytest.raises(ValueError):
+            AtLeastFraction(inner, 0.0)
+        with pytest.raises(TypeError):
+            AtLeastFraction(MaxGroupSize(2), 0.5)
+
+    def test_fraction_inherits_monotonicity(self):
+        inner = MaxInstanceAggregate("cost", "sum", 100)
+        assert AtLeastFraction(inner, 0.9).monotonicity is inner.monotonicity
+
+
+class TestCheckingMode:
+    def test_anti_monotonic_dominates(self):
+        mode = infer_checking_mode([MinGroupSize(2), MaxGroupSize(5)])
+        assert mode is CheckingMode.ANTI_MONOTONIC
+
+    def test_all_monotonic(self):
+        mode = infer_checking_mode([MinGroupSize(2)])
+        assert mode is CheckingMode.MONOTONIC
+
+    def test_non_monotonic_fallback(self):
+        mode = infer_checking_mode([MustLink("a", "b")])
+        assert mode is CheckingMode.NON_MONOTONIC
+
+    def test_grouping_constraints_ignored(self):
+        mode = infer_checking_mode([MaxGroups(3), MinGroupSize(2)])
+        assert mode is CheckingMode.MONOTONIC
+
+    def test_empty_set(self):
+        assert infer_checking_mode([]) is CheckingMode.NON_MONOTONIC
+
+
+class TestConstraintSet:
+    def test_categorization(self):
+        constraint_set = ConstraintSet(
+            [MaxGroups(3), MaxGroupSize(5), MaxInstanceAggregate("cost", "sum", 10)]
+        )
+        assert len(constraint_set.grouping) == 1
+        assert len(constraint_set.class_based) == 1
+        assert len(constraint_set.instance_based) == 1
+        assert constraint_set.needs_instances
+
+    def test_bounds(self):
+        constraint_set = ConstraintSet([MaxGroups(5), MaxGroups(3), MinGroups(2)])
+        assert constraint_set.max_groups == 3
+        assert constraint_set.min_groups == 2
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(["nope"])
+
+    def test_holds_requires_instance_provider(self, running_log):
+        constraint_set = ConstraintSet([MaxInstanceAggregate("cost", "sum", 10)])
+        with pytest.raises(ConstraintError):
+            constraint_set.holds_for_group(frozenset({"rcp"}), None, None)
+
+    def test_describe(self):
+        constraint_set = ConstraintSet([MaxGroupSize(8)])
+        assert "|g| <= 8" in constraint_set.describe()
+        assert ConstraintSet([]).describe() == "(no constraints)"
+
+    def test_check_grouping_size(self):
+        constraint_set = ConstraintSet([MaxGroups(3), MinGroups(2)])
+        assert constraint_set.check_grouping_size(2)
+        assert not constraint_set.check_grouping_size(4)
+        assert not constraint_set.check_grouping_size(1)
+
+
+class TestClassAttributeView:
+    def test_collects_values(self, running_log):
+        view = class_attribute_view(running_log)
+        assert view["rcp"]["org:role"] == frozenset({"clerk"})
+        assert view["acc"]["org:role"] == frozenset({"manager"})
+
+    def test_numeric_attributes_collected(self, running_log):
+        view = class_attribute_view(running_log)
+        assert 5.0 in view["rcp"]["duration"]
+
+
+class TestDiagnostics:
+    def test_reports_uncovered_classes(self, running_log):
+        constraint_set = ConstraintSet([])
+        report = constraint_set.diagnose(running_log, None, None, candidates=[])
+        assert set(report.uncovered_classes) == set(running_log.classes)
+        assert "not covered" in report.summary()
+
+    def test_reports_class_violations(self, running_log):
+        constraint_set = ConstraintSet([RequiredClasses({"rcp"})])
+        view = class_attribute_view(running_log)
+        report = constraint_set.diagnose(running_log, view, None, candidates=[])
+        assert "acc" in report.class_constraint_violations
+
+    def test_reports_instance_violation_fractions(self, running_log):
+        from repro.core.instances import InstanceIndex
+
+        constraint_set = ConstraintSet(
+            [MinInstanceAggregate("duration", "sum", 1e9)]
+        )
+        index = InstanceIndex(running_log)
+        report = constraint_set.diagnose(running_log, None, index.events, [])
+        assert report.instance_violation_fractions
+        fractions = next(iter(report.instance_violation_fractions.values()))
+        assert all(0 < value <= 1 for value in fractions.values())
+
+    def test_clean_summary_when_feasible(self, running_log):
+        constraint_set = ConstraintSet([])
+        report = constraint_set.diagnose(
+            running_log, None, None, candidates=[frozenset(running_log.classes)]
+        )
+        assert report.summary() == "no diagnostic findings"

@@ -1,0 +1,84 @@
+"""Small behaviors not covered elsewhere: reprs, dumps, edge paths."""
+
+import io
+
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.eventlog import xes
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import Event, EventLog, Trace, log_from_variants
+from repro.mip.model import BinaryProgram, LinearConstraint, LE
+from repro.mip.result import SolverResult, SolverStatus
+
+
+class TestReprs:
+    def test_event_log_repr(self):
+        log = log_from_variants([["a", "b"]])
+        text = repr(log)
+        assert "1 traces" in text and "2 events" in text
+
+    def test_trace_repr_truncates(self):
+        trace = Trace([Event(f"c{i}") for i in range(12)])
+        assert "..." in repr(trace)
+
+    def test_dfg_repr(self, running_log):
+        assert "8 nodes" in repr(compute_dfg(running_log))
+
+    def test_grouping_repr(self):
+        grouping = Grouping([{"a"}, {"b"}], {"a", "b"})
+        assert "{a}" in repr(grouping)
+
+    def test_program_repr(self):
+        program = BinaryProgram()
+        program.add_variable("x")
+        assert "1 variables" in repr(program)
+
+
+class TestXesDumpTargets:
+    def test_dump_to_text_handle(self, running_log):
+        buffer = io.StringIO()
+        xes.dump(running_log, buffer)
+        assert buffer.getvalue().startswith("<?xml")
+
+    def test_dump_to_binary_handle(self, running_log, tmp_path):
+        path = tmp_path / "log.xes"
+        with open(path, "wb") as handle:
+            xes.dump(running_log, handle)
+        assert xes.load(path).classes == running_log.classes
+
+
+class TestLinearConstraintEvaluation:
+    def test_le_boundary(self):
+        constraint = LinearConstraint((("x", 1.0),), LE, 1.0)
+        assert constraint.evaluate({"x": 1})
+        assert constraint.evaluate({"x": 0})
+
+    def test_missing_variables_default_zero(self):
+        constraint = LinearConstraint((("x", 1.0), ("y", 2.0)), LE, 1.0)
+        assert constraint.evaluate({"x": 1})
+
+
+class TestSolverResultHelpers:
+    def test_selected_empty_when_no_values(self):
+        result = SolverResult(SolverStatus.INFEASIBLE)
+        assert result.selected() == []
+        assert not result.is_optimal
+
+    def test_selected_lists_ones(self):
+        result = SolverResult(
+            SolverStatus.OPTIMAL, objective=1.0, values={"a": 1, "b": 0}
+        )
+        assert result.selected() == ["a"]
+
+
+class TestEmptyLogBehaviors:
+    def test_empty_log_classes(self):
+        log = EventLog([])
+        assert log.classes == frozenset()
+        assert log.event_count == 0
+
+    def test_dfg_of_empty_log(self):
+        dfg = compute_dfg(EventLog([]))
+        assert not dfg.nodes
+        assert not dfg.edge_counts

@@ -1,0 +1,99 @@
+"""Unit tests for CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.eventlog import csv_io
+from repro.eventlog.events import TIMESTAMP_KEY
+from repro.exceptions import EventLogError
+
+CSV_TEXT = """case:concept:name,concept:name,time:timestamp,cost,rush
+c1,register,2021-06-01T09:00:00+00:00,12.5,true
+c1,ship,2021-06-01T10:00:00+00:00,3,false
+c2,register,2021-06-02T09:00:00+00:00,7.25,true
+"""
+
+
+class TestReadCsv:
+    def test_groups_rows_into_cases(self):
+        log = csv_io.read_csv(io.StringIO(CSV_TEXT))
+        assert len(log) == 2
+        assert log[0].classes == ["register", "ship"]
+        assert log[1].classes == ["register"]
+
+    def test_value_coercion(self):
+        log = csv_io.read_csv(io.StringIO(CSV_TEXT))
+        event = log[0][0]
+        assert event["cost"] == 12.5
+        assert event["rush"] is True
+        assert event.timestamp is not None
+
+    def test_int_coercion(self):
+        log = csv_io.read_csv(io.StringIO(CSV_TEXT))
+        assert log[0][1]["cost"] == 3
+
+    def test_sorts_by_timestamp(self):
+        shuffled = (
+            "case:concept:name,concept:name,time:timestamp\n"
+            "c1,second,2021-06-01T10:00:00+00:00\n"
+            "c1,first,2021-06-01T09:00:00+00:00\n"
+        )
+        log = csv_io.read_csv(io.StringIO(shuffled))
+        assert log[0].classes == ["first", "second"]
+
+    def test_no_sort_when_disabled(self):
+        shuffled = (
+            "case:concept:name,concept:name,time:timestamp\n"
+            "c1,second,2021-06-01T10:00:00+00:00\n"
+            "c1,first,2021-06-01T09:00:00+00:00\n"
+        )
+        log = csv_io.read_csv(io.StringIO(shuffled), sort_by_timestamp=False)
+        assert log[0].classes == ["second", "first"]
+
+    def test_missing_case_column(self):
+        with pytest.raises(EventLogError):
+            csv_io.read_csv(io.StringIO("concept:name\nregister\n"))
+
+    def test_missing_class_column(self):
+        with pytest.raises(EventLogError):
+            csv_io.read_csv(io.StringIO("case:concept:name\nc1\n"))
+
+    def test_empty_class_rejected(self):
+        text = "case:concept:name,concept:name\nc1,\n"
+        with pytest.raises(EventLogError):
+            csv_io.read_csv(io.StringIO(text))
+
+    def test_no_header(self):
+        with pytest.raises(EventLogError):
+            csv_io.read_csv(io.StringIO(""))
+
+    def test_custom_columns(self):
+        text = "case,activity\nc1,a\nc1,b\n"
+        log = csv_io.read_csv(
+            io.StringIO(text), case_column="case", class_column="activity"
+        )
+        assert log[0].classes == ["a", "b"]
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, running_log):
+        recovered = csv_io.csv_roundtrip(running_log)
+        assert len(recovered) == len(running_log)
+        for original, parsed in zip(running_log, recovered):
+            assert parsed.classes == original.classes
+            for event_a, event_b in zip(original, parsed):
+                assert event_b["org:role"] == event_a["org:role"]
+                assert event_b["duration"] == event_a["duration"]
+                assert event_b.timestamp == event_a.timestamp
+
+    def test_write_to_path(self, tmp_path, running_log):
+        path = tmp_path / "log.csv"
+        csv_io.write_csv(running_log, path)
+        log = csv_io.read_csv(path)
+        assert len(log) == len(running_log)
+
+    def test_timestamp_column_rename(self):
+        text = "case:concept:name,concept:name,ts\nc1,a,2021-06-01T09:00:00+00:00\n"
+        log = csv_io.read_csv(io.StringIO(text), timestamp_column="ts")
+        assert TIMESTAMP_KEY in log[0][0].attributes

@@ -1,0 +1,187 @@
+"""Unit tests for the dataset substrate (trees, play-out, collection)."""
+
+import pytest
+
+from repro.datasets.attributes import ORIGIN_KEY, AttributeSpec, enrich_log
+from repro.datasets.collection import TABLE_III_SPECS, build_collection, build_log
+from repro.datasets.loan_process import (
+    ALL_CLASSES,
+    ORIGIN_OF,
+    loan_application_log,
+)
+from repro.datasets.playout import playout, simulate_variants
+from repro.datasets.process_tree import (
+    Operator,
+    ProcessTree,
+    TreeSpec,
+    leaf,
+    loop,
+    par,
+    random_tree,
+    seq,
+    xor,
+)
+from repro.eventlog.events import ROLE_KEY, TIMESTAMP_KEY
+from repro.exceptions import EventLogError
+
+
+class TestProcessTree:
+    def test_leaf_and_operator_exclusive(self):
+        with pytest.raises(EventLogError):
+            ProcessTree(label="a", operator=Operator.SEQ, children=[leaf("b")])
+        with pytest.raises(EventLogError):
+            ProcessTree()
+
+    def test_loop_arity(self):
+        with pytest.raises(EventLogError):
+            ProcessTree(operator=Operator.LOOP, children=[leaf("a")])
+
+    def test_leaves_in_order(self):
+        tree = seq(leaf("a"), xor(leaf("b"), leaf("c")), leaf("d"))
+        assert tree.leaves() == ["a", "b", "c", "d"]
+
+    def test_depth(self):
+        tree = seq(leaf("a"), xor(leaf("b"), leaf("c")))
+        assert tree.depth() == 3
+
+    def test_random_tree_has_requested_leaves(self):
+        tree = random_tree(TreeSpec(num_activities=12), seed=3)
+        assert len(tree.leaves()) == 12
+        assert len(set(tree.leaves())) == 12
+
+    def test_random_tree_deterministic(self):
+        spec = TreeSpec(num_activities=9)
+        assert repr(random_tree(spec, seed=1)) == repr(random_tree(spec, seed=1))
+        assert repr(random_tree(spec, seed=1)) != repr(random_tree(spec, seed=2))
+
+
+class TestPlayout:
+    def test_seq_order(self):
+        variants = simulate_variants(seq(leaf("a"), leaf("b")), 5, seed=0)
+        assert all(variant == ["a", "b"] for variant in variants)
+
+    def test_xor_picks_one(self):
+        variants = simulate_variants(xor(leaf("a"), leaf("b")), 50, seed=0)
+        assert all(variant in (["a"], ["b"]) for variant in variants)
+        assert {tuple(v) for v in variants} == {("a",), ("b",)}
+
+    def test_and_interleaves(self):
+        variants = simulate_variants(par(leaf("a"), leaf("b")), 50, seed=0)
+        assert {tuple(v) for v in variants} == {("a", "b"), ("b", "a")}
+
+    def test_loop_repeats(self):
+        tree = loop(leaf("a"), leaf("r"), repeat_probability=0.9)
+        variants = simulate_variants(tree, 50, seed=0)
+        assert any(len(variant) > 1 for variant in variants)
+        # Structure: a (r a)*
+        for variant in variants:
+            assert variant[0] == "a"
+            assert len(variant) % 2 == 1
+
+    def test_playout_builds_log(self):
+        log = playout(seq(leaf("a"), leaf("b")), 7, seed=0)
+        assert len(log) == 7
+        assert log.classes == frozenset({"a", "b"})
+        assert log[0].case_id == "case_0"
+
+    def test_playout_deterministic(self):
+        tree = random_tree(TreeSpec(num_activities=8), seed=5)
+        log_a = playout(tree, 20, seed=9)
+        log_b = playout(tree, 20, seed=9)
+        assert [t.variant() for t in log_a] == [t.variant() for t in log_b]
+
+
+class TestEnrichment:
+    def test_attaches_all_attributes(self):
+        log = playout(seq(leaf("a"), leaf("b")), 5, seed=0)
+        enriched = enrich_log(log, seed=0)
+        event = enriched[0][0]
+        assert ROLE_KEY in event.attributes
+        assert ORIGIN_KEY in event.attributes
+        assert event["duration"] > 0
+        assert event["cost"] > 0
+        assert event.timestamp is not None
+
+    def test_class_level_attributes_constant_per_class(self):
+        log = playout(seq(leaf("a"), leaf("b")), 30, seed=0)
+        enriched = enrich_log(log, seed=0)
+        roles = {
+            event.event_class: set() for trace in enriched for event in trace
+        }
+        for trace in enriched:
+            for event in trace:
+                roles[event.event_class].add(event[ROLE_KEY])
+        assert all(len(values) == 1 for values in roles.values())
+
+    def test_timestamps_increase_within_trace(self):
+        log = playout(seq(leaf("a"), leaf("b"), leaf("c")), 5, seed=0)
+        enriched = enrich_log(log, seed=0)
+        for trace in enriched:
+            stamps = [event.timestamp for event in trace]
+            assert stamps == sorted(stamps)
+
+    def test_original_log_not_mutated(self):
+        log = playout(seq(leaf("a")), 3, seed=0)
+        enrich_log(log, seed=0)
+        assert TIMESTAMP_KEY not in log[0][0].attributes
+
+    def test_deterministic(self):
+        log = playout(seq(leaf("a"), leaf("b")), 5, seed=0)
+        first = enrich_log(log, seed=4)
+        second = enrich_log(log, seed=4)
+        assert first[0][0]["duration"] == second[0][0]["duration"]
+
+
+class TestCollection:
+    def test_thirteen_specs(self):
+        assert len(TABLE_III_SPECS) == 13
+        assert len({spec.name for spec in TABLE_III_SPECS}) == 13
+
+    def test_build_log_caps(self):
+        spec = TABLE_III_SPECS[0]
+        log = build_log(spec, max_traces=25)
+        assert len(log) == 25
+
+    def test_class_cap(self):
+        spec = next(s for s in TABLE_III_SPECS if s.num_classes >= 40)
+        log = build_log(spec, max_traces=30, max_classes=10)
+        assert len(log.classes) <= 10
+
+    def test_collection_keys(self):
+        logs = build_collection(max_traces=10)
+        assert set(logs) == {spec.name for spec in TABLE_III_SPECS}
+
+    def test_logs_have_constraint_attributes(self):
+        logs = build_collection(max_traces=10)
+        for log in logs.values():
+            event = log[0][0]
+            assert ROLE_KEY in event.attributes
+            assert "duration" in event.attributes
+
+
+class TestLoanLog:
+    def test_24_classes_from_three_systems(self, loan_log):
+        assert len(ALL_CLASSES) == 24
+        assert loan_log.classes <= set(ALL_CLASSES)
+        origins = {ORIGIN_OF[cls] for cls in loan_log.classes}
+        assert origins == {"A", "O", "W"}
+
+    def test_every_event_carries_origin(self, loan_log):
+        for trace in loan_log:
+            for event in trace:
+                assert event["origin"] == ORIGIN_OF[event.event_class]
+
+    def test_starts_with_create(self, loan_log):
+        assert all(trace.classes[0] == "A_Create" for trace in loan_log)
+
+    def test_deterministic(self):
+        log_a = loan_application_log(10, seed=3)
+        log_b = loan_application_log(10, seed=3)
+        assert [t.variant() for t in log_a] == [t.variant() for t in log_b]
+
+    def test_complex_dfg(self, loan_log):
+        from repro.eventlog.dfg import compute_dfg
+
+        dfg = compute_dfg(loan_log)
+        # The case-study's point: a spaghetti-grade DFG.
+        assert len(dfg.edge_counts) > 30

@@ -1,0 +1,102 @@
+"""Unit tests for directly-follows graphs."""
+
+import pytest
+
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import log_from_variants
+
+
+@pytest.fixture
+def simple_dfg():
+    return compute_dfg(log_from_variants([["a", "b", "c"], ["a", "c"], ["a", "b", "c"]]))
+
+
+class TestComputeDfg:
+    def test_nodes_cover_all_classes(self, simple_dfg):
+        assert simple_dfg.nodes == frozenset({"a", "b", "c"})
+
+    def test_edge_counts(self, simple_dfg):
+        assert simple_dfg.frequency("a", "b") == 2
+        assert simple_dfg.frequency("b", "c") == 2
+        assert simple_dfg.frequency("a", "c") == 1
+        assert simple_dfg.frequency("c", "a") == 0
+
+    def test_start_end_counts(self, simple_dfg):
+        assert simple_dfg.start_counts == {"a": 3}
+        assert simple_dfg.end_counts == {"c": 3}
+
+    def test_has_edge(self, simple_dfg):
+        assert simple_dfg.has_edge("a", "b")
+        assert not simple_dfg.has_edge("b", "a")
+
+    def test_successors_predecessors(self, simple_dfg):
+        assert simple_dfg.successors("a") == frozenset({"b", "c"})
+        assert simple_dfg.predecessors("c") == frozenset({"a", "b"})
+
+    def test_single_event_traces_have_no_edges(self):
+        dfg = compute_dfg(log_from_variants([["a"]]))
+        assert dfg.nodes == frozenset({"a"})
+        assert not dfg.edge_counts
+
+    def test_running_example_matches_paper_fig2(self, running_log):
+        dfg = compute_dfg(running_log)
+        # Fig. 2 edges (spot checks).
+        assert dfg.has_edge("rcp", "ckc")
+        assert dfg.has_edge("rcp", "ckt")
+        assert dfg.has_edge("ckc", "acc")
+        assert dfg.has_edge("ckt", "rej")
+        assert dfg.has_edge("rej", "rcp")  # the loop back
+        assert not dfg.has_edge("acc", "rej")
+        assert not dfg.has_edge("ckc", "ckt")
+
+
+class TestGroupNeighborhoods:
+    def test_pre_post_exclude_members(self, running_log):
+        dfg = compute_dfg(running_log)
+        group = frozenset({"rcp", "ckc", "ckt"})
+        assert dfg.pre(group) == frozenset({"rej"})
+        assert dfg.post(group) == frozenset({"acc", "rej"})
+
+    def test_exclusive_pairs(self, running_log):
+        dfg = compute_dfg(running_log)
+        assert dfg.exclusive({"ckc"}, {"ckt"})
+        assert not dfg.exclusive({"rcp"}, {"ckc"})
+
+    def test_exclusive_rejects_overlap(self, running_log):
+        dfg = compute_dfg(running_log)
+        assert not dfg.exclusive({"ckc", "rcp"}, {"rcp"})
+
+    def test_equal_pre_post_finds_alternatives(self, running_log):
+        dfg = compute_dfg(running_log)
+        candidates = [frozenset({cls}) for cls in running_log.classes]
+        matches = dfg.equal_pre_post(frozenset({"ckc"}), candidates)
+        assert matches == [frozenset({"ckt"})]
+
+    def test_acc_rej_not_alternatives(self, running_log):
+        # Fig. 6: acc and rej have different postsets (rej loops back).
+        dfg = compute_dfg(running_log)
+        candidates = [frozenset({cls}) for cls in running_log.classes]
+        assert frozenset({"rej"}) not in dfg.equal_pre_post(
+            frozenset({"acc"}), candidates
+        )
+
+
+class TestFiltered:
+    def test_keeps_most_frequent_edges(self):
+        log = log_from_variants({("a", "b"): 9, ("a", "c"): 1})
+        dfg = compute_dfg(log)
+        filtered = dfg.filtered(0.5)
+        assert filtered.has_edge("a", "b")
+        assert not filtered.has_edge("a", "c")
+
+    def test_keep_all(self, simple_dfg):
+        assert simple_dfg.filtered(1.0).edge_counts == simple_dfg.edge_counts
+
+    def test_invalid_fraction(self, simple_dfg):
+        with pytest.raises(ValueError):
+            simple_dfg.filtered(0.0)
+        with pytest.raises(ValueError):
+            simple_dfg.filtered(1.5)
+
+    def test_nodes_preserved(self, simple_dfg):
+        assert simple_dfg.filtered(0.3).nodes == simple_dfg.nodes

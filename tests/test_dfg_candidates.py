@@ -1,0 +1,87 @@
+"""Unit tests for DFG-based candidate computation (Algorithm 2)."""
+
+from repro.constraints import (
+    ConstraintSet,
+    MaxDistinctClassAttribute,
+    MaxGroupSize,
+    MinGroupSize,
+)
+from repro.core.candidates import exhaustive_candidates
+from repro.core.dfg_candidates import default_beam_width, dfg_candidates
+from repro.eventlog.events import ROLE_KEY, log_from_variants
+
+
+class TestBasics:
+    def test_paths_follow_dfg_edges(self):
+        log = log_from_variants([["a", "b", "c"]])
+        result = dfg_candidates(log, ConstraintSet([]))
+        assert frozenset({"a", "b"}) in result.groups
+        assert frozenset({"b", "c"}) in result.groups
+        assert frozenset({"a", "b", "c"}) in result.groups
+        # a-c are not DFG-adjacent: reachable only via the full path.
+        assert frozenset({"a", "c"}) not in result.groups
+
+    def test_running_example_iteration_paths(self, running_log, role_constraints):
+        """The Fig. 5 narrative: adjacent clerk pairs found, far pairs not."""
+        result = dfg_candidates(running_log, role_constraints)
+        assert frozenset({"prio", "inf"}) in result.groups
+        assert frozenset({"prio", "arv"}) in result.groups
+        assert frozenset({"inf", "arv"}) in result.groups
+        # {rcp, arv} is far apart in the DFG: never checked.
+        assert frozenset({"rcp", "arv"}) not in result.groups
+        # {acc, inf} is adjacent but violates the role constraint.
+        assert frozenset({"acc", "inf"}) not in result.groups
+
+    def test_candidates_subset_of_exhaustive(self, running_log, role_constraints):
+        dfg_result = dfg_candidates(running_log, role_constraints)
+        exhaustive_result = exhaustive_candidates(running_log, role_constraints)
+        assert dfg_result.groups <= exhaustive_result.groups
+
+    def test_all_singletons_present(self, running_log):
+        result = dfg_candidates(running_log, ConstraintSet([]))
+        for cls in running_log.classes:
+            assert frozenset({cls}) in result.groups
+
+
+class TestBeam:
+    def test_default_beam_width(self, running_log):
+        assert default_beam_width(running_log) == 5 * len(running_log.classes)
+
+    def test_beam_restricts_candidates(self, running_log, role_constraints):
+        unlimited = dfg_candidates(running_log, role_constraints, beam_width=None)
+        narrow = dfg_candidates(running_log, role_constraints, beam_width=2)
+        assert narrow.groups <= unlimited.groups
+        assert len(narrow.groups) < len(unlimited.groups)
+
+    def test_beam_prune_counter(self, running_log, role_constraints):
+        narrow = dfg_candidates(running_log, role_constraints, beam_width=2)
+        assert narrow.stats.paths_beam_pruned > 0
+
+    def test_wide_beam_equals_unlimited(self, running_log, role_constraints):
+        unlimited = dfg_candidates(running_log, role_constraints, beam_width=None)
+        wide = dfg_candidates(running_log, role_constraints, beam_width=10_000)
+        assert wide.groups == unlimited.groups
+
+
+class TestModes:
+    def test_anti_monotonic_stops_expanding_violators(self, running_log):
+        constraints = ConstraintSet([MaxGroupSize(2)])
+        result = dfg_candidates(running_log, constraints)
+        assert all(len(group) <= 2 for group in result.groups)
+
+    def test_monotonic_expands_violators(self, running_log):
+        constraints = ConstraintSet([MinGroupSize(3)])
+        result = dfg_candidates(running_log, constraints)
+        assert result.groups  # supergroups of failing singletons were found
+        assert all(len(group) >= 3 for group in result.groups)
+
+    def test_monotonic_subset_shortcut(self, running_log):
+        constraints = ConstraintSet([MinGroupSize(2)])
+        result = dfg_candidates(running_log, constraints)
+        assert result.stats.subset_prunes > 0
+
+
+class TestTimeout:
+    def test_timeout_returns_partial(self, running_log, role_constraints):
+        result = dfg_candidates(running_log, role_constraints, timeout=0.0)
+        assert result.stats.timed_out

@@ -1,0 +1,105 @@
+"""Unit tests for the GECCO distance measure (Eq. 1 / Eq. 2)."""
+
+import pytest
+
+from repro.core.distance import DistanceFunction, interrupts, missing
+from repro.core.instances import InstanceIndex
+from repro.datasets import PAPER_OPTIMAL_DISTANCE, PAPER_OPTIMAL_GROUPS
+from repro.eventlog.events import log_from_variants
+from repro.exceptions import GroupingError
+
+
+class TestInterrupts:
+    def test_contiguous_instance_has_none(self):
+        assert interrupts([2, 3, 4]) == 0
+
+    def test_counts_foreign_events_in_span(self):
+        # ⟨a, b, c, d, e⟩ with instance {a, e}: three interspersed events.
+        assert interrupts([0, 4]) == 3
+
+    def test_single_event_instance(self):
+        assert interrupts([7]) == 0
+
+
+class TestMissing:
+    def test_complete_instance(self):
+        assert missing(["a", "b"], frozenset({"a", "b"})) == 0
+
+    def test_partial_instance(self):
+        assert missing(["a"], frozenset({"a", "b", "c"})) == 2
+
+
+class TestGroupDistance:
+    def test_paper_fig7_value(self, running_log):
+        """The paper's optimal grouping scores exactly dist = 3.08."""
+        distance = DistanceFunction(running_log)
+        total = distance.grouping_distance(PAPER_OPTIMAL_GROUPS)
+        assert total == pytest.approx(3.0833333, abs=1e-6)
+        assert round(total, 2) == PAPER_OPTIMAL_DISTANCE
+
+    def test_fig7_component_values(self, running_log):
+        distance = DistanceFunction(running_log)
+        assert distance.group_distance({"rcp", "ckc", "ckt"}) == pytest.approx(2 / 3)
+        assert distance.group_distance({"prio", "inf", "arv"}) == pytest.approx(5 / 12)
+        assert distance.group_distance({"acc"}) == pytest.approx(1.0)
+        assert distance.group_distance({"rej"}) == pytest.approx(1.0)
+
+    def test_singleton_distance_is_one(self):
+        log = log_from_variants([["a", "b"], ["a"]])
+        distance = DistanceFunction(log)
+        # Singletons have perfect cohesion/correlation; only 1/|g| remains.
+        assert distance.group_distance({"a"}) == pytest.approx(1.0)
+
+    def test_interruption_penalty(self):
+        # Grouping a and e in ⟨a,b,c,d,e⟩: interrupts 3, len 2 -> 1.5 + 0 + 1/2.
+        log = log_from_variants([["a", "b", "c", "d", "e"]])
+        distance = DistanceFunction(log)
+        assert distance.group_distance({"a", "e"}) == pytest.approx(1.5 + 0.5)
+
+    def test_missing_penalty(self):
+        # {a, b} in traces where b never occurs with a.
+        log = log_from_variants([["a", "c"], ["b", "c"]])
+        distance = DistanceFunction(log)
+        # Two instances, each missing one of two classes: avg 1/2 + 1/2.
+        assert distance.group_distance({"a", "b"}) == pytest.approx(1.0)
+
+    def test_group_without_instances(self):
+        log = log_from_variants([["a"]])
+        distance = DistanceFunction(log)
+        assert distance.group_distance({"zz", "qq"}) == pytest.approx(0.5)
+
+    def test_empty_group_rejected(self, running_log):
+        with pytest.raises(GroupingError):
+            DistanceFunction(running_log).group_distance(frozenset())
+
+    def test_distance_is_cached(self, running_log):
+        distance = DistanceFunction(running_log)
+        distance.group_distance({"acc"})
+        distance.group_distance({"acc"})
+        assert distance.cache_size() == 1
+
+    def test_shared_instance_index_must_match_log(self, running_log):
+        other_log = log_from_variants([["a"]])
+        index = InstanceIndex(other_log)
+        with pytest.raises(GroupingError):
+            DistanceFunction(running_log, index)
+
+    def test_grouping_distance_sums_groups(self, running_log):
+        distance = DistanceFunction(running_log)
+        parts = [distance.group_distance(g) for g in PAPER_OPTIMAL_GROUPS]
+        assert distance.grouping_distance(PAPER_OPTIMAL_GROUPS) == pytest.approx(
+            sum(parts)
+        )
+
+    def test_perfect_group_distance(self):
+        # Always-contiguous, always-complete pair: only the 1/|g| term.
+        log = log_from_variants([["a", "b"], ["a", "b"]])
+        distance = DistanceFunction(log)
+        assert distance.group_distance({"a", "b"}) == pytest.approx(0.5)
+
+    def test_larger_groups_preferred_over_unary(self):
+        log = log_from_variants([["a", "b"], ["a", "b"]])
+        distance = DistanceFunction(log)
+        merged = distance.group_distance({"a", "b"})
+        split = distance.group_distance({"a"}) + distance.group_distance({"b"})
+        assert merged < split

@@ -1,0 +1,114 @@
+"""End-to-end regression tests pinning the paper's narrative.
+
+Each test corresponds to a concrete claim, figure, or worked example in
+the paper; together they document how faithfully this reproduction
+tracks the original (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    MaxDistinctClassAttribute,
+    MaxGroupSize,
+)
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.datasets import PAPER_OPTIMAL_GROUPS
+from repro.datasets.loan_process import loan_application_log
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import ROLE_KEY
+from repro.measures.reduction import complexity_reduction, size_reduction
+from repro.measures.silhouette import silhouette_coefficient
+
+
+class TestRunningExampleNarrative:
+    """§II + Fig. 7: the role constraint yields exactly four groups."""
+
+    def test_fig3_abstraction(self, running_log, role_constraints):
+        result = Gecco(role_constraints).abstract(running_log)
+        assert set(result.grouping.groups) == set(PAPER_OPTIMAL_GROUPS)
+
+        # Fig. 3's DFG: clrk1 -> {acc, rej}, acc/rej -> clrk2, rej -> clrk1.
+        labels = {
+            group: result.grouping.label_of(group) for group in result.grouping
+        }
+        clrk1 = labels[frozenset({"rcp", "ckc", "ckt"})]
+        clrk2 = labels[frozenset({"prio", "inf", "arv"})]
+        dfg = compute_dfg(result.abstracted_log)
+        assert dfg.has_edge(clrk1, "acc")
+        assert dfg.has_edge(clrk1, "rej")
+        assert dfg.has_edge("acc", clrk2)
+        assert dfg.has_edge("rej", clrk1)  # restart after rejection
+        assert not dfg.has_edge("acc", "rej")
+
+    def test_naive_role_grouping_scores_worse(self, running_log):
+        """§II: g_clrk = all clerk steps, g_mgr = {acc, rej} is worse than
+        the four-group optimum *on the DFG-reachable candidate set*."""
+        from repro.core.distance import DistanceFunction
+
+        distance = DistanceFunction(running_log)
+        naive = [
+            frozenset({"rcp", "ckc", "ckt", "prio", "inf", "arv"}),
+            frozenset({"acc", "rej"}),
+        ]
+        assert distance.grouping_distance(naive) > 0
+        # The DFG-based optimum is what the paper reports.
+        assert distance.grouping_distance(PAPER_OPTIMAL_GROUPS) == pytest.approx(
+            3.0833333, abs=1e-6
+        )
+
+
+class TestCaseStudy:
+    """§VI-D: origin constraint on the loan log (Figs. 1 and 8)."""
+
+    @pytest.fixture(scope="class")
+    def case_study_result(self):
+        log = loan_application_log(num_traces=150)
+        constraints = ConstraintSet(
+            [MaxGroupSize(8), MaxDistinctClassAttribute("origin", 1)]
+        )
+        config = GeccoConfig(
+            strategy="dfg", beam_width="auto", label_attribute="origin"
+        )
+        return log, Gecco(constraints, config).abstract(log)
+
+    def test_feasible_with_substantial_reduction(self, case_study_result):
+        log, result = case_study_result
+        assert result.feasible
+        # Paper: 24 classes -> 7 activities.  Shape check: strong reduction.
+        assert len(result.grouping) < len(log.classes) / 2
+
+    def test_no_group_mixes_origins(self, case_study_result):
+        log, result = case_study_result
+        from repro.datasets.loan_process import ORIGIN_OF
+
+        for group in result.grouping:
+            assert len({ORIGIN_OF[cls] for cls in group}) == 1
+
+    def test_dfg_complexity_shrinks(self, case_study_result):
+        log, result = case_study_result
+        original_edges = len(compute_dfg(log).edge_counts)
+        abstracted_edges = len(compute_dfg(result.abstracted_log).edge_counts)
+        assert abstracted_edges < original_edges
+
+    def test_origin_labels_applied(self, case_study_result):
+        _, result = case_study_result
+        labels = set(result.grouping.labels.values())
+        assert any(label.startswith("A_Activity") for label in labels)
+
+
+class TestMeasuresShape:
+    """Sanity: the paper's qualitative orderings hold on the running example."""
+
+    def test_gecco_beats_random_partition_on_silhouette(self, running_log, role_constraints):
+        result = Gecco(role_constraints).abstract(running_log)
+        good = silhouette_coefficient(running_log, result.grouping)
+        scrambled = [
+            {"rcp", "arv"}, {"ckc", "inf"}, {"ckt", "prio"}, {"acc"}, {"rej"},
+        ]
+        assert good > silhouette_coefficient(running_log, scrambled)
+
+    def test_size_and_complexity_reductions_positive(self, running_log, role_constraints):
+        result = Gecco(role_constraints).abstract(running_log)
+        assert size_reduction(len(result.grouping), len(running_log.classes)) == 0.5
+        assert complexity_reduction(running_log, result.abstracted_log) > 0

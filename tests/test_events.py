@@ -1,0 +1,164 @@
+"""Unit tests for the event model (Event, Trace, EventLog)."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.eventlog.events import (
+    CLASS_KEY,
+    TIMESTAMP_KEY,
+    Event,
+    EventLog,
+    Trace,
+    log_from_variants,
+)
+from repro.exceptions import EventLogError
+
+
+class TestEvent:
+    def test_requires_nonempty_class(self):
+        with pytest.raises(EventLogError):
+            Event("")
+
+    def test_requires_string_class(self):
+        with pytest.raises(EventLogError):
+            Event(42)
+
+    def test_attribute_access(self):
+        event = Event("a", {"cost": 10})
+        assert event["cost"] == 10
+        assert event.get("cost") == 10
+        assert event.get("missing", "fallback") == "fallback"
+        assert "cost" in event
+        assert "missing" not in event
+
+    def test_timestamp_normalization_from_float(self):
+        event = Event("a", {TIMESTAMP_KEY: 0.0})
+        assert event.timestamp == datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+    def test_timestamp_normalization_from_iso_string(self):
+        event = Event("a", {TIMESTAMP_KEY: "2021-01-01T12:00:00"})
+        assert event.timestamp.tzinfo is not None
+        assert event.timestamp.hour == 12
+
+    def test_naive_datetime_gets_utc(self):
+        event = Event("a", {TIMESTAMP_KEY: datetime(2021, 1, 1)})
+        assert event.timestamp.tzinfo is timezone.utc
+
+    def test_role_property(self):
+        assert Event("a", {"org:role": "clerk"}).role == "clerk"
+        assert Event("a").role is None
+
+    def test_equality_and_copy(self):
+        event = Event("a", {"x": 1})
+        clone = event.copy()
+        assert clone == event
+        clone.attributes["x"] = 2
+        assert clone != event
+
+    def test_repr_mentions_class(self):
+        assert "rcp" in repr(Event("rcp"))
+
+
+class TestTrace:
+    def test_rejects_non_events(self):
+        with pytest.raises(EventLogError):
+            Trace(["not-an-event"])
+
+    def test_sequence_protocol(self):
+        trace = Trace([Event("a"), Event("b"), Event("c")])
+        assert len(trace) == 3
+        assert trace[1].event_class == "b"
+        assert [e.event_class for e in trace] == ["a", "b", "c"]
+
+    def test_slicing_returns_trace(self):
+        trace = Trace([Event("a"), Event("b"), Event("c")], {"k": "v"})
+        head = trace[:2]
+        assert isinstance(head, Trace)
+        assert head.classes == ["a", "b"]
+        assert head.attributes == {"k": "v"}
+
+    def test_classes_and_variant(self):
+        trace = Trace([Event("a"), Event("b"), Event("a")])
+        assert trace.classes == ["a", "b", "a"]
+        assert trace.variant() == ("a", "b", "a")
+        assert trace.class_set == frozenset({"a", "b"})
+
+    def test_project(self):
+        trace = Trace([Event("a"), Event("b"), Event("c"), Event("a")])
+        projected = trace.project({"a", "c"})
+        assert projected.classes == ["a", "c", "a"]
+
+    def test_append_validates(self):
+        trace = Trace()
+        trace.append(Event("a"))
+        assert len(trace) == 1
+        with pytest.raises(EventLogError):
+            trace.append("nope")
+
+    def test_case_id(self):
+        assert Trace([], {CLASS_KEY: "case_7"}).case_id == "case_7"
+
+
+class TestEventLog:
+    def test_rejects_non_traces(self):
+        with pytest.raises(EventLogError):
+            EventLog(["nope"])
+
+    def test_classes_and_counts(self):
+        log = log_from_variants([["a", "b"], ["a", "c", "a"]])
+        assert log.classes == frozenset({"a", "b", "c"})
+        assert log.class_counts == {"a": 3, "b": 1, "c": 1}
+        assert log.event_count == 5
+
+    def test_occurs_true_when_co_occurring(self):
+        log = log_from_variants([["a", "b"], ["b", "c"]])
+        assert log.occurs({"a", "b"})
+        assert log.occurs({"b", "c"})
+
+    def test_occurs_false_when_never_together(self):
+        log = log_from_variants([["a", "b"], ["b", "c"]])
+        assert not log.occurs({"a", "c"})
+
+    def test_occurs_empty_and_unknown(self):
+        log = log_from_variants([["a"]])
+        assert not log.occurs([])
+        assert not log.occurs({"zz"})
+
+    def test_traces_containing(self):
+        log = log_from_variants([["a", "b"], ["b", "c"], ["a", "b", "c"]])
+        assert log.traces_containing({"a", "b"}) == [0, 2]
+        assert log.traces_containing({"a", "c"}) == [2]
+
+    def test_append_invalidates_caches(self):
+        log = log_from_variants([["a"]])
+        assert log.classes == frozenset({"a"})
+        log.append(Trace([Event("b")]))
+        assert log.classes == frozenset({"a", "b"})
+        assert log.occurs({"b"})
+
+    def test_slicing_returns_log(self):
+        log = log_from_variants([["a"], ["b"], ["c"]])
+        assert isinstance(log[:2], EventLog)
+        assert len(log[:2]) == 2
+
+    def test_copy_is_deep(self):
+        log = log_from_variants([["a"]])
+        clone = log.copy()
+        clone[0][0].attributes["x"] = 1
+        assert "x" not in log[0][0].attributes
+
+
+class TestLogFromVariants:
+    def test_mapping_with_counts(self):
+        log = log_from_variants({("a", "b"): 3, ("c",): 1})
+        assert len(log) == 4
+        assert log.class_counts["a"] == 3
+
+    def test_per_class_attributes(self):
+        log = log_from_variants([["a"]], {"a": {"org:role": "clerk"}})
+        assert log[0][0].role == "clerk"
+
+    def test_case_ids_unique(self):
+        log = log_from_variants({("a",): 2})
+        assert log[0].case_id != log[1].case_id

@@ -1,0 +1,75 @@
+"""Unit tests for exclusive-candidate merging (Algorithm 3)."""
+
+from repro.constraints import ConstraintSet, MaxGroupSize
+from repro.core.checker import GroupChecker
+from repro.core.dfg_candidates import dfg_candidates
+from repro.core.exclusive import merge_exclusive_candidates
+from repro.eventlog.events import log_from_variants
+
+
+class TestRunningExample:
+    def test_merges_behavioral_alternatives(self, running_log, role_constraints):
+        checker = GroupChecker(running_log, role_constraints)
+        candidates = dfg_candidates(running_log, role_constraints, checker=checker).groups
+        merged, stats = merge_exclusive_candidates(running_log, candidates, checker)
+        assert frozenset({"ckc", "ckt"}) in merged
+        assert stats.merges_added >= 1
+
+    def test_pre_extension_creates_paper_group(self, running_log, role_constraints):
+        """{rcp, ckc} and {rcp, ckt} in G => {rcp, ckc, ckt} is added."""
+        checker = GroupChecker(running_log, role_constraints)
+        candidates = dfg_candidates(running_log, role_constraints, checker=checker).groups
+        assert frozenset({"rcp", "ckc"}) in candidates
+        assert frozenset({"rcp", "ckt"}) in candidates
+        merged, _ = merge_exclusive_candidates(running_log, candidates, checker)
+        assert frozenset({"rcp", "ckc", "ckt"}) in merged
+
+    def test_acc_rej_not_merged(self, running_log, role_constraints):
+        """acc/rej have different postsets (Fig. 6): no merge."""
+        checker = GroupChecker(running_log, role_constraints)
+        candidates = dfg_candidates(running_log, role_constraints, checker=checker).groups
+        merged, _ = merge_exclusive_candidates(running_log, candidates, checker)
+        assert frozenset({"acc", "rej"}) not in merged
+
+    def test_input_set_not_mutated(self, running_log, role_constraints):
+        checker = GroupChecker(running_log, role_constraints)
+        candidates = dfg_candidates(running_log, role_constraints, checker=checker).groups
+        before = set(candidates)
+        merge_exclusive_candidates(running_log, candidates, checker)
+        assert candidates == before
+
+
+class TestThreeWayAlternatives:
+    def test_iteratively_merges_three_alternatives(self):
+        # a is followed by one of x, y, z, each followed by b.
+        log = log_from_variants(
+            {("a", "x", "b"): 3, ("a", "y", "b"): 3, ("a", "z", "b"): 3}
+        )
+        constraints = ConstraintSet([])
+        checker = GroupChecker(log, constraints)
+        candidates = dfg_candidates(log, constraints, checker=checker).groups
+        merged, _ = merge_exclusive_candidates(log, candidates, checker)
+        assert frozenset({"x", "y"}) in merged
+        assert frozenset({"x", "y", "z"}) in merged
+
+    def test_class_constraints_respected_by_merge(self):
+        log = log_from_variants(
+            {("a", "x", "b"): 3, ("a", "y", "b"): 3, ("a", "z", "b"): 3}
+        )
+        constraints = ConstraintSet([MaxGroupSize(2)])
+        checker = GroupChecker(log, constraints)
+        candidates = dfg_candidates(log, constraints, checker=checker).groups
+        merged, _ = merge_exclusive_candidates(log, candidates, checker)
+        assert frozenset({"x", "y"}) in merged
+        assert frozenset({"x", "y", "z"}) not in merged  # |g| <= 2
+
+
+class TestNoFalseMerges:
+    def test_sequential_classes_not_merged(self):
+        log = log_from_variants([["a", "b", "c"]])
+        constraints = ConstraintSet([])
+        checker = GroupChecker(log, constraints)
+        candidates = dfg_candidates(log, constraints, checker=checker).groups
+        merged, stats = merge_exclusive_candidates(log, candidates, checker)
+        assert merged == candidates
+        assert stats.merges_added == 0

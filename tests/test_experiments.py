@@ -1,0 +1,177 @@
+"""Unit tests for the experiment harness (configs, runner, tables, figures)."""
+
+import pytest
+
+from repro.constraints import CheckingMode
+from repro.datasets import build_collection, running_example_log
+from repro.eventlog.dfg import compute_dfg
+from repro.experiments.configs import (
+    ALL_SET_NAMES,
+    applicable,
+    constraint_set_for_log,
+)
+from repro.experiments.figures import (
+    bipartite_to_dot,
+    dfg_to_ascii,
+    dfg_to_dot,
+    dot_with_alternatives,
+    log_dfg_dot,
+)
+from repro.experiments.runner import ExperimentReport, ProblemResult, run_experiment, solve_problem
+from repro.experiments.tables import format_table, table3, table5, table6, table7
+
+
+@pytest.fixture(scope="module")
+def tiny_logs():
+    return {
+        name: log
+        for name, log in build_collection(max_traces=15, max_classes=8).items()
+        if name in ("road_fines", "credit", "bpic13")
+    }
+
+
+class TestConfigs:
+    def test_all_sets_instantiable(self, small_synthetic_log):
+        for name in ALL_SET_NAMES:
+            constraints = constraint_set_for_log(name, small_synthetic_log)
+            assert len(constraints) >= 1
+
+    def test_every_set_contains_base_bound(self, small_synthetic_log):
+        for name in ALL_SET_NAMES:
+            constraints = constraint_set_for_log(name, small_synthetic_log)
+            descriptions = [c.describe() for c in constraints]
+            assert "|g| <= 8" in descriptions
+
+    def test_modes_match_paper_categories(self, small_synthetic_log):
+        # A and BL1/BL2 are anti-monotonic; N is non-monotonic... but the
+        # base |g| <= 8 is anti-monotonic, so every set's mode is
+        # anti-monotonic — exactly as in the paper's experiments.
+        for name in ALL_SET_NAMES:
+            constraints = constraint_set_for_log(name, small_synthetic_log)
+            assert constraints.checking_mode is CheckingMode.ANTI_MONOTONIC
+
+    def test_unknown_set(self, small_synthetic_log):
+        with pytest.raises(ValueError):
+            constraint_set_for_log("Z9", small_synthetic_log)
+
+    def test_bl4_group_count(self, small_synthetic_log):
+        constraints = constraint_set_for_log("BL4", small_synthetic_log)
+        expected = len(small_synthetic_log.classes) // 2
+        assert constraints.max_groups == expected
+        assert constraints.min_groups == expected
+
+    def test_applicability(self, small_synthetic_log):
+        assert applicable("BL3", small_synthetic_log)  # has origin attribute
+        bare = running_example_log()
+        assert not applicable("BL3", bare)  # no origin attribute
+
+
+class TestRunner:
+    def test_solve_problem_gecco(self, tiny_logs):
+        result = solve_problem(tiny_logs["credit"], "A", "DFGk", log_name="credit")
+        assert result.approach == "DFGk"
+        if result.solved:
+            assert 0 <= result.size_red <= 1
+            assert -1 <= result.silhouette <= 1
+            assert result.num_groups >= 1
+
+    def test_solve_problem_baselines(self, tiny_logs):
+        for approach in ("BLQ", "BLP", "BLG"):
+            set_name = {"BLQ": "BL1", "BLP": "BL4", "BLG": "A"}[approach]
+            result = solve_problem(
+                tiny_logs["credit"], set_name, approach, log_name="credit"
+            )
+            assert result.approach == approach
+
+    def test_unknown_approach(self, tiny_logs):
+        with pytest.raises(Exception):
+            solve_problem(tiny_logs["credit"], "A", "SplitMiner")
+
+    def test_run_experiment_shape(self, tiny_logs):
+        report = run_experiment(
+            tiny_logs, ["BL1"], ["DFGk"], candidate_timeout=10
+        )
+        assert len(report.rows) == len(tiny_logs)
+        assert all(isinstance(row, ProblemResult) for row in report.rows)
+
+    def test_aggregate_solved_fraction(self):
+        report = ExperimentReport(
+            rows=[
+                ProblemResult("l", "A", "Exh", True, 0.5, 0.4, 0.1, 1.0),
+                ProblemResult("l", "A", "Exh", False),
+            ]
+        )
+        aggregate = report.aggregate()
+        assert aggregate["Solved"] == 0.5
+        assert aggregate["S. red."] == 0.5  # over solved only
+
+    def test_filtered(self):
+        report = ExperimentReport(
+            rows=[
+                ProblemResult("x", "A", "Exh", True),
+                ProblemResult("y", "N", "DFGk", True),
+            ]
+        )
+        assert len(report.filtered(approach="Exh")) == 1
+        assert len(report.filtered(approach="Exh", log_name="y")) == 0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "B"], [[1, 2.5], ["xx", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+
+    def test_table3(self, tiny_logs):
+        text = table3(tiny_logs)
+        assert "road_fines" in text
+        assert "|CL|" in text
+
+    def test_table5_6_7_render(self, tiny_logs):
+        report = run_experiment(tiny_logs, ["BL1"], ["DFGk"], candidate_timeout=10)
+        # Inject rows so each table has content.
+        report.rows.append(ProblemResult("x", "A", "Exh", True, 0.5, 0.4, 0.1, 1.0))
+        report.rows.append(ProblemResult("x", "BL4", "BLP", True, 0.5, 0.4, 0.1, 1.0))
+        report.rows.append(ProblemResult("x", "A", "BLG", True, 0.3, 0.2, 0.0, 1.0))
+        rows5, text5 = table5(report, approach="Exh")
+        assert any(row["Const."] == "A" for row in rows5)
+        rows6, text6 = table6(report)
+        assert any(row["Conf."] == "Exh" for row in rows6)
+        rows7, text7 = table7(report)
+        assert any(row["Conf."] == "BL P" for row in rows7)
+        assert "Table V" in text5 and "Table VI" in text6 and "Table VII" in text7
+
+
+class TestFigures:
+    def test_dfg_dot_contains_edges(self, running_log):
+        dot = log_dfg_dot(running_log)
+        assert '"rcp" -> "ckc"' in dot
+        assert dot.startswith("digraph")
+
+    def test_dfg_dot_filtering(self, loan_log):
+        dfg = compute_dfg(loan_log)
+        full = dfg_to_dot(dfg)
+        filtered = dfg_to_dot(dfg, keep_fraction=0.8)
+        assert filtered.count("->") < full.count("->")
+
+    def test_ascii_rendering(self, running_log):
+        text = dfg_to_ascii(compute_dfg(running_log))
+        assert "rcp -> ckc" in text
+
+    def test_alternatives_highlighting(self, running_log):
+        dfg = compute_dfg(running_log)
+        dot = dot_with_alternatives(
+            dfg, [frozenset({"ckc", "ckt"})], [frozenset({"acc", "rej"})]
+        )
+        assert "color=blue" in dot
+        assert "color=red" in dot
+
+    def test_bipartite_dot(self):
+        dot = bipartite_to_dot(
+            [frozenset({"a", "b"}), frozenset({"c"})],
+            selected=[frozenset({"a", "b"})],
+            distances={frozenset({"a", "b"}): 0.5},
+        )
+        assert "lightgray" in dot
+        assert "dist=0.50" in dot

@@ -1,0 +1,60 @@
+"""Extra tests for figure rendering and DFG filtering interplay."""
+
+import pytest
+
+from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
+from repro.eventlog.events import log_from_variants
+from repro.experiments.figures import (
+    bipartite_to_dot,
+    dfg_to_ascii,
+    dfg_to_dot,
+    dot_with_alternatives,
+    log_dfg_dot,
+)
+
+
+class TestDotEscaping:
+    def test_quotes_in_class_names_escaped(self):
+        log = log_from_variants([['say "hi"', "b"]])
+        dot = log_dfg_dot(log)
+        assert '\\"hi\\"' in dot
+
+    def test_title_quoted(self, running_log):
+        dot = log_dfg_dot(running_log, title='my "log"')
+        assert dot.splitlines()[0].startswith("digraph ")
+
+
+class TestEmptyGraphs:
+    def test_empty_dfg_renders(self):
+        dfg = DirectlyFollowsGraph(nodes=frozenset())
+        assert dfg_to_dot(dfg).startswith("digraph")
+        assert dfg_to_ascii(dfg) == "nodes: "
+
+    def test_bipartite_without_selection(self):
+        dot = bipartite_to_dot([frozenset({"a"})])
+        assert "lightgray" not in dot
+
+    def test_alternatives_without_highlights(self, running_log):
+        dfg = compute_dfg(running_log)
+        dot = dot_with_alternatives(dfg, alternatives=[], exclusives=[])
+        assert "color=blue" not in dot
+        assert "color=red" not in dot
+
+
+class TestFilteredRendering:
+    def test_ascii_respects_filter(self):
+        log = log_from_variants({("a", "b"): 9, ("a", "c"): 1})
+        dfg = compute_dfg(log)
+        full = dfg_to_ascii(dfg)
+        filtered = dfg_to_ascii(dfg, keep_fraction=0.5)
+        assert "a -> c" in full
+        assert "a -> c" not in filtered
+
+    def test_start_end_shapes(self, running_log):
+        dot = log_dfg_dot(running_log)
+        # rcp starts traces, inf/arv end them: rendered as boxes.
+        assert '"rcp" [shape=box];' in dot
+        assert '"acc" [shape=ellipse];' in dot
+
+    def test_deterministic_output(self, running_log):
+        assert log_dfg_dot(running_log) == log_dfg_dot(running_log)

@@ -1,0 +1,91 @@
+"""End-to-end fuzzing of the full GECCO pipeline on random logs.
+
+Property-based integration tests: for arbitrary small logs and a mix of
+constraint shapes, the pipeline must either produce a valid, constraint-
+satisfying abstraction or report infeasibility with diagnostics — never
+crash, never emit an invalid grouping.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import (
+    CannotLink,
+    ConstraintSet,
+    MaxGroups,
+    MaxGroupSize,
+    MinGroupSize,
+)
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.eventlog.events import log_from_variants
+
+CLASSES = ["a", "b", "c", "d", "e"]
+
+variant_strategy = st.lists(st.sampled_from(CLASSES), min_size=1, max_size=7)
+log_strategy = st.lists(variant_strategy, min_size=1, max_size=7).map(
+    log_from_variants
+)
+
+
+def constraint_strategy():
+    return st.lists(
+        st.one_of(
+            st.builds(MaxGroupSize, st.integers(min_value=1, max_value=5)),
+            st.builds(MinGroupSize, st.integers(min_value=1, max_value=2)),
+            st.builds(MaxGroups, st.integers(min_value=1, max_value=6)),
+            st.builds(
+                CannotLink,
+                st.just("a"),
+                st.sampled_from(["b", "c", "d", "e"]),
+            ),
+        ),
+        min_size=0,
+        max_size=3,
+    ).map(ConstraintSet)
+
+
+@given(log=log_strategy, constraints=constraint_strategy())
+@settings(max_examples=40, deadline=None)
+def test_pipeline_never_crashes_and_output_is_valid(log, constraints):
+    result = Gecco(constraints, GeccoConfig(strategy="dfg", solver="bnb")).abstract(log)
+    if result.feasible:
+        grouping = result.grouping
+        covered = sorted(cls for group in grouping for cls in group)
+        assert covered == sorted(log.classes)
+        # Class-based constraints hold on every selected group.
+        for group in grouping:
+            assert constraints.check_class_constraints(group, None)
+        assert constraints.check_grouping_size(len(grouping))
+        assert len(result.abstracted_log) == len(log)
+        for original, lifted in zip(log, result.abstracted_log):
+            assert 1 <= len(lifted) <= len(original)
+    else:
+        assert result.abstracted_log is log
+        assert result.infeasibility is not None
+
+
+@given(log=log_strategy)
+@settings(max_examples=20, deadline=None)
+def test_strategies_agree_on_feasibility(log):
+    constraints = ConstraintSet([MaxGroupSize(3)])
+    dfg_result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(log)
+    exh_result = Gecco(constraints, GeccoConfig.exhaustive()).abstract(log)
+    # The exhaustive candidate set is a superset: whenever the DFG-based
+    # instantiation solves, so must the exhaustive one, at no worse cost.
+    if dfg_result.feasible:
+        assert exh_result.feasible
+        assert exh_result.distance <= dfg_result.distance + 1e-9
+
+
+@given(log=log_strategy)
+@settings(max_examples=20, deadline=None)
+def test_start_complete_no_shorter_than_complete(log):
+    constraints = ConstraintSet([])
+    complete = Gecco(
+        constraints, GeccoConfig(abstraction_strategy="complete")
+    ).abstract(log)
+    both = Gecco(
+        constraints, GeccoConfig(abstraction_strategy="start_complete")
+    ).abstract(log)
+    if complete.feasible and both.feasible:
+        for trace_c, trace_b in zip(complete.abstracted_log, both.abstracted_log):
+            assert len(trace_b) >= len(trace_c)

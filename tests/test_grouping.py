@@ -1,0 +1,93 @@
+"""Unit tests for the Grouping value object."""
+
+import pytest
+
+from repro.core.grouping import Grouping, singleton_grouping
+from repro.exceptions import GroupingError
+
+UNIVERSE = frozenset({"a", "b", "c", "d"})
+
+
+class TestValidation:
+    def test_valid_exact_cover(self):
+        grouping = Grouping([{"a", "b"}, {"c"}, {"d"}], UNIVERSE)
+        assert len(grouping) == 3
+
+    def test_rejects_overlap(self):
+        with pytest.raises(GroupingError, match="disjoint"):
+            Grouping([{"a", "b"}, {"b", "c"}, {"d"}], UNIVERSE)
+
+    def test_rejects_uncovered(self):
+        with pytest.raises(GroupingError, match="uncovered"):
+            Grouping([{"a", "b"}], UNIVERSE)
+
+    def test_rejects_unknown_classes(self):
+        with pytest.raises(GroupingError, match="unknown"):
+            Grouping([{"a", "b", "c", "d", "zz"}], UNIVERSE)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(GroupingError, match="empty"):
+            Grouping([set(), UNIVERSE], UNIVERSE)
+
+
+class TestLabels:
+    def test_singletons_keep_class_name(self):
+        grouping = Grouping([{"a"}, {"b", "c", "d"}], UNIVERSE)
+        assert grouping.label_of({"a"}) == "a"
+
+    def test_multi_groups_get_activity_labels(self):
+        grouping = Grouping([{"a", "b"}, {"c", "d"}], UNIVERSE)
+        labels = {grouping.label_of({"a", "b"}), grouping.label_of({"c", "d"})}
+        assert labels == {"Activity_1", "Activity_2"}
+
+    def test_explicit_labels(self):
+        grouping = Grouping(
+            [{"a", "b"}, {"c"}, {"d"}],
+            UNIVERSE,
+            labels={frozenset({"a", "b"}): "clerk_phase"},
+        )
+        assert grouping.label_of({"a", "b"}) == "clerk_phase"
+
+    def test_relabel(self):
+        grouping = Grouping([{"a", "b"}, {"c"}, {"d"}], UNIVERSE)
+        renamed = grouping.relabel({frozenset({"a", "b"}): "X"})
+        assert renamed.label_of({"a", "b"}) == "X"
+        assert grouping.label_of({"a", "b"}) != "X"
+
+    def test_label_of_unknown_group(self):
+        grouping = Grouping([{"a", "b"}, {"c"}, {"d"}], UNIVERSE)
+        with pytest.raises(GroupingError):
+            grouping.label_of({"a"})
+
+
+class TestQueries:
+    def test_group_of(self):
+        grouping = Grouping([{"a", "b"}, {"c"}, {"d"}], UNIVERSE)
+        assert grouping.group_of("a") == frozenset({"a", "b"})
+        assert grouping.label_of_class("a") == grouping.label_of({"a", "b"})
+
+    def test_group_of_unknown(self):
+        grouping = Grouping([UNIVERSE], UNIVERSE)
+        with pytest.raises(GroupingError):
+            grouping.group_of("zz")
+
+    def test_contains(self):
+        grouping = Grouping([{"a", "b"}, {"c"}, {"d"}], UNIVERSE)
+        assert {"a", "b"} in grouping
+        assert {"a"} not in grouping
+
+    def test_size_reduction(self):
+        grouping = Grouping([{"a", "b"}, {"c", "d"}], UNIVERSE)
+        assert grouping.size_reduction == pytest.approx(0.5)
+
+    def test_non_trivial_groups(self):
+        grouping = Grouping([{"a", "b"}, {"c"}, {"d"}], UNIVERSE)
+        assert grouping.non_trivial_groups() == [frozenset({"a", "b"})]
+
+
+class TestSingletonGrouping:
+    def test_structure(self):
+        grouping = singleton_grouping(UNIVERSE)
+        assert len(grouping) == 4
+        assert all(len(group) == 1 for group in grouping)
+        assert grouping.size_reduction == 1.0

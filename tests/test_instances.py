@@ -1,0 +1,107 @@
+"""Unit tests for group-instance detection (the ``inst`` function)."""
+
+import pytest
+
+from repro.core.instances import (
+    InstanceIndex,
+    instance_events,
+    instances_in_log,
+    instances_in_trace,
+)
+from repro.eventlog.events import Event, Trace, log_from_variants
+from repro.exceptions import EventLogError
+
+
+def trace_of(*classes):
+    return Trace([Event(cls) for cls in classes])
+
+
+class TestRepeatSplit:
+    def test_simple_projection_single_instance(self):
+        trace = trace_of("a", "b", "c", "d")
+        instances = instances_in_trace(trace, frozenset({"a", "c"}))
+        assert instances == [[0, 2]]
+
+    def test_paper_sigma4_example(self, running_log):
+        # inst(σ4, {rcp, ckc, ckt}) = {⟨rcp, ckc⟩, ⟨rcp, ckt⟩}
+        sigma4 = running_log[3]
+        instances = instances_in_trace(sigma4, frozenset({"rcp", "ckc", "ckt"}))
+        rendered = [
+            [sigma4[p].event_class for p in positions] for positions in instances
+        ]
+        assert rendered == [["rcp", "ckc"], ["rcp", "ckt"]]
+
+    def test_split_on_repeat(self):
+        trace = trace_of("a", "b", "a", "b")
+        instances = instances_in_trace(trace, frozenset({"a", "b"}))
+        assert instances == [[0, 1], [2, 3]]
+
+    def test_no_group_events(self):
+        trace = trace_of("x", "y")
+        assert instances_in_trace(trace, frozenset({"a"})) == []
+
+    def test_unknown_policy(self):
+        with pytest.raises(EventLogError):
+            instances_in_trace(trace_of("a"), frozenset({"a"}), policy="zigzag")
+
+
+class TestNonePolicy:
+    def test_projection_is_single_instance(self):
+        trace = trace_of("a", "b", "a", "b")
+        instances = instances_in_trace(trace, frozenset({"a", "b"}), policy="none")
+        assert instances == [[0, 1, 2, 3]]
+
+
+class TestGapPolicy:
+    def test_splits_on_large_gap(self):
+        trace = trace_of("a", "x", "x", "x", "x", "a")
+        instances = instances_in_trace(
+            trace, frozenset({"a"}), policy="gap", gap_limit=3
+        )
+        assert instances == [[0], [5]]
+
+    def test_keeps_within_gap(self):
+        trace = trace_of("a", "x", "a")
+        instances = instances_in_trace(
+            trace, frozenset({"a"}), policy="gap", gap_limit=3
+        )
+        assert instances == [[0, 2]]
+
+
+class TestInstancesInLog:
+    def test_only_relevant_traces_contribute(self):
+        log = log_from_variants([["a", "b"], ["x", "y"], ["a"]])
+        instances = instances_in_log(log, frozenset({"a"}))
+        assert [(t, p) for t, p in instances] == [(0, [0]), (2, [0])]
+
+    def test_instance_events_materialization(self):
+        log = log_from_variants([["a", "b", "c"]])
+        (trace_index, positions), = instances_in_log(log, frozenset({"a", "c"}))
+        events = instance_events(log[trace_index], positions)
+        assert [event.event_class for event in events] == ["a", "c"]
+
+
+class TestInstanceIndex:
+    def test_caches_positions(self, running_log):
+        index = InstanceIndex(running_log)
+        group = frozenset({"rcp", "ckc"})
+        first = index.positions(group)
+        second = index.positions(group)
+        assert first is second
+        assert index.cache_size() == 1
+
+    def test_events_match_positions(self, running_log):
+        index = InstanceIndex(running_log)
+        group = frozenset({"acc"})
+        events = index.events(group)
+        assert all(e.event_class == "acc" for instance in events for e in instance)
+        assert index.count(group) == 3  # acc occurs in σ1, σ3, σ4
+
+    def test_count_of_repeating_group(self, running_log):
+        index = InstanceIndex(running_log)
+        # g_clrk1 has 5 instances: one in σ1..σ3 and two in σ4.
+        assert index.count(frozenset({"rcp", "ckc", "ckt"})) == 5
+
+    def test_policy_validated(self, running_log):
+        with pytest.raises(EventLogError):
+            InstanceIndex(running_log, policy="bogus")

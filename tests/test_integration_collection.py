@@ -1,0 +1,107 @@
+"""Integration tests: the full pipeline across the synthetic collection.
+
+These exercise GECCO end to end on several collection logs and check
+the invariants that must hold for *any* feasible abstraction problem —
+exact cover, constraint satisfaction of the produced grouping, event
+conservation in the abstracted log, and agreement between solver
+backends.
+"""
+
+import pytest
+
+from repro.constraints import class_attribute_view
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.core.instances import InstanceIndex
+from repro.datasets.collection import build_collection
+from repro.experiments.configs import constraint_set_for_log
+
+
+@pytest.fixture(scope="module")
+def logs():
+    return {
+        name: log
+        for name, log in build_collection(max_traces=30, max_classes=9).items()
+        if name in ("road_fines", "credit", "sepsis", "bpic13", "wabo")
+    }
+
+
+@pytest.mark.parametrize("set_name", ["A", "BL1", "Gr"])
+def test_grouping_invariants_across_logs(logs, set_name):
+    for log_name, log in logs.items():
+        constraints = constraint_set_for_log(set_name, log)
+        result = Gecco(
+            constraints, GeccoConfig(strategy="dfg", beam_width="auto")
+        ).abstract(log)
+        if not result.feasible:
+            continue
+        grouping = result.grouping
+
+        # Exact cover.
+        covered = sorted(cls for group in grouping for cls in group)
+        assert covered == sorted(log.classes), (log_name, set_name)
+
+        # Every selected group satisfies the per-group constraints.
+        view = class_attribute_view(log)
+        index = InstanceIndex(log)
+        for group in grouping:
+            assert constraints.check_class_constraints(group, view), (
+                log_name, set_name, sorted(group),
+            )
+            assert constraints.check_instance_constraints(
+                group, index.events(group)
+            ), (log_name, set_name, sorted(group))
+
+        # Grouping constraints hold for the grouping size.
+        assert constraints.check_grouping_size(len(grouping))
+
+
+def test_abstracted_logs_conserve_traces(logs):
+    for log_name, log in logs.items():
+        constraints = constraint_set_for_log("BL1", log)
+        result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(log)
+        if not result.feasible:
+            continue
+        abstracted = result.abstracted_log
+        # One abstracted trace per original trace...
+        assert len(abstracted) == len(log), log_name
+        # ... each non-empty and no longer than its original.
+        for original, lifted in zip(log, abstracted):
+            assert 1 <= len(lifted) <= len(original), log_name
+
+
+def test_backends_agree_across_collection(logs):
+    for log_name, log in logs.items():
+        constraints = constraint_set_for_log("BL1", log)
+        scipy_result = Gecco(
+            constraints, GeccoConfig(strategy="dfg", solver="scipy")
+        ).abstract(log)
+        bnb_result = Gecco(
+            constraints, GeccoConfig(strategy="dfg", solver="bnb")
+        ).abstract(log)
+        assert scipy_result.feasible == bnb_result.feasible, log_name
+        if scipy_result.feasible:
+            assert scipy_result.distance == pytest.approx(
+                bnb_result.distance, abs=1e-6
+            ), log_name
+
+
+def test_dfg_candidates_subset_of_exhaustive_across_logs(logs):
+    from repro.core.candidates import exhaustive_candidates
+    from repro.core.dfg_candidates import dfg_candidates
+
+    for log_name, log in logs.items():
+        constraints = constraint_set_for_log("BL1", log)
+        dfg_result = dfg_candidates(log, constraints)
+        exhaustive_result = exhaustive_candidates(log, constraints, timeout=30)
+        if exhaustive_result.stats.timed_out:
+            continue
+        assert dfg_result.groups <= exhaustive_result.groups, log_name
+
+
+def test_exhaustive_objective_never_worse(logs):
+    for log_name, log in logs.items():
+        constraints = constraint_set_for_log("BL1", log)
+        dfg_result = Gecco(constraints, GeccoConfig(strategy="dfg")).abstract(log)
+        exh_result = Gecco(constraints, GeccoConfig.exhaustive()).abstract(log)
+        if dfg_result.feasible and exh_result.feasible:
+            assert exh_result.distance <= dfg_result.distance + 1e-9, log_name

@@ -1,0 +1,127 @@
+"""Unit tests for the evaluation measures."""
+
+import numpy as np
+import pytest
+
+from repro.core.gecco import Gecco, GeccoConfig
+from repro.datasets import PAPER_OPTIMAL_GROUPS
+from repro.eventlog.events import log_from_variants
+from repro.exceptions import GroupingError
+from repro.measures.positional import (
+    class_position_profiles,
+    positional_distance_matrix,
+)
+from repro.measures.reduction import (
+    complexity_reduction,
+    size_reduction,
+    size_reduction_of,
+)
+from repro.measures.silhouette import silhouette_coefficient, silhouette_from_matrix
+
+
+class TestSizeReduction:
+    def test_basic(self):
+        assert size_reduction(8, 24) == pytest.approx(1 - 8 / 24)
+
+    def test_no_reduction(self):
+        assert size_reduction(5, 5) == 0.0
+
+    def test_degenerate_universe(self):
+        assert size_reduction(0, 0) == 0.0
+
+    def test_of_grouping(self, running_log):
+        assert size_reduction_of(PAPER_OPTIMAL_GROUPS, running_log) == pytest.approx(0.5)
+
+
+class TestComplexityReduction:
+    def test_abstraction_reduces_complexity(self, running_log, role_constraints):
+        result = Gecco(role_constraints, GeccoConfig()).abstract(running_log)
+        reduction = complexity_reduction(running_log, result.abstracted_log)
+        assert reduction > 0
+
+    def test_identity_abstraction_is_zero(self, running_log):
+        assert complexity_reduction(running_log, running_log) == pytest.approx(0.0)
+
+    def test_sequential_original_returns_zero(self):
+        log = log_from_variants([["a", "b", "c"]] * 3)
+        assert complexity_reduction(log, log) == 0.0
+
+
+class TestPositionalDistance:
+    def test_profiles(self):
+        log = log_from_variants([["a", "b", "a"]])
+        (profile,) = class_position_profiles(log)
+        assert profile["a"] == 1.0  # positions 0 and 2
+        assert profile["b"] == 1.0
+
+    def test_matrix_symmetric_zero_diagonal(self, running_log):
+        classes, matrix = positional_distance_matrix(running_log)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_adjacent_closer_than_distant(self, running_log):
+        classes, matrix = positional_distance_matrix(running_log)
+        index = {cls: i for i, cls in enumerate(classes)}
+        close = matrix[index["rcp"], index["ckc"]]
+        far = matrix[index["rcp"], index["arv"]]
+        assert close < far
+
+    def test_never_cooccurring_pair_penalized(self):
+        log = log_from_variants([["a", "b"], ["c", "b"]])
+        classes, matrix = positional_distance_matrix(log)
+        index = {cls: i for i, cls in enumerate(classes)}
+        assert matrix[index["a"], index["c"]] > matrix[index["a"], index["b"]]
+
+
+class TestSilhouette:
+    def test_good_grouping_scores_higher(self, running_log):
+        good = silhouette_coefficient(running_log, PAPER_OPTIMAL_GROUPS)
+        bad = silhouette_coefficient(
+            running_log,
+            [
+                {"rcp", "arv"},   # start + end: incoherent
+                {"ckc", "inf"},
+                {"ckt", "prio"},
+                {"acc"},
+                {"rej"},
+            ],
+        )
+        assert good > bad
+
+    def test_single_group_is_zero(self, running_log):
+        assert silhouette_coefficient(running_log, [running_log.classes]) == 0.0
+
+    def test_all_singletons_are_zero(self, running_log):
+        grouping = [{cls} for cls in running_log.classes]
+        assert silhouette_coefficient(running_log, grouping) == 0.0
+
+    def test_range(self, running_log):
+        value = silhouette_coefficient(running_log, PAPER_OPTIMAL_GROUPS)
+        assert -1.0 <= value <= 1.0
+
+    def test_unknown_class_rejected(self, running_log):
+        classes, matrix = positional_distance_matrix(running_log)
+        with pytest.raises(GroupingError):
+            silhouette_from_matrix([{"zz"}], classes, matrix)
+
+
+class TestVariantReduction:
+    def test_abstraction_collapses_variants(self, running_log, role_constraints):
+        from repro.measures.reduction import variant_reduction
+
+        result = Gecco(role_constraints, GeccoConfig()).abstract(running_log)
+        # 4 variants collapse to 3 abstracted variants (σ1 and σ3 merge).
+        assert variant_reduction(running_log, result.abstracted_log) == pytest.approx(
+            1 - 3 / 4
+        )
+
+    def test_identity_is_zero(self, running_log):
+        from repro.measures.reduction import variant_reduction
+
+        assert variant_reduction(running_log, running_log) == 0.0
+
+    def test_empty_log(self):
+        from repro.measures.reduction import variant_reduction
+
+        empty = log_from_variants([])
+        assert variant_reduction(empty, empty) == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the mining substrate (discovery + complexity)."""
+
+import pytest
+
+from repro.eventlog.events import log_from_variants
+from repro.exceptions import DiscoveryError
+from repro.mining.complexity import (
+    complexity_report,
+    control_flow_complexity,
+    split_contribution,
+)
+from repro.mining.discovery import DiscoveryParameters, discover_model
+from repro.mining.model import SplitKind
+
+
+class TestDiscovery:
+    def test_sequential_model(self):
+        log = log_from_variants([["a", "b", "c"]] * 5)
+        model = discover_model(log)
+        assert model.activities == frozenset({"a", "b", "c"})
+        assert model.split_of("a") is SplitKind.NONE
+        assert control_flow_complexity(model) == 0
+
+    def test_xor_split_detected(self):
+        log = log_from_variants({("a", "b", "d"): 5, ("a", "c", "d"): 5})
+        model = discover_model(log)
+        assert model.split_of("a") is SplitKind.XOR
+        assert model.joins["d"] is SplitKind.XOR
+        assert control_flow_complexity(model) == 2
+
+    def test_and_split_detected(self):
+        # b and c in both orders with balanced frequencies -> concurrent.
+        log = log_from_variants({("a", "b", "c", "d"): 5, ("a", "c", "b", "d"): 5})
+        model = discover_model(log)
+        assert model.is_concurrent("b", "c")
+        assert model.split_of("a") is SplitKind.AND
+        assert control_flow_complexity(model) == 1
+
+    def test_loop_not_marked_concurrent(self):
+        # b>c dominates c>b heavily: unbalanced -> not concurrent.
+        log = log_from_variants({("a", "b", "c", "d"): 9, ("a", "c", "b", "d"): 1})
+        model = discover_model(log, DiscoveryParameters(epsilon=0.3))
+        assert not model.is_concurrent("b", "c")
+
+    def test_epsilon_widens_concurrency(self):
+        log = log_from_variants({("a", "b", "c", "d"): 9, ("a", "c", "b", "d"): 1})
+        model = discover_model(log, DiscoveryParameters(epsilon=1.0))
+        assert model.is_concurrent("b", "c")
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(DiscoveryError):
+            discover_model(log_from_variants([]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryParameters(epsilon=1.5)
+        with pytest.raises(DiscoveryError):
+            DiscoveryParameters(eta=-0.1)
+
+    def test_eta_filters_rare_edges(self):
+        log = log_from_variants(
+            {("a", "b", "d"): 20, ("a", "c", "d"): 20, ("a", "d"): 1}
+        )
+        full = discover_model(log, DiscoveryParameters(eta=0.0))
+        filtered = discover_model(log, DiscoveryParameters(eta=0.9))
+        assert len(filtered.edges) <= len(full.edges)
+
+    def test_start_end_activities(self):
+        log = log_from_variants([["a", "b"], ["a", "c"]])
+        model = discover_model(log)
+        assert model.start_activities == frozenset({"a"})
+        assert model.end_activities == frozenset({"b", "c"})
+
+    def test_deterministic(self, running_log):
+        model_a = discover_model(running_log)
+        model_b = discover_model(running_log)
+        assert model_a.edges == model_b.edges
+        assert model_a.splits == model_b.splits
+
+
+class TestComplexity:
+    def test_split_contributions(self):
+        assert split_contribution(SplitKind.XOR, 3) == 3
+        assert split_contribution(SplitKind.AND, 3) == 1
+        assert split_contribution(SplitKind.OR, 3) == 7
+        assert split_contribution(SplitKind.NONE, 1) == 0
+        assert split_contribution(SplitKind.XOR, 1) == 0
+
+    def test_or_contribution_capped(self):
+        assert split_contribution(SplitKind.OR, 64) == (1 << 16) - 1
+
+    def test_running_example_complexity_positive(self, running_log):
+        model = discover_model(running_log)
+        assert control_flow_complexity(model) > 0
+
+    def test_report_fields(self, running_log):
+        report = complexity_report(discover_model(running_log))
+        assert report.num_activities == 8
+        assert report.cfc >= 0
+        assert report.size >= report.num_activities
+        assert report.cnc == pytest.approx(report.num_edges / report.num_activities)
+
+    def test_model_size_counts_gateways(self):
+        log = log_from_variants({("a", "b", "d"): 5, ("a", "c", "d"): 5})
+        model = discover_model(log)
+        assert model.num_gateways == 2  # split at a, join at d
+        assert model.size == 4 + 2

@@ -1,0 +1,127 @@
+"""Unit tests for noise injection and experiment-report persistence."""
+
+import io
+
+import pytest
+
+from repro.datasets.noise import (
+    apply_noise,
+    drop_noise,
+    duplicate_noise,
+    insert_noise,
+    swap_noise,
+)
+from repro.eventlog.events import log_from_variants
+from repro.exceptions import EventLogError, ReproError
+from repro.experiments.persistence import (
+    export_csv,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+from repro.experiments.runner import ExperimentReport, ProblemResult
+
+
+@pytest.fixture
+def clean_log():
+    return log_from_variants([["a", "b", "c", "d"]] * 20)
+
+
+class TestNoiseOperators:
+    def test_rate_validation(self, clean_log):
+        for operator in (swap_noise, drop_noise, duplicate_noise, insert_noise):
+            with pytest.raises(EventLogError):
+                operator(clean_log, 1.5)
+
+    def test_zero_rate_is_identity(self, clean_log):
+        for operator in (swap_noise, drop_noise, duplicate_noise, insert_noise):
+            noisy = operator(clean_log, 0.0)
+            assert [t.variant() for t in noisy] == [t.variant() for t in clean_log]
+
+    def test_swap_preserves_multiset(self, clean_log):
+        noisy = swap_noise(clean_log, 0.5, seed=3)
+        for original, corrupted in zip(clean_log, noisy):
+            assert sorted(corrupted.classes) == sorted(original.classes)
+        assert any(
+            corrupted.variant() != original.variant()
+            for original, corrupted in zip(clean_log, noisy)
+        )
+
+    def test_drop_shrinks_but_never_empties(self, clean_log):
+        noisy = drop_noise(clean_log, 0.9, seed=3)
+        assert noisy.event_count < clean_log.event_count
+        assert all(len(trace) >= 1 for trace in noisy)
+
+    def test_duplicate_grows(self, clean_log):
+        noisy = duplicate_noise(clean_log, 0.5, seed=3)
+        assert noisy.event_count > clean_log.event_count
+        # Duplicates are adjacent copies of existing classes.
+        assert noisy.classes == clean_log.classes
+
+    def test_insert_only_existing_classes(self, clean_log):
+        noisy = insert_noise(clean_log, 0.5, seed=3)
+        assert noisy.classes == clean_log.classes
+        assert noisy.event_count > clean_log.event_count
+
+    def test_deterministic_per_seed(self, clean_log):
+        noisy_a = apply_noise(clean_log, swap=0.3, drop=0.1, seed=9)
+        noisy_b = apply_noise(clean_log, swap=0.3, drop=0.1, seed=9)
+        assert [t.variant() for t in noisy_a] == [t.variant() for t in noisy_b]
+        noisy_c = apply_noise(clean_log, swap=0.3, drop=0.1, seed=10)
+        assert [t.variant() for t in noisy_a] != [t.variant() for t in noisy_c]
+
+    def test_inputs_never_mutated(self, clean_log):
+        before = [t.variant() for t in clean_log]
+        apply_noise(clean_log, swap=0.5, drop=0.5, duplicate=0.5, insert=0.5)
+        assert [t.variant() for t in clean_log] == before
+
+    def test_abstraction_survives_moderate_noise(self, running_log, role_constraints):
+        """Robustness: GECCO still solves the noisy running example."""
+        from repro.core.gecco import Gecco, GeccoConfig
+
+        noisy = apply_noise(running_log, swap=0.15, duplicate=0.1, seed=2)
+        result = Gecco(role_constraints, GeccoConfig(strategy="dfg")).abstract(noisy)
+        assert result.feasible
+
+
+class TestPersistence:
+    @pytest.fixture
+    def report(self):
+        return ExperimentReport(
+            rows=[
+                ProblemResult("sepsis", "A", "Exh", True, 0.5, 0.4, 0.1, 1.25, 4, 77),
+                ProblemResult("wabo", "M", "DFGk", False, error="timeout"),
+            ]
+        )
+
+    def test_json_roundtrip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        recovered = load_report(path)
+        assert recovered.rows == report.rows
+
+    def test_json_roundtrip_via_handle(self, report):
+        buffer = io.StringIO()
+        save_report(report, buffer)
+        buffer.seek(0)
+        assert load_report(buffer).rows == report.rows
+
+    def test_dict_validation(self):
+        with pytest.raises(ReproError):
+            report_from_dict({})
+        with pytest.raises(ReproError):
+            report_from_dict({"rows": [{"bogus_field": 1}]})
+
+    def test_csv_export(self, report, tmp_path):
+        path = tmp_path / "report.csv"
+        export_csv(report, path)
+        text = path.read_text()
+        assert "sepsis" in text
+        assert text.splitlines()[0].startswith("log_name,")
+        assert len(text.strip().splitlines()) == 3
+
+    def test_to_dict_shape(self, report):
+        data = report_to_dict(report)
+        assert len(data["rows"]) == 2
+        assert data["rows"][0]["approach"] == "Exh"

@@ -1,0 +1,115 @@
+"""Unit tests for the JSON constraint parser."""
+
+import pytest
+
+from repro.constraints.base import AtLeastFraction
+from repro.constraints.classbased import MaxGroupSize
+from repro.constraints.grouping import MaxGroups
+from repro.constraints.instancebased import MaxInstanceAggregate
+from repro.constraints.parser import (
+    known_constraint_types,
+    parse_constraint,
+    parse_constraints,
+)
+from repro.exceptions import ConstraintError
+
+
+class TestParseConstraint:
+    def test_class_constraint(self):
+        constraint = parse_constraint({"type": "max_group_size", "bound": 8})
+        assert isinstance(constraint, MaxGroupSize)
+        assert constraint.bound == 8
+
+    def test_grouping_constraint(self):
+        constraint = parse_constraint({"type": "max_groups", "bound": 3})
+        assert isinstance(constraint, MaxGroups)
+
+    def test_instance_constraint(self):
+        constraint = parse_constraint(
+            {"type": "max_instance_aggregate", "key": "cost", "how": "sum", "threshold": 500}
+        )
+        assert isinstance(constraint, MaxInstanceAggregate)
+        assert constraint.threshold == 500
+
+    def test_fraction_wraps_instance_constraint(self):
+        constraint = parse_constraint(
+            {
+                "type": "max_instance_aggregate",
+                "key": "cost",
+                "how": "sum",
+                "threshold": 500,
+                "fraction": 0.95,
+            }
+        )
+        assert isinstance(constraint, AtLeastFraction)
+        assert constraint.fraction == 0.95
+
+    def test_fraction_rejected_for_class_constraint(self):
+        with pytest.raises(ConstraintError):
+            parse_constraint(
+                {"type": "max_group_size", "bound": 8, "fraction": 0.9}
+            )
+
+    def test_missing_type(self):
+        with pytest.raises(ConstraintError, match="type"):
+            parse_constraint({"bound": 8})
+
+    def test_unknown_type(self):
+        with pytest.raises(ConstraintError, match="unknown constraint type"):
+            parse_constraint({"type": "fancy"})
+
+    def test_missing_field(self):
+        with pytest.raises(ConstraintError, match="missing"):
+            parse_constraint({"type": "cannot_link", "class_a": "a"})
+
+    def test_unknown_field(self):
+        with pytest.raises(ConstraintError, match="unknown fields"):
+            parse_constraint({"type": "max_group_size", "bound": 8, "color": "red"})
+
+    def test_optional_field(self):
+        constraint = parse_constraint(
+            {"type": "min_events_per_class", "bound": 2, "classes": ["a"]}
+        )
+        assert constraint.classes == frozenset({"a"})
+
+
+class TestParseConstraints:
+    def test_builds_set(self):
+        constraint_set = parse_constraints(
+            [
+                {"type": "max_group_size", "bound": 8},
+                {"type": "max_groups", "bound": 3},
+            ]
+        )
+        assert len(constraint_set) == 2
+        assert constraint_set.max_groups == 3
+
+    def test_empty_list(self):
+        assert len(parse_constraints([])) == 0
+
+    def test_known_types_all_parseable(self):
+        # Every registered type has a smoke-test spec.
+        samples = {
+            "max_groups": {"bound": 3},
+            "min_groups": {"bound": 2},
+            "exact_groups": {"count": 4},
+            "max_group_size": {"bound": 5},
+            "min_group_size": {"bound": 2},
+            "cannot_link": {"class_a": "a", "class_b": "b"},
+            "must_link": {"class_a": "a", "class_b": "b"},
+            "max_distinct_class_attribute": {"key": "origin", "bound": 1},
+            "min_distinct_class_attribute": {"key": "origin", "bound": 2},
+            "required_classes": {"allowed": ["a", "b"]},
+            "max_instance_aggregate": {"key": "cost", "how": "sum", "threshold": 10},
+            "min_instance_aggregate": {"key": "cost", "how": "sum", "threshold": 10},
+            "max_distinct_instance_attribute": {"key": "org:role", "bound": 3},
+            "min_distinct_instance_attribute": {"key": "org:role", "bound": 1},
+            "max_instance_duration": {"seconds": 60},
+            "min_instance_duration": {"seconds": 60},
+            "max_consecutive_gap": {"seconds": 600},
+            "max_events_per_class": {"bound": 1},
+            "min_events_per_class": {"bound": 1},
+        }
+        for type_tag in known_constraint_types():
+            assert type_tag in samples, f"no sample for {type_tag}"
+            parse_constraint({"type": type_tag, **samples[type_tag]})

@@ -1,0 +1,135 @@
+"""Unit tests for the Petri-net substrate (alpha miner + token replay)."""
+
+import pytest
+
+from repro.eventlog.events import log_from_variants
+from repro.exceptions import DiscoveryError
+from repro.mining.alpha import alpha_miner, order_relations
+from repro.mining.petri import PetriNet, Place, petri_to_dot, token_replay
+
+
+class TestOrderRelations:
+    def test_causality_and_parallel(self):
+        log = log_from_variants({("a", "b", "c", "d"): 5, ("a", "c", "b", "d"): 5})
+        causal, follows, parallel = order_relations(log)
+        assert ("a", "b") in causal
+        assert ("a", "c") in causal
+        assert frozenset({"b", "c"}) in parallel
+        assert ("b", "c") not in causal  # mutual -> parallel, not causal
+
+    def test_pure_sequence(self):
+        log = log_from_variants([["a", "b", "c"]])
+        causal, follows, parallel = order_relations(log)
+        assert causal == {("a", "b"), ("b", "c")}
+        assert not parallel
+
+
+class TestAlphaMiner:
+    def test_sequence_net_structure(self):
+        log = log_from_variants([["a", "b", "c"]] * 3)
+        net = alpha_miner(log)
+        # start, end + one place per causal pair.
+        assert net.size == 4 + 3
+        assert net.inputs["a"] == frozenset({net.initial_place})
+        assert net.outputs["c"] == frozenset({net.final_place})
+
+    def test_xor_shares_places(self):
+        log = log_from_variants({("a", "b", "d"): 5, ("a", "c", "d"): 5})
+        net = alpha_miner(log)
+        # The choice between b and c shares one input and one output place:
+        # p_{a}->{b,c} and p_{b,c}->{d}.
+        assert net.outputs["a"] == net.inputs["b"] | net.inputs["c"]
+        assert len(net.outputs["a"]) == 1
+
+    def test_parallel_distinct_places(self):
+        log = log_from_variants({("a", "b", "c", "d"): 5, ("a", "c", "b", "d"): 5})
+        net = alpha_miner(log)
+        # b and c are parallel: they must not share an input place.
+        assert not (net.inputs["b"] & net.inputs["c"])
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(DiscoveryError):
+            alpha_miner(log_from_variants([]))
+
+    def test_perfect_fitness_on_structured_logs(self):
+        for variants in (
+            {("a", "b", "c"): 4},
+            {("a", "b", "d"): 4, ("a", "c", "d"): 4},
+            {("a", "b", "c", "d"): 4, ("a", "c", "b", "d"): 4},
+        ):
+            log = log_from_variants(variants)
+            net = alpha_miner(log)
+            replay = token_replay(net, log)
+            assert replay.fitness == pytest.approx(1.0), variants
+            assert replay.fitting_traces == replay.total_traces
+
+
+class TestTokenReplay:
+    @pytest.fixture
+    def seq_net(self):
+        return alpha_miner(log_from_variants([["a", "b", "c"]] * 3))
+
+    def test_non_fitting_trace_penalized(self, seq_net):
+        wrong = log_from_variants([["a", "c", "b"]])
+        replay = token_replay(seq_net, wrong)
+        assert replay.fitness < 1.0
+        assert replay.missing > 0
+        assert replay.fitting_traces == 0
+
+    def test_unknown_classes_skipped(self, seq_net):
+        log = log_from_variants([["a", "zz", "b", "c"]])
+        replay = token_replay(seq_net, log)
+        assert replay.fitness == pytest.approx(1.0)
+
+    def test_fitness_between_zero_and_one(self, seq_net, running_log):
+        replay = token_replay(seq_net, running_log)
+        assert 0.0 <= replay.fitness <= 1.0
+
+
+class TestPetriNetMechanics:
+    def test_fire_moves_tokens(self):
+        place_in, place_out = Place("i"), Place("o")
+        net = PetriNet(
+            transitions=frozenset({"t"}),
+            places=frozenset({place_in, place_out}),
+            inputs={"t": frozenset({place_in})},
+            outputs={"t": frozenset({place_out})},
+            initial_place=place_in,
+            final_place=place_out,
+        )
+        marking = net.initial_marking()
+        assert net.is_enabled("t", marking)
+        after = net.fire("t", marking)
+        assert after[place_out] == 1
+        assert after[place_in] == 0
+
+    def test_fire_disabled_raises(self):
+        place_in, place_out = Place("i"), Place("o")
+        net = PetriNet(
+            transitions=frozenset({"t"}),
+            places=frozenset({place_in, place_out}),
+            inputs={"t": frozenset({place_in})},
+            outputs={"t": frozenset({place_out})},
+            initial_place=place_in,
+            final_place=place_out,
+        )
+        from collections import Counter
+
+        with pytest.raises(DiscoveryError):
+            net.fire("t", Counter())
+
+    def test_dot_rendering(self):
+        net = alpha_miner(log_from_variants([["a", "b"]]))
+        dot = petri_to_dot(net)
+        assert '"t:a"' in dot and "shape=box" in dot and "shape=circle" in dot
+
+
+class TestAbstractionImprovesFitnessStructure:
+    def test_abstracted_log_yields_simpler_net(self, running_log, role_constraints):
+        """The paper's §I claim: abstraction yields more structured models."""
+        from repro.core.gecco import Gecco
+
+        result = Gecco(role_constraints).abstract(running_log)
+        net_before = alpha_miner(running_log)
+        net_after = alpha_miner(result.abstracted_log)
+        assert net_after.size < net_before.size

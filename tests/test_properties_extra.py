@@ -1,0 +1,113 @@
+"""Additional property-based tests: noise, streaming, replay, selection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alt_distance import ALTERNATIVE_DISTANCES
+from repro.core.distance import DistanceFunction
+from repro.core.lazy_selection import select_with_grouping_rules
+from repro.core.selection import select_optimal_grouping
+from repro.core.candidates import exhaustive_candidates
+from repro.constraints import ConstraintSet
+from repro.datasets.noise import drop_noise, duplicate_noise, insert_noise, swap_noise
+from repro.eventlog.events import Event, Trace, log_from_variants
+from repro.mining.alpha import alpha_miner
+from repro.mining.petri import token_replay
+from repro.streaming.window import TraceWindow
+
+CLASSES = ["a", "b", "c", "d"]
+
+variant_strategy = st.lists(st.sampled_from(CLASSES), min_size=1, max_size=6)
+log_strategy = st.lists(variant_strategy, min_size=1, max_size=6).map(
+    log_from_variants
+)
+rate_strategy = st.floats(min_value=0.0, max_value=1.0)
+seed_strategy = st.integers(min_value=0, max_value=1_000)
+
+
+# -- noise invariants ----------------------------------------------------------
+
+
+@given(log=log_strategy, rate=rate_strategy, seed=seed_strategy)
+@settings(max_examples=40)
+def test_swap_preserves_event_multiset(log, rate, seed):
+    noisy = swap_noise(log, rate, seed=seed)
+    for original, corrupted in zip(log, noisy):
+        assert sorted(corrupted.classes) == sorted(original.classes)
+
+
+@given(log=log_strategy, rate=rate_strategy, seed=seed_strategy)
+@settings(max_examples=40)
+def test_drop_never_empties_traces(log, rate, seed):
+    noisy = drop_noise(log, rate, seed=seed)
+    assert len(noisy) == len(log)
+    assert all(len(trace) >= 1 for trace in noisy)
+
+
+@given(log=log_strategy, rate=rate_strategy, seed=seed_strategy)
+@settings(max_examples=40)
+def test_duplicate_and_insert_add_no_new_classes(log, rate, seed):
+    assert duplicate_noise(log, rate, seed=seed).classes <= log.classes
+    assert insert_noise(log, rate, seed=seed).classes <= log.classes
+
+
+# -- streaming window invariants --------------------------------------------------
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    arrivals=st.lists(variant_strategy, min_size=0, max_size=12),
+)
+@settings(max_examples=40)
+def test_window_holds_most_recent_traces(capacity, arrivals):
+    window = TraceWindow(capacity)
+    traces = [Trace([Event(cls) for cls in variant]) for variant in arrivals]
+    for trace in traces:
+        window.push(trace)
+    assert len(window) == min(capacity, len(traces))
+    retained = [t.variant() for t in window.as_log()]
+    expected = [t.variant() for t in traces[-capacity:]]
+    assert retained == expected
+    assert window.total_seen == len(traces)
+
+
+# -- replay invariants --------------------------------------------------------------
+
+
+@given(log=log_strategy)
+@settings(max_examples=25, deadline=None)
+def test_replay_fitness_bounded(log):
+    net = alpha_miner(log)
+    replay = token_replay(net, log)
+    assert 0.0 <= replay.fitness <= 1.0
+    assert replay.fitting_traces <= replay.total_traces
+
+
+# -- distance invariants (alternatives) -----------------------------------------------
+
+
+@given(
+    log=log_strategy,
+    group=st.sets(st.sampled_from(CLASSES), min_size=1, max_size=4).map(frozenset),
+    name=st.sampled_from(sorted(ALTERNATIVE_DISTANCES)),
+)
+@settings(max_examples=40)
+def test_alternative_distances_non_negative(log, group, name):
+    distance = ALTERNATIVE_DISTANCES[name](log)
+    assert distance.group_distance(group) >= 0.0
+
+
+# -- lazy selection equals plain selection without rules --------------------------------
+
+
+@given(log=log_strategy)
+@settings(max_examples=15, deadline=None)
+def test_lazy_selection_matches_plain_without_rules(log):
+    candidates = exhaustive_candidates(log, ConstraintSet([])).groups
+    distance = DistanceFunction(log)
+    plain = select_optimal_grouping(log, candidates, distance, backend="bnb")
+    lazy = select_with_grouping_rules(
+        log, candidates, distance, rules=[], backend="bnb"
+    )
+    assert plain.feasible == lazy.feasible
+    if plain.feasible:
+        assert abs(plain.objective - lazy.objective) < 1e-9

@@ -1,0 +1,74 @@
+"""Tests for the one-call reproduction driver (tiny scale)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.persistence import load_report
+from repro.experiments.reproduce import reproduce_all
+
+
+@pytest.fixture(scope="module")
+def summary(tmp_path_factory):
+    output = tmp_path_factory.mktemp("repro_out")
+    return (
+        reproduce_all(
+            output,
+            max_traces=10,
+            max_classes=6,
+            candidate_timeout=5.0,
+            case_study_traces=60,
+            include_exhaustive=False,
+        ),
+        output,
+    )
+
+
+class TestReproduceAll:
+    def test_artifacts_written(self, summary):
+        result, output = summary
+        names = set(result.artifacts)
+        assert {"table3.txt", "table5.txt", "table7.txt", "problems.json",
+                "problems.csv", "fig1_loan_8020_dfg.dot"} <= names
+        for name in names:
+            assert (output / name).exists(), name
+
+    def test_tables_have_content(self, summary):
+        _, output = summary
+        assert "Table III" in (output / "table3.txt").read_text()
+        assert "Table V" in (output / "table5.txt").read_text()
+        assert "Table VII" in (output / "table7.txt").read_text()
+
+    def test_problem_report_loadable(self, summary):
+        result, output = summary
+        report = load_report(output / "problems.json")
+        assert len(report.rows) == result.problems_run
+        assert result.problems_run > 0
+
+    def test_case_study_artifacts(self, summary):
+        _, output = summary
+        dot = (output / "fig8_abstracted_8020_dfg.dot").read_text()
+        assert dot.startswith("digraph")
+        grouping = (output / "fig8_grouping.txt").read_text()
+        assert "{" in grouping
+
+    def test_describe(self, summary):
+        result, _ = summary
+        text = result.describe()
+        assert "table5.txt" in text
+        assert "abstraction problems" in text
+
+
+class TestReproduceCli:
+    def test_cli_reproduce(self, tmp_path, capsys):
+        code = main(
+            [
+                "reproduce",
+                "--output", str(tmp_path / "out"),
+                "--max-traces", "8",
+                "--max-classes", "5",
+                "--timeout", "5",
+                "--no-exhaustive",
+            ]
+        )
+        assert code == 0
+        assert "table5.txt" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Edge cases of the experiment runner and baseline error handling."""
+
+import pytest
+
+from repro.datasets.collection import TABLE_III_SPECS, build_log
+from repro.exceptions import ReproError
+from repro.experiments.runner import run_experiment, solve_problem
+
+
+@pytest.fixture(scope="module")
+def log():
+    spec = next(spec for spec in TABLE_III_SPECS if spec.name == "credit")
+    return build_log(spec, max_traces=25)
+
+
+class TestBaselineScoping:
+    def test_greedy_with_grouping_constraint_reports_unsolved(self, log):
+        """BL_G cannot enforce grouping constraints: runner records the
+        failure instead of crashing."""
+        result = solve_problem(log, "Gr", "BLG", log_name="credit")
+        assert not result.solved
+        assert "grouping constraints" in result.error
+
+    def test_greedy_with_infeasible_singletons_reports_unsolved(self, running_log):
+        """A constraint the singleton start violates makes BL_G fail."""
+        # duration sum >= absurd: every singleton instance violates.
+        from repro.constraints import ConstraintSet, MinInstanceAggregate
+        from repro.baselines.greedy import greedy_grouping
+        from repro.exceptions import ConstraintError
+
+        constraints = ConstraintSet([MinInstanceAggregate("duration", "sum", 1e12)])
+        with pytest.raises(ConstraintError, match="singleton"):
+            greedy_grouping(running_log, constraints)
+
+    def test_blp_independent_of_constraint_details(self, log):
+        """BL_P only consumes the target group count."""
+        result = solve_problem(log, "BL4", "BLP", log_name="credit")
+        assert result.solved
+        assert result.num_groups == max(1, len(log.classes) // 2)
+
+
+class TestRunnerBehavior:
+    def test_unsolved_rows_have_no_measures(self, running_log):
+        result = solve_problem(running_log, "Gr", "BLG", log_name="re")
+        assert result.size_red is None
+        assert result.complexity_red is None
+        assert result.silhouette is None
+
+    def test_seconds_always_recorded(self, log):
+        result = solve_problem(log, "BL1", "DFGk", log_name="credit")
+        assert result.seconds > 0
+
+    def test_run_experiment_skips_inapplicable(self, running_log):
+        # The running example has no 'origin' attribute: BL3 is skipped.
+        report = run_experiment({"re": running_log}, ["BL3"], ["DFGk"])
+        assert report.rows == []
+
+    def test_invalid_approach_raises(self, log):
+        with pytest.raises(ReproError):
+            solve_problem(log, "A", "AlphaMiner")
+
+    def test_timeout_still_produces_row(self, log):
+        result = solve_problem(
+            log, "BL1", "Exh", log_name="credit", candidate_timeout=0.0
+        )
+        # Timeout leaves partial candidates; singletons may still cover.
+        assert result.approach == "Exh"
+        assert isinstance(result.solved, bool)

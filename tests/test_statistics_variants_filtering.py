@@ -1,0 +1,124 @@
+"""Unit tests for log statistics, variants, and filtering utilities."""
+
+import pytest
+
+from repro.eventlog.events import log_from_variants
+from repro.eventlog.filtering import (
+    filter_classes,
+    filter_events,
+    filter_traces,
+    keep_top_variants,
+    sample_traces,
+    truncate_traces,
+)
+from repro.eventlog.statistics import describe
+from repro.eventlog.variants import (
+    top_variants,
+    traces_of_variant,
+    variant_count,
+    variant_counts,
+)
+
+
+@pytest.fixture
+def log():
+    return log_from_variants({("a", "b", "c"): 3, ("a", "c"): 2, ("a",): 1})
+
+
+class TestVariants:
+    def test_variant_counts(self, log):
+        counts = variant_counts(log)
+        assert counts[("a", "b", "c")] == 3
+        assert counts[("a", "c")] == 2
+        assert counts[("a",)] == 1
+
+    def test_variant_count(self, log):
+        assert variant_count(log) == 3
+
+    def test_top_variants_order(self, log):
+        ranked = top_variants(log)
+        assert ranked[0] == (("a", "b", "c"), 3)
+        assert ranked[-1] == (("a",), 1)
+
+    def test_top_variants_limit(self, log):
+        assert len(top_variants(log, limit=2)) == 2
+
+    def test_traces_of_variant(self, log):
+        assert traces_of_variant(log, ("a", "c")) == [3, 4]
+
+
+class TestStatistics:
+    def test_describe(self, log):
+        stats = describe(log)
+        assert stats.num_classes == 3
+        assert stats.num_traces == 6
+        assert stats.num_variants == 3
+        assert stats.num_variant_events == 6  # 3 + 2 + 1
+        assert stats.num_events == 14
+        assert stats.avg_trace_length == pytest.approx(14 / 6)
+
+    def test_empty_log(self):
+        stats = describe(log_from_variants([]))
+        assert stats.num_traces == 0
+        assert stats.avg_trace_length == 0.0
+
+    def test_as_row(self, log):
+        row = describe(log).as_row()
+        assert row["|CL|"] == 3
+        assert row["Traces"] == 6
+
+
+class TestFiltering:
+    def test_filter_classes_keep(self, log):
+        filtered = filter_classes(log, {"a", "b"})
+        assert filtered.classes == frozenset({"a", "b"})
+        assert len(filtered) == 6
+
+    def test_filter_classes_drop(self, log):
+        filtered = filter_classes(log, {"a"}, keep=False)
+        assert "a" not in filtered.classes
+        # The single-event ('a',) traces vanish entirely.
+        assert len(filtered) == 5
+
+    def test_filter_traces(self, log):
+        filtered = filter_traces(log, lambda trace: len(trace) == 3)
+        assert len(filtered) == 3
+
+    def test_filter_events(self, log):
+        filtered = filter_events(log, lambda event: event.event_class != "c")
+        assert "c" not in filtered.classes
+
+    def test_sample_traces_deterministic(self, log):
+        sample_a = sample_traces(log, 3, seed=7)
+        sample_b = sample_traces(log, 3, seed=7)
+        assert [t.variant() for t in sample_a] == [t.variant() for t in sample_b]
+        assert len(sample_a) == 3
+
+    def test_sample_larger_than_log(self, log):
+        assert len(sample_traces(log, 100)) == len(log)
+
+    def test_sample_negative(self, log):
+        with pytest.raises(ValueError):
+            sample_traces(log, -1)
+
+    def test_keep_top_variants(self, log):
+        filtered = keep_top_variants(log, 1)
+        assert variant_count(filtered) == 1
+        assert len(filtered) == 3
+
+    def test_keep_zero_variants(self, log):
+        assert len(keep_top_variants(log, 0)) == 0
+
+    def test_truncate(self, log):
+        truncated = truncate_traces(log, 2)
+        assert max(len(trace) for trace in truncated) == 2
+
+    def test_truncate_invalid(self, log):
+        with pytest.raises(ValueError):
+            truncate_traces(log, 0)
+
+    def test_inputs_not_mutated(self, log):
+        before = len(log)
+        filter_classes(log, {"a"})
+        sample_traces(log, 2)
+        assert len(log) == before

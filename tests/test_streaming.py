@@ -1,0 +1,178 @@
+"""Unit tests for the streaming/online abstraction layer."""
+
+import pytest
+
+from repro.constraints import ConstraintSet, MaxDistinctClassAttribute, MaxGroupSize
+from repro.core.gecco import GeccoConfig
+from repro.datasets import running_example_log
+from repro.eventlog.dfg import compute_dfg
+from repro.eventlog.events import ROLE_KEY, Event, EventLog, Trace, log_from_variants
+from repro.exceptions import EventLogError
+from repro.streaming.abstractor import StreamingAbstractor
+from repro.streaming.drift import DriftDetector, dfg_distance
+from repro.streaming.window import TraceWindow
+
+
+def trace_of(*classes, role=None):
+    attrs = {ROLE_KEY: role} if role else {}
+    return Trace([Event(cls, attrs) for cls in classes])
+
+
+class TestTraceWindow:
+    def test_capacity_validated(self):
+        with pytest.raises(EventLogError):
+            TraceWindow(0)
+
+    def test_fifo_eviction(self):
+        window = TraceWindow(2)
+        first, second, third = trace_of("a"), trace_of("b"), trace_of("c")
+        assert window.push(first) is None
+        assert window.push(second) is None
+        evicted = window.push(third)
+        assert evicted is first
+        assert len(window) == 2
+        assert window.total_seen == 3
+
+    def test_as_log(self):
+        window = TraceWindow(5)
+        window.push(trace_of("a", "b"))
+        log = window.as_log()
+        assert isinstance(log, EventLog)
+        assert log.classes == frozenset({"a", "b"})
+
+    def test_clear(self):
+        window = TraceWindow(5)
+        window.push(trace_of("a"))
+        window.clear()
+        assert len(window) == 0
+
+    def test_rejects_non_trace(self):
+        with pytest.raises(EventLogError):
+            TraceWindow(2).push("nope")
+
+
+class TestDriftDetector:
+    def test_distance_zero_for_identical(self):
+        dfg = compute_dfg(log_from_variants([["a", "b", "c"]]))
+        assert dfg_distance(dfg, dfg) == 0.0
+
+    def test_distance_one_for_disjoint(self):
+        dfg_a = compute_dfg(log_from_variants([["a", "b"]]))
+        dfg_b = compute_dfg(log_from_variants([["x", "y"]]))
+        assert dfg_distance(dfg_a, dfg_b) == pytest.approx(1.0)
+
+    def test_first_check_always_drifts(self):
+        detector = DriftDetector()
+        dfg = compute_dfg(log_from_variants([["a", "b"]]))
+        assert detector.check(dfg).drifted
+
+    def test_stable_after_rebase(self):
+        detector = DriftDetector(threshold=0.2)
+        dfg = compute_dfg(log_from_variants([["a", "b", "c"]] * 5))
+        detector.rebase(dfg)
+        verdict = detector.check(dfg)
+        assert not verdict.drifted
+        assert verdict.reason == "stable"
+
+    def test_new_class_triggers_drift(self):
+        detector = DriftDetector(threshold=0.9)
+        detector.rebase(compute_dfg(log_from_variants([["a", "b"]])))
+        verdict = detector.check(compute_dfg(log_from_variants([["a", "b", "z"]])))
+        assert verdict.drifted
+        assert "z" in verdict.new_classes
+        assert "new classes" in verdict.reason
+
+    def test_frequency_shift_triggers_drift(self):
+        detector = DriftDetector(threshold=0.3)
+        detector.rebase(
+            compute_dfg(log_from_variants({("a", "b", "c"): 10}))
+        )
+        shifted = compute_dfg(log_from_variants({("a", "c", "b"): 10}))
+        assert detector.check(shifted).drifted
+
+    def test_threshold_validated(self):
+        with pytest.raises(EventLogError):
+            DriftDetector(threshold=0.0)
+
+
+class TestStreamingAbstractor:
+    @pytest.fixture
+    def abstractor(self):
+        constraints = ConstraintSet([MaxDistinctClassAttribute(ROLE_KEY, 1)])
+        return StreamingAbstractor(
+            constraints,
+            GeccoConfig(strategy="dfg"),
+            window_size=50,
+            min_traces=4,
+            check_every=2,
+        )
+
+    def test_warmup_passes_traces_through(self, abstractor):
+        log = running_example_log()
+        first = abstractor.process(log[0])
+        assert [e.event_class for e in first] == log[0].classes
+
+    def test_grouping_established_after_warmup(self, abstractor):
+        log = running_example_log()
+        abstractor.process_log(log)
+        assert abstractor.grouping is not None
+        assert abstractor.stats.regroupings >= 1
+        assert abstractor.epochs
+
+    def test_abstracts_after_grouping(self, abstractor):
+        log = running_example_log()
+        abstractor.process_log(log)
+        # A further running-example trace now abstracts to activities.
+        abstracted = abstractor.process(log[0].copy())
+        classes = [e.event_class for e in abstracted]
+        assert len(classes) == 3  # clrk1-like, acc, clrk2-like
+        assert "rcp" not in classes
+
+    def test_unknown_classes_pass_through(self, abstractor):
+        log = running_example_log()
+        abstractor.process_log(log)
+        novel = trace_of("rcp", "ckc", "acc", "weird_new_step", role="clerk")
+        abstracted = abstractor.process(novel)
+        assert "weird_new_step" in [e.event_class for e in abstracted]
+
+    def test_drift_triggers_regrouping(self):
+        constraints = ConstraintSet([MaxGroupSize(3)])
+        abstractor = StreamingAbstractor(
+            constraints,
+            GeccoConfig(strategy="dfg"),
+            window_size=20,
+            min_traces=5,
+            check_every=5,
+            drift_threshold=0.15,
+        )
+        # Phase 1: one process shape.
+        for _ in range(20):
+            abstractor.process(trace_of("a", "b", "c", "d"))
+        epochs_before = len(abstractor.epochs)
+        # Phase 2: drastically different behavior, same classes + new one.
+        for _ in range(25):
+            abstractor.process(trace_of("d", "c", "x", "a"))
+        assert len(abstractor.epochs) > epochs_before
+        assert abstractor.stats.regroupings >= 2
+        final_classes = {cls for g in abstractor.grouping for cls in g}
+        assert "x" in final_classes
+
+    def test_stats_counters(self, abstractor):
+        log = running_example_log()
+        abstractor.process_log(log)
+        assert abstractor.stats.traces_processed == len(log)
+        assert abstractor.stats.drift_checks >= 1
+
+    def test_infeasible_regrouping_keeps_old_grouping(self):
+        from repro.constraints import MinInstanceAggregate
+
+        constraints = ConstraintSet(
+            [MinInstanceAggregate("duration", "sum", 1e15)]
+        )
+        abstractor = StreamingAbstractor(
+            constraints, GeccoConfig(), window_size=10, min_traces=3, check_every=3
+        )
+        for trace in running_example_log():
+            abstractor.process(trace)
+        assert abstractor.grouping is None
+        assert abstractor.stats.infeasible_regroupings >= 1

@@ -1,0 +1,81 @@
+"""Additional streaming scenarios: tumbling resets, epoch ordering, config."""
+
+import pytest
+
+from repro.constraints import ConstraintSet, MaxGroupSize
+from repro.core.gecco import GeccoConfig
+from repro.eventlog.events import Event, Trace
+from repro.streaming import StreamingAbstractor, TraceWindow
+from repro.streaming.drift import DriftDetector
+
+
+def trace_of(*classes):
+    return Trace([Event(cls) for cls in classes])
+
+
+class TestEpochAuditTrail:
+    def test_epochs_ordered_by_trace_counter(self):
+        abstractor = StreamingAbstractor(
+            ConstraintSet([MaxGroupSize(3)]),
+            GeccoConfig(strategy="dfg"),
+            window_size=30,
+            min_traces=5,
+            check_every=5,
+            drift_threshold=0.1,
+        )
+        for _ in range(15):
+            abstractor.process(trace_of("a", "b", "c"))
+        for _ in range(25):
+            abstractor.process(trace_of("c", "a", "x", "b"))
+        markers = [epoch.started_at_trace for epoch in abstractor.epochs]
+        assert markers == sorted(markers)
+        assert all(epoch.reason for epoch in abstractor.epochs)
+
+    def test_first_epoch_carries_distance(self):
+        abstractor = StreamingAbstractor(
+            ConstraintSet([MaxGroupSize(3)]),
+            GeccoConfig(strategy="dfg"),
+            window_size=20,
+            min_traces=3,
+            check_every=3,
+        )
+        for _ in range(9):
+            abstractor.process(trace_of("a", "b", "c"))
+        assert abstractor.epochs
+        assert abstractor.epochs[0].distance is not None
+
+
+class TestWindowSemantics:
+    def test_window_smaller_than_min_traces_never_groups(self):
+        abstractor = StreamingAbstractor(
+            ConstraintSet([MaxGroupSize(3)]),
+            window_size=3,
+            min_traces=10,  # unreachable: window caps at 3
+            check_every=1,
+        )
+        for _ in range(20):
+            abstractor.process(trace_of("a", "b"))
+        assert abstractor.grouping is None
+
+    def test_tumbling_reset_forgets_history(self):
+        window = TraceWindow(10)
+        for _ in range(5):
+            window.push(trace_of("a"))
+        window.clear()
+        window.push(trace_of("b"))
+        assert window.as_log().classes == frozenset({"b"})
+        assert window.total_seen == 6  # the counter survives resets
+
+
+class TestDriftRebase:
+    def test_rebase_suppresses_repeat_alarms(self):
+        detector = DriftDetector(threshold=0.2)
+        from repro.eventlog.dfg import compute_dfg
+        from repro.eventlog.events import log_from_variants
+
+        stable = compute_dfg(log_from_variants([["a", "b", "c"]] * 5))
+        shifted = compute_dfg(log_from_variants([["a", "c", "b"]] * 5))
+        detector.rebase(stable)
+        assert detector.check(shifted).drifted
+        detector.rebase(shifted)
+        assert not detector.check(shifted).drifted

@@ -1,0 +1,110 @@
+"""Unit tests for constraint suggestion (paper future-work item 2)."""
+
+import pytest
+
+from repro.constraints.classbased import MaxDistinctClassAttribute, MaxGroupSize
+from repro.constraints.grouping import MaxGroups
+from repro.constraints.instancebased import (
+    MaxDistinctInstanceAttribute,
+    MaxInstanceAggregate,
+    MaxInstanceDuration,
+)
+from repro.constraints.sets import ConstraintSet
+from repro.constraints.suggestion import Suggestion, suggest_constraints
+from repro.eventlog.events import Event, EventLog, Trace, log_from_variants
+
+
+def _by_type(suggestions, constraint_type):
+    return [s for s in suggestions if isinstance(s.constraint, constraint_type)]
+
+
+class TestPartitioningAttributes:
+    def test_role_partition_suggested_on_running_example(self, running_log):
+        suggestions = suggest_constraints(running_log)
+        partition = _by_type(suggestions, MaxDistinctClassAttribute)
+        assert any(s.constraint.key == "org:role" for s in partition)
+        role = next(s for s in partition if s.constraint.key == "org:role")
+        assert role.constraint.bound == 1
+        assert "2 blocks" in role.rationale
+
+    def test_origin_partition_suggested_on_loan_log(self, loan_log):
+        suggestions = suggest_constraints(loan_log)
+        partition = _by_type(suggestions, MaxDistinctClassAttribute)
+        assert any(s.constraint.key == "origin" for s in partition)
+
+    def test_non_constant_attribute_not_partitioning(self):
+        # Attribute varies within a class -> not a partitioning attribute.
+        log = EventLog(
+            [
+                Trace([Event("a", {"k": "x"}), Event("b", {"k": "y"})]),
+                Trace([Event("a", {"k": "y"}), Event("b", {"k": "y"})]),
+            ]
+        )
+        suggestions = suggest_constraints(log)
+        assert not any(
+            isinstance(s.constraint, MaxDistinctClassAttribute)
+            and s.constraint.key == "k"
+            for s in suggestions
+        )
+
+    def test_single_block_attribute_not_suggested(self):
+        log = log_from_variants(
+            [["a", "b", "c", "d", "e"]],
+            {cls: {"site": "HQ"} for cls in "abcde"},
+        )
+        suggestions = suggest_constraints(log)
+        assert not _by_type(suggestions, MaxDistinctClassAttribute)
+
+
+class TestSizeAndNumericSuggestions:
+    def test_size_bounds_for_wide_logs(self, small_synthetic_log):
+        suggestions = suggest_constraints(small_synthetic_log)
+        assert _by_type(suggestions, MaxGroupSize)
+        assert _by_type(suggestions, MaxGroups)
+
+    def test_no_size_bounds_for_tiny_logs(self):
+        log = log_from_variants([["a", "b"]])
+        suggestions = suggest_constraints(log)
+        assert not _by_type(suggestions, MaxGroupSize)
+
+    def test_duration_cap_when_timestamped(self, running_log):
+        suggestions = suggest_constraints(running_log)
+        durations = _by_type(suggestions, MaxInstanceDuration)
+        assert durations
+        assert durations[0].constraint.seconds > 0
+
+    def test_numeric_cap_suggested(self, small_synthetic_log):
+        suggestions = suggest_constraints(small_synthetic_log)
+        numeric = _by_type(suggestions, MaxInstanceAggregate)
+        assert any(s.constraint.key == "cost" for s in numeric)
+
+    def test_instance_diversity_on_varied_attribute(self, small_synthetic_log):
+        suggestions = suggest_constraints(small_synthetic_log)
+        diversity = _by_type(suggestions, MaxDistinctInstanceAttribute)
+        assert any(s.constraint.key == "org:role" for s in diversity)
+
+
+class TestSuggestionQuality:
+    def test_limit(self, running_log):
+        assert len(suggest_constraints(running_log, limit=2)) == 2
+
+    def test_describe(self, running_log):
+        suggestion = suggest_constraints(running_log)[0]
+        assert isinstance(suggestion, Suggestion)
+        assert "[" in suggestion.describe()
+
+    def test_selectivity_in_range(self, loan_log):
+        for suggestion in suggest_constraints(loan_log):
+            assert 0.0 <= suggestion.selectivity <= 1.0
+
+    def test_suggestions_are_usable_by_gecco(self, running_log):
+        """The top structural suggestion must yield a feasible problem."""
+        from repro.core.gecco import Gecco
+
+        suggestions = suggest_constraints(running_log)
+        partition = _by_type(suggestions, MaxDistinctClassAttribute)[0]
+        result = Gecco(ConstraintSet([partition.constraint])).abstract(running_log)
+        assert result.feasible
+
+    def test_empty_log(self):
+        assert suggest_constraints(EventLog([])) == []

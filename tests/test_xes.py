@@ -1,0 +1,121 @@
+"""Unit tests for XES import/export."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.eventlog import xes
+from repro.eventlog.events import Event, EventLog, Trace
+from repro.exceptions import XESParseError
+
+SAMPLE = """<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <string key="concept:name" value="sample"/>
+  <trace>
+    <string key="concept:name" value="case_1"/>
+    <event>
+      <string key="concept:name" value="register"/>
+      <string key="org:role" value="clerk"/>
+      <int key="items" value="3"/>
+      <float key="cost" value="12.5"/>
+      <boolean key="rush" value="true"/>
+      <date key="time:timestamp" value="2021-06-01T09:00:00+00:00"/>
+    </event>
+    <event>
+      <string key="concept:name" value="ship"/>
+      <date key="time:timestamp" value="2021-06-01T10:00:00Z"/>
+    </event>
+  </trace>
+</log>
+"""
+
+
+class TestLoads:
+    def test_parses_structure(self):
+        log = xes.loads(SAMPLE)
+        assert len(log) == 1
+        assert log.attributes["concept:name"] == "sample"
+        assert log[0].case_id == "case_1"
+        assert log[0].classes == ["register", "ship"]
+
+    def test_value_types(self):
+        event = xes.loads(SAMPLE)[0][0]
+        assert event["org:role"] == "clerk"
+        assert event["items"] == 3
+        assert event["cost"] == 12.5
+        assert event["rush"] is True
+        assert event.timestamp == datetime(2021, 6, 1, 9, tzinfo=timezone.utc)
+
+    def test_z_suffix_timestamp(self):
+        event = xes.loads(SAMPLE)[0][1]
+        assert event.timestamp == datetime(2021, 6, 1, 10, tzinfo=timezone.utc)
+
+    def test_rejects_bad_xml(self):
+        with pytest.raises(XESParseError):
+            xes.loads("<log><trace>")
+
+    def test_rejects_wrong_root(self):
+        with pytest.raises(XESParseError):
+            xes.loads("<notalog/>")
+
+    def test_rejects_event_without_class(self):
+        doc = '<log><trace><event><string key="x" value="y"/></event></trace></log>'
+        with pytest.raises(XESParseError):
+            xes.loads(doc)
+
+    def test_rejects_bad_int(self):
+        doc = '<log><trace><event><string key="concept:name" value="a"/><int key="n" value="zz"/></event></trace></log>'
+        with pytest.raises(XESParseError):
+            xes.loads(doc)
+
+    def test_rejects_bad_date(self):
+        doc = '<log><trace><event><string key="concept:name" value="a"/><date key="time:timestamp" value="yesterday"/></event></trace></log>'
+        with pytest.raises(XESParseError):
+            xes.loads(doc)
+
+    def test_nested_attributes_flattened(self):
+        doc = (
+            '<log><trace><event><string key="concept:name" value="a"/>'
+            '<string key="outer" value="1"><string key="inner" value="2"/></string>'
+            "</event></trace></log>"
+        )
+        event = xes.loads(doc)[0][0]
+        assert event["outer"] == "1"
+        assert event["outer:inner"] == "2"
+
+    def test_namespaced_tags_supported(self):
+        doc = (
+            '<log xmlns="http://www.xes-standard.org/"><trace><event>'
+            '<string key="concept:name" value="a"/></event></trace></log>'
+        )
+        assert xes.loads(doc)[0].classes == ["a"]
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_log(self, running_log):
+        recovered = xes.loads(xes.dumps(running_log))
+        assert len(recovered) == len(running_log)
+        for original, parsed in zip(running_log, recovered):
+            assert parsed.classes == original.classes
+            for event_a, event_b in zip(original, parsed):
+                assert event_a.attributes == event_b.attributes
+
+    def test_roundtrip_via_file(self, tmp_path, running_log):
+        path = tmp_path / "log.xes"
+        xes.dump(running_log, path)
+        recovered = xes.load(path)
+        assert len(recovered) == len(running_log)
+        assert recovered.classes == running_log.classes
+
+    def test_bool_and_numbers_roundtrip(self):
+        log = EventLog(
+            [Trace([Event("a", {"flag": False, "n": 7, "x": 0.25})])]
+        )
+        event = xes.loads(xes.dumps(log))[0][0]
+        assert event["flag"] is False
+        assert event["n"] == 7
+        assert event["x"] == 0.25
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(XESParseError):
+            xes.load(tmp_path / "missing.xes")
