@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Dual-engine performance runner: tracks the pipeline's perf trajectory.
+
+Runs the scaling and ablation workloads through the full GECCO pipeline
+on both engines (``python`` reference and integer-encoded ``compiled``,
+see :mod:`repro.core.encoding`) and writes a machine-readable
+``benchmarks/results/BENCH_pipeline.json`` with per-step wall-clock
+timings (:class:`~repro.core.gecco.StepTimings`), candidate counts, and
+python/compiled speedup ratios.  Every run also cross-checks that both
+engines produced identical candidates, distances, and groupings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py            # full sweep
+    PYTHONPATH=src python benchmarks/run_perf.py --quick    # CI smoke
+
+The headline number is ``summary.median_speedup_candidates_scaling_classes``
+— the median Step-1 (candidate computation) speedup of the compiled
+engine over the reference on the ``scaling_classes`` workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.encoding import HAVE_NUMPY  # noqa: E402
+from repro.core.gecco import Gecco, GeccoConfig  # noqa: E402
+from repro.datasets import loan_application_log, running_example_log  # noqa: E402
+from repro.datasets.attributes import enrich_log  # noqa: E402
+from repro.datasets.playout import playout  # noqa: E402
+from repro.datasets.process_tree import TreeSpec, random_tree  # noqa: E402
+from repro.experiments.configs import constraint_set_for_log  # noqa: E402
+
+ENGINES = ("python", "compiled")
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "results" / "BENCH_pipeline.json"
+
+
+@dataclass
+class Workload:
+    """One benchmark problem: a log builder plus a constraint set."""
+
+    name: str
+    family: str
+    build_log: object
+    constraint_set: str
+    beam_width: object = "auto"
+    params: dict = field(default_factory=dict)
+
+    def make(self):
+        log = self.build_log()
+        constraints = constraint_set_for_log(self.constraint_set, log)
+        return log, constraints
+
+
+def _synthetic(num_classes: int, num_traces: int, seed: int = 42):
+    tree = random_tree(TreeSpec(num_activities=num_classes), seed=seed)
+    return enrich_log(playout(tree, num_traces, seed=seed), seed=seed)
+
+
+def build_workloads(quick: bool) -> list[Workload]:
+    class_counts = (6, 10) if quick else (6, 8, 10, 12, 14)
+    trace_counts = (25,) if quick else (25, 50, 100, 200)
+    workloads = [
+        Workload(
+            name=f"scaling_classes/{num_classes}",
+            family="scaling_classes",
+            build_log=lambda n=num_classes: _synthetic(n, 40),
+            constraint_set="BL1",
+            params={"num_classes": num_classes, "num_traces": 40},
+        )
+        for num_classes in class_counts
+    ]
+    workloads += [
+        Workload(
+            name=f"scaling_traces/{num_traces}",
+            family="scaling_traces",
+            build_log=lambda n=num_traces: _synthetic(10, n),
+            constraint_set="A",
+            params={"num_classes": 10, "num_traces": num_traces},
+        )
+        for num_traces in trace_counts
+    ]
+    # Ablation-style workloads on the paper's logs.
+    workloads.append(
+        Workload(
+            name="ablation/running_example_BL1",
+            family="ablation",
+            build_log=running_example_log,
+            constraint_set="BL1",
+            params={"log": "running_example"},
+        )
+    )
+    if not quick:
+        workloads.append(
+            Workload(
+                name="ablation/loan_BL1",
+                family="ablation",
+                build_log=lambda: loan_application_log(num_traces=80),
+                constraint_set="BL1",
+                params={"log": "loan_80"},
+            )
+        )
+        workloads.append(
+            Workload(
+                name="ablation/loan_BL1_dfginf",
+                family="ablation",
+                build_log=lambda: loan_application_log(num_traces=40),
+                constraint_set="BL1",
+                beam_width=None,
+                params={"log": "loan_40", "beam": "unlimited"},
+            )
+        )
+    return workloads
+
+
+def _signature(result):
+    """Output fingerprint used to prove engine equivalence."""
+    grouping = (
+        tuple(sorted(tuple(sorted(group)) for group in result.grouping.groups))
+        if result.grouping is not None
+        else None
+    )
+    return (result.feasible, result.num_candidates, result.distance, grouping)
+
+
+def run_workload(workload: Workload, repeats: int) -> dict:
+    record = {
+        "name": workload.name,
+        "family": workload.family,
+        "constraint_set": workload.constraint_set,
+        "beam_width": workload.beam_width,
+        "params": workload.params,
+        "engines": {},
+    }
+    signatures = {}
+    for engine in ENGINES:
+        best = None
+        best_total = None
+        for _ in range(repeats):
+            log, constraints = workload.make()
+            config = GeccoConfig(
+                strategy="dfg", beam_width=workload.beam_width, engine=engine
+            )
+            result = Gecco(constraints, config).abstract(log)
+            if best is None or result.timings.candidates < best.timings.candidates:
+                best = result
+            if best_total is None or result.timings.total < best_total:
+                best_total = result.timings.total
+        signatures[engine] = _signature(best)
+        record["engines"][engine] = {
+            "timings": asdict(best.timings),
+            "total_seconds": best_total,
+            "num_candidates": best.num_candidates,
+            "distance": best.distance,
+            "feasible": best.feasible,
+        }
+    python_candidates = record["engines"]["python"]["timings"]["candidates"]
+    compiled_candidates = record["engines"]["compiled"]["timings"]["candidates"]
+    record["speedup_candidates"] = (
+        python_candidates / compiled_candidates if compiled_candidates > 0 else None
+    )
+    record["speedup_total"] = (
+        record["engines"]["python"]["total_seconds"]
+        / record["engines"]["compiled"]["total_seconds"]
+        if record["engines"]["compiled"]["total_seconds"] > 0
+        else None
+    )
+    record["outputs_match"] = signatures["python"] == signatures["compiled"]
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI-smoke workload set"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    if not HAVE_NUMPY:
+        print("numpy unavailable: compiled engine cannot run", file=sys.stderr)
+        return 1
+
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 5)
+    if repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {repeats}")
+    workloads = build_workloads(args.quick)
+    records = []
+    for workload in workloads:
+        started = time.perf_counter()
+        record = run_workload(workload, repeats)
+        elapsed = time.perf_counter() - started
+        records.append(record)
+        speedup = record["speedup_candidates"]
+        rendered = f"{speedup:5.2f}x" if speedup is not None else "  n/a"
+        print(
+            f"{workload.name:32s} step1 python="
+            f"{record['engines']['python']['timings']['candidates'] * 1e3:8.2f}ms "
+            f"compiled={record['engines']['compiled']['timings']['candidates'] * 1e3:8.2f}ms "
+            f"speedup={rendered} match={record['outputs_match']} "
+            f"({elapsed:.1f}s)"
+        )
+
+    scaling_speedups = [
+        r["speedup_candidates"]
+        for r in records
+        if r["family"] == "scaling_classes" and r["speedup_candidates"]
+    ]
+    all_speedups = [r["speedup_candidates"] for r in records if r["speedup_candidates"]]
+    mismatches = [r["name"] for r in records if not r["outputs_match"]]
+    report = {
+        "schema": "gecco-perf/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": args.quick,
+        "repeats": repeats,
+        "workloads": records,
+        "summary": {
+            "median_speedup_candidates_scaling_classes": (
+                statistics.median(scaling_speedups) if scaling_speedups else None
+            ),
+            "median_speedup_candidates_all": (
+                statistics.median(all_speedups) if all_speedups else None
+            ),
+            "outputs_match": not mismatches,
+            "mismatched_workloads": mismatches,
+        },
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    median = report["summary"]["median_speedup_candidates_scaling_classes"]
+    print(
+        "\nmedian step-1 speedup (scaling_classes): "
+        + (f"{median:.2f}x" if median is not None else "n/a")
+    )
+    print(f"report written to {args.output}")
+    if mismatches:
+        print(f"ENGINE MISMATCH on: {', '.join(mismatches)}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

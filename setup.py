@@ -1,11 +1,34 @@
-"""Legacy setup shim.
+"""Packaging for the GECCO reproduction.
 
-The execution environment ships setuptools without the ``wheel``
-package, so PEP 660 editable installs fail; this shim lets
-``pip install -e .`` fall back to ``setup.py develop``.
-All metadata lives in ``pyproject.toml``.
+Metadata lives here (no ``pyproject.toml``): the execution environment
+ships setuptools without the ``wheel`` package, so PEP 660 editable
+installs fail and ``pip install -e .`` must fall back to
+``setup.py develop``.
+
+``numpy`` backs the integer-encoded pipeline engine
+(:mod:`repro.core.encoding`, the default ``GeccoConfig(engine="compiled")``).
+``scipy`` provides the default MIP solver backend (HiGHS); both are
+hard requirements because importing :mod:`repro` pulls in
+``repro.mip.scipy_backend`` (and numpy through it) unconditionally.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="gecco-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of GECCO: constraint-driven abstraction of "
+        "low-level event logs (ICDE 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -21,7 +21,7 @@ from repro.core import (
 from repro.core.distance import DistanceFunction
 from repro.eventlog import Event, EventLog, Trace, compute_dfg
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConstraintSet",

@@ -75,6 +75,7 @@ def _cmd_abstract(args: argparse.Namespace) -> int:
         abstraction_strategy=args.abstraction,
         solver=args.solver,
         candidate_timeout=args.timeout,
+        engine=args.engine,
     )
     result = Gecco(constraints, config).abstract(log)
     if not result.feasible:
@@ -204,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     abstract.add_argument(
         "--beam-width", default=None, help="beam width k, an int or 'auto'"
+    )
+    abstract.add_argument(
+        "--engine",
+        choices=("compiled", "python"),
+        default="compiled",
+        help="pipeline engine: integer-encoded hot path or pure-Python reference",
     )
     abstract.add_argument(
         "--abstraction", choices=("complete", "start_complete"), default="complete"

@@ -5,6 +5,13 @@ from repro.core.candidates import CandidateResult, CandidateStats, exhaustive_ca
 from repro.core.checker import GroupChecker
 from repro.core.dfg_candidates import BeamStats, default_beam_width, dfg_candidates
 from repro.core.distance import DistanceFunction
+from repro.core.encoding import (
+    HAVE_NUMPY,
+    CompiledDfgOps,
+    CompiledDistanceFunction,
+    CompiledInstanceIndex,
+    CompiledLog,
+)
 from repro.core.exclusive import ExclusiveStats, merge_exclusive_candidates
 from repro.core.gecco import AbstractionResult, Gecco, GeccoConfig, StepTimings
 from repro.core.grouping import Grouping, singleton_grouping
@@ -29,6 +36,11 @@ __all__ = [
     "default_beam_width",
     "dfg_candidates",
     "DistanceFunction",
+    "HAVE_NUMPY",
+    "CompiledDfgOps",
+    "CompiledDistanceFunction",
+    "CompiledInstanceIndex",
+    "CompiledLog",
     "ExclusiveStats",
     "merge_exclusive_candidates",
     "AbstractionResult",

@@ -11,11 +11,41 @@ per group.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 
 from repro.constraints.sets import ConstraintSet, class_attribute_view
 from repro.core.instances import InstanceIndex
 from repro.eventlog.events import EventLog
+
+
+class _LazyClassAttributeView(Mapping):
+    """A class-attribute view that scans the log on first real access.
+
+    Building the view walks every event attribute of the log; constraint
+    sets that never inspect class attributes (pure size bounds,
+    cannot-links) should not pay for it.  The wrapper is handed to the
+    constraints in place of the plain dict and materializes lazily.
+    """
+
+    __slots__ = ("_log", "_view")
+
+    def __init__(self, log: EventLog):
+        self._log = log
+        self._view = None
+
+    def _materialized(self):
+        if self._view is None:
+            self._view = class_attribute_view(self._log)
+        return self._view
+
+    def __getitem__(self, key):
+        return self._materialized()[key]
+
+    def __iter__(self):
+        return iter(self._materialized())
+
+    def __len__(self):
+        return len(self._materialized())
 
 
 class GroupChecker:
@@ -29,8 +59,8 @@ class GroupChecker:
     ):
         self.log = log
         self.constraints = constraints
-        self.class_attributes = class_attribute_view(log)
         self.instances = instance_index or InstanceIndex(log)
+        self.class_attributes = _LazyClassAttributeView(log)
         self._cache: dict[frozenset[str], bool] = {}
         self.checks_performed = 0
 

@@ -21,10 +21,19 @@ expanded, while the accompanying text — and Algorithm 1 — state that in
 monotonic and non-monotonic modes violating groups must still be
 expanded, since their supergroups may yet satisfy the constraints.  We
 follow the text.
+
+Two implementations share this module: the pure-Python reference and an
+incremental hot path over :class:`~repro.core.encoding.CompiledLog`
+(pass ``compiled=``).  The compiled variant batches each frontier's
+instance extraction into one vectorized sweep, reuses a parent path's
+relevant-trace bitset via a single posting-list intersection when a
+path grows by one class, and checks the monotonic subset prune on
+integer bitmasks.  Both return identical candidate sets.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 
@@ -58,6 +67,7 @@ def dfg_candidates(
     distance: DistanceFunction | None = None,
     dfg: DirectlyFollowsGraph | None = None,
     timeout: float | None = None,
+    compiled=None,
 ) -> CandidateResult:
     """Compute cohesive candidate groups by DFG traversal (Alg. 2).
 
@@ -70,7 +80,15 @@ def dfg_candidates(
     timeout:
         Wall-clock budget in seconds; on expiry the candidates found so
         far are returned with ``stats.timed_out = True``.
+    compiled:
+        Optional :class:`~repro.core.encoding.CompiledLog` built over
+        ``log``; when given, the search runs on the integer-encoded hot
+        path (same candidates, typically several times faster).
     """
+    if compiled is not None:
+        return _dfg_candidates_compiled(
+            log, constraints, beam_width, checker, distance, dfg, timeout, compiled
+        )
     started = time.perf_counter()
     checker = checker or GroupChecker(log, constraints)
     distance = distance or DistanceFunction(log, checker.instances)
@@ -84,13 +102,14 @@ def dfg_candidates(
     while to_check:
         stats.iterations += 1
         # Lowest-distance paths first; path tuple breaks ties deterministically.
-        sorted_paths = sorted(
-            to_check,
-            key=lambda path: (distance.group_distance(frozenset(path)), path),
-        )
-        if beam_width is not None:
-            stats.paths_beam_pruned += max(0, len(sorted_paths) - beam_width)
-            sorted_paths = sorted_paths[:beam_width]
+        path_key = lambda path: (distance.group_distance(frozenset(path)), path)  # noqa: E731
+        if beam_width is None:
+            sorted_paths = sorted(to_check, key=path_key)
+        else:
+            # ``nsmallest`` matches ``sorted(...)[:k]`` exactly but skips
+            # ordering the discarded tail of the frontier.
+            stats.paths_beam_pruned += max(0, len(to_check) - beam_width)
+            sorted_paths = heapq.nsmallest(beam_width, to_check, key=path_key)
 
         to_expand: list[tuple[str, ...]] = []
         for path in sorted_paths:
@@ -130,6 +149,164 @@ def dfg_candidates(
         stats.groups_expanded += len(next_frontier)
         to_check = {
             path for path in next_frontier if log.occurs(frozenset(path))
+        }
+
+    stats.seconds = time.perf_counter() - started
+    return CandidateResult(candidates, stats)
+
+
+def _has_mask_subset(mask: int, candidate_masks: set[int]) -> bool:
+    """Bitmask form of :func:`_has_candidate_subset`: check the |g| parents."""
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        if (mask ^ low) in candidate_masks:
+            return True
+        remaining ^= low
+    return False
+
+
+def _dfg_candidates_compiled(
+    log: EventLog,
+    constraints: ConstraintSet,
+    beam_width: int | None,
+    checker: GroupChecker | None,
+    distance: DistanceFunction | None,
+    dfg: DirectlyFollowsGraph | None,
+    timeout: float | None,
+    compiled,
+) -> CandidateResult:
+    """Algorithm 2 on the integer-encoded engine (same outputs as above).
+
+    Differences are purely mechanical: paths carry their class bitmask,
+    ``occurs`` extends the parent's trace bitset by one posting-list
+    intersection, the subset prune runs on bitmasks, and each frontier's
+    distances are primed with one vectorized instance-extraction sweep.
+    """
+    from repro.core.encoding import (
+        CompiledDistanceFunction,
+        CompiledInstanceIndex,
+    )
+
+    started = time.perf_counter()
+    if checker is None:
+        checker = GroupChecker(
+            log, constraints, CompiledInstanceIndex(log, compiled)
+        )
+    if distance is None:
+        if isinstance(checker.instances, CompiledInstanceIndex):
+            distance = CompiledDistanceFunction(log, checker.instances)
+        else:
+            distance = DistanceFunction(log, checker.instances)
+    graph = dfg or compute_dfg(log)
+    mode = constraints.checking_mode
+    stats = BeamStats()
+
+    class_bit = {cls: compiled.class_bit(cls) for cls in graph.nodes}
+    # Pair each neighbor with its class bit once, up front.
+    successors_of = {
+        node: [(cls, class_bit[cls]) for cls in graph.successors(node)]
+        for node in graph.nodes
+    }
+    predecessors_of = {
+        node: [(cls, class_bit[cls]) for cls in graph.predecessors(node)]
+        for node in graph.nodes
+    }
+    candidates: set[frozenset[str]] = set()
+    candidate_masks: set[int] = set()
+    group_by_mask: dict[int, frozenset[str]] = {}
+    dist_by_mask: dict[int, float] = {}
+    can_prime = isinstance(distance, CompiledDistanceFunction)
+
+    path_mask: dict[tuple[str, ...], int] = {}
+    to_check: set[tuple[str, ...]] = set()
+    for node in graph.nodes:
+        path = (node,)
+        to_check.add(path)
+        path_mask[path] = class_bit[node]
+
+    def group_for(mask: int, path: tuple[str, ...]) -> frozenset[str]:
+        group = group_by_mask.get(mask)
+        if group is None:
+            group = frozenset(path)
+            group_by_mask[mask] = group
+        return group
+
+    def path_key(path: tuple[str, ...]):
+        mask = path_mask[path]
+        value = dist_by_mask.get(mask)
+        if value is None:
+            value = distance.group_distance(group_for(mask, path))
+            dist_by_mask[mask] = value
+        return (value, path)
+
+    while to_check:
+        stats.iterations += 1
+        if can_prime:
+            # One vectorized extraction sweep covers the whole frontier.
+            fresh = {
+                mask: path
+                for path in to_check
+                if (mask := path_mask[path]) not in dist_by_mask
+            }
+            distance.prime(
+                [group_for(mask, path) for mask, path in fresh.items()]
+            )
+        if beam_width is None:
+            sorted_paths = sorted(to_check, key=path_key)
+        else:
+            stats.paths_beam_pruned += max(0, len(to_check) - beam_width)
+            sorted_paths = heapq.nsmallest(beam_width, to_check, key=path_key)
+
+        to_expand: list[tuple[str, ...]] = []
+        for path in sorted_paths:
+            if timeout is not None and time.perf_counter() - started > timeout:
+                stats.timed_out = True
+                stats.seconds = time.perf_counter() - started
+                return CandidateResult(candidates, stats)
+            stats.paths_considered += 1
+            mask = path_mask[path]
+            group = group_for(mask, path)
+            if mode is CheckingMode.MONOTONIC and _has_mask_subset(
+                mask, candidate_masks
+            ):
+                stats.subset_prunes += 1
+                if checker.holds_given_satisfying_subset(group):
+                    candidates.add(group)
+                    candidate_masks.add(mask)
+                to_expand.append(path)
+                continue
+            stats.groups_checked += 1
+            if checker.holds(group):
+                candidates.add(group)
+                candidate_masks.add(mask)
+                to_expand.append(path)
+            elif mode is not CheckingMode.ANTI_MONOTONIC:
+                to_expand.append(path)
+
+        next_frontier: set[tuple[str, ...]] = set()
+        for path in to_expand:
+            first, last = path[0], path[-1]
+            mask = path_mask[path]
+            for successor, bit in successors_of[last]:
+                if not mask & bit:
+                    child = path + (successor,)
+                    if child not in next_frontier:
+                        next_frontier.add(child)
+                        path_mask[child] = mask | bit
+                        compiled.extend_cooccurring(mask, bit)
+            for predecessor, bit in predecessors_of[first]:
+                if not mask & bit:
+                    child = (predecessor,) + path
+                    if child not in next_frontier:
+                        next_frontier.add(child)
+                        path_mask[child] = mask | bit
+                        compiled.extend_cooccurring(mask, bit)
+        stats.groups_expanded += len(next_frontier)
+        to_check = {
+            path
+            for path in next_frontier
+            if compiled.occurs_mask(path_mask[path])
         }
 
     stats.seconds = time.perf_counter() - started

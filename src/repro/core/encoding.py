@@ -1,0 +1,769 @@
+"""Integer-encoded hot-path engine: the ``compiled`` pipeline backend.
+
+GECCO's Step 1 spends nearly all of its time answering three questions
+for thousands of candidate groups: *where are the group's instances*
+(:func:`repro.core.instances.instances_in_log`), *what is the group's
+distance* (Eq. 1), and *does the group co-occur in some trace*
+(``occurs``).  The pure-Python reference implementations answer them by
+walking :class:`~repro.eventlog.events.Event` objects — one attribute
+lookup per event per group.  This module removes the object layer from
+the hot path once per log:
+
+* :class:`CompiledLog` interns the event classes of a log to dense
+  integer IDs and stores every trace as a contiguous ``numpy`` array of
+  class IDs (one concatenated CSR-style buffer for the whole log).
+  Groups become **integer bitmasks over class IDs** and trace sets
+  become **integer bitmasks over trace indices** (a bitset posting
+  list per class), so ``occurs`` is a single ``&``.
+* :meth:`CompiledLog.stats_batch` detects the instances of *many*
+  groups in one vectorized sweep: a boolean class-membership matrix is
+  indexed with the log's class-ID buffer, a single ``np.nonzero``
+  yields every (group, position) hit, and the three splitting policies
+  (``repeat`` / ``none`` / ``gap``) become boolean boundary masks over
+  the flat hit list.  The result per group is a set of per-instance
+  summaries (first/last position, event count, distinct classes); the
+  reference ``(trace index, positions)`` form is materialized lazily,
+  only where the pipeline actually consumes positions.
+* :class:`CompiledInstanceIndex` and :class:`CompiledDistanceFunction`
+  are drop-in replacements for :class:`~repro.core.instances.InstanceIndex`
+  and :class:`~repro.core.distance.DistanceFunction` built on top of
+  the compiled log.  They return **byte-identical** instances and
+  **bitwise-identical** Eq. 1 distances: the per-instance terms are
+  accumulated left-to-right over the same correctly-rounded divisions
+  as the reference loop — on pre-extracted integers instead of
+  ``Event`` objects — which is what lets the beam search of Algorithm 2
+  produce the same candidate sets on either engine.
+* :class:`CompiledDfgOps` mirrors the group-level DFG neighborhood API
+  (``pre`` / ``post`` / ``exclusive`` / ``equal_pre_post``) on class
+  bitmasks so Algorithm 3's exclusive-candidate merging shares the
+  same encoding.
+
+``numpy`` is optional at import time: :data:`HAVE_NUMPY` reports its
+availability, and the pipeline facade falls back to the pure-Python
+engine when it is missing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.core.distance import DistanceFunction
+from repro.core.instances import POLICIES, InstanceIndex
+from repro.eventlog.dfg import DirectlyFollowsGraph
+from repro.eventlog.events import EventLog
+from repro.exceptions import EventLogError, GroupingError
+
+try:  # pragma: no cover - exercised implicitly by the engine selection
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+#: Number of groups extracted per vectorized sweep; bounds the boolean
+#: membership matrix to ``_BATCH_GROUPS * total_events`` bytes.
+_BATCH_GROUPS = 256
+
+#: Upper bound on memoized co-occurrence / mask entries per compiled
+#: log; an unbounded DFG∞ search probes huge numbers of throwaway
+#: frontier groups, so the caches reset rather than growing without
+#: bound (mirrors ``_OCCURS_CACHE_LIMIT`` on ``EventLog``).
+_COOCCUR_CACHE_LIMIT = 1 << 17
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise EventLogError(
+            "the compiled engine requires numpy; install it or select "
+            "GeccoConfig(engine='python')"
+        )
+
+
+class GroupInstances:
+    """Summary of one group's instances in a log.
+
+    Five parallel lists describe the instances in reference order
+    (ascending trace, then position): the owning trace index, the first
+    and last position within the trace, the event count, and the number
+    of distinct classes.  ``positions`` holds the group's flat event
+    positions; consecutive ``counts`` slices of it are the instances.
+    The reference ``(trace index, positions list)`` representation is
+    materialized lazily by :meth:`pairs` and cached.
+    """
+
+    __slots__ = (
+        "trace_ids",
+        "firsts",
+        "lasts",
+        "counts",
+        "distincts",
+        "cohesion",
+        "positions",
+        "_pairs",
+    )
+
+    def __init__(
+        self, trace_ids, firsts, lasts, counts, distincts, cohesion, positions
+    ):
+        self.trace_ids: list[int] = trace_ids
+        self.firsts: list[int] = firsts
+        self.lasts: list[int] = lasts
+        self.counts: list[int] = counts
+        self.distincts: list[int] = distincts
+        #: Eq. 1 cohesion term ``interrupts(ξ)/|ξ|`` per instance,
+        #: precomputed vectorized during detection.
+        self.cohesion: list[float] = cohesion
+        self.positions: list[int] = positions
+        self._pairs: list[tuple[int, list[int]]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def pairs(self) -> list[tuple[int, list[int]]]:
+        """The instances as ``(trace index, positions)``, reference format."""
+        if self._pairs is None:
+            flat = self.positions
+            result: list[tuple[int, list[int]]] = []
+            start = 0
+            for trace_index, count in zip(self.trace_ids, self.counts):
+                end = start + count
+                result.append((trace_index, flat[start:end]))
+                start = end
+            self._pairs = result
+        return self._pairs
+
+    def distinct_list(self) -> list[int]:
+        """Distinct-class counts per instance, parallel to :meth:`pairs`."""
+        return self.distincts
+
+
+_EMPTY_INSTANCES = GroupInstances([], [], [], [], [], [], [])
+
+
+class CompiledLog:
+    """An event log compiled to integer arrays and bitmask indexes.
+
+    The compilation is a one-time pass over the log; afterwards no hot
+    path touches :class:`~repro.eventlog.events.Event` objects.  Event
+    classes are interned in sorted order so IDs — and therefore group
+    bitmasks — are deterministic for a given log.
+    """
+
+    def __init__(self, log: EventLog):
+        _require_numpy()
+        self.log = log
+        self.classes: list[str] = sorted(log.classes)
+        self.class_to_id: dict[str, int] = {
+            cls: index for index, cls in enumerate(self.classes)
+        }
+        self.num_classes = len(self.classes)
+        self.num_traces = len(log)
+
+        lengths = np.zeros(self.num_traces, dtype=np.int64)
+        chunks: list = []
+        repeat_flags: list[bool] = []
+        class_trace_bits = [0] * self.num_classes
+        to_id = self.class_to_id
+        for trace_index, trace in enumerate(log):
+            ids = [to_id[event.event_class] for event in trace]
+            lengths[trace_index] = len(ids)
+            chunks.append(np.asarray(ids, dtype=np.int64))
+            distinct = set(ids)
+            if len(distinct) == len(ids):
+                repeat_flags.extend([False] * len(ids))
+            else:
+                occurrences = Counter(ids)
+                repeat_flags.extend(occurrences[cid] > 1 for cid in ids)
+            trace_bit = 1 << trace_index
+            for class_id in distinct:
+                class_trace_bits[class_id] |= trace_bit
+
+        #: ``offsets[t]:offsets[t+1]`` slices trace ``t`` out of ``all_ids``.
+        self.offsets = np.zeros(self.num_traces + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.offsets[1:])
+        self.all_ids = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+        total_events = int(self.all_ids.size)
+        # Per-event lookup tables shared by every extraction sweep.
+        self._trace_of_event = np.repeat(
+            np.arange(self.num_traces, dtype=np.int64), lengths
+        )
+        self._local_of_event = np.arange(total_events, dtype=np.int64) - np.repeat(
+            self.offsets[:-1], lengths
+        )
+        #: True where the event's class occurs more than once in its trace
+        #: (only such events can trigger instance splits / duplicates).
+        self._event_repeats = np.asarray(repeat_flags, dtype=bool)
+        self._row_bounds = np.arange(_BATCH_GROUPS + 1, dtype=np.int64)
+        #: Per-class bitset posting list: bit ``t`` set iff trace ``t``
+        #: contains the class.
+        self.class_trace_bits: list[int] = class_trace_bits
+        self._all_traces_mask = (1 << self.num_traces) - 1
+        # Group-mask -> trace-bitset cache for the incremental ``occurs``
+        # path; seeded with the singleton posting lists.
+        self._cooccur: dict[int, int] = {
+            1 << class_id: bits for class_id, bits in enumerate(class_trace_bits)
+        }
+        self._mask_cache: dict[frozenset[str], int] = {}
+
+    # -- group <-> bitmask conversions -----------------------------------
+
+    def class_bit(self, cls: str) -> int:
+        """The singleton bitmask of ``cls`` (KeyError for foreign classes)."""
+        return 1 << self.class_to_id[cls]
+
+    def mask_of(self, group: Iterable[str]) -> int:
+        """Bitmask of ``group``'s classes (foreign classes are ignored)."""
+        group = frozenset(group)
+        cached = self._mask_cache.get(group)
+        if cached is None:
+            cached = 0
+            for cls in group:
+                class_id = self.class_to_id.get(cls)
+                if class_id is not None:
+                    cached |= 1 << class_id
+            if len(self._mask_cache) >= _COOCCUR_CACHE_LIMIT:
+                self._mask_cache.clear()
+            self._mask_cache[group] = cached
+        return cached
+
+    def group_of(self, mask: int) -> frozenset[str]:
+        """The class set encoded by ``mask``."""
+        members = []
+        while mask:
+            low = mask & -mask
+            members.append(self.classes[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(members)
+
+    # -- co-occurrence (the ``occurs`` predicate) -------------------------
+
+    def _cooccur_insert(self, mask: int, bits: int) -> None:
+        """Memoize a trace bitset, resetting the cache at the size bound.
+
+        The singleton posting lists are re-seeded after a reset so the
+        incremental parent-extension path stays warm.
+        """
+        cache = self._cooccur
+        if len(cache) >= _COOCCUR_CACHE_LIMIT:
+            cache.clear()
+            for class_id, posting in enumerate(self.class_trace_bits):
+                cache[1 << class_id] = posting
+        cache[mask] = bits
+
+    def cooccurring_traces(self, mask: int) -> int:
+        """Bitset of traces containing *all* classes of ``mask`` (cached).
+
+        A cached strict-subset result is extended by one posting-list
+        intersection when available (the candidate searches always grow
+        groups by one class, so the parent is virtually always cached);
+        otherwise the member posting lists are intersected directly.
+        """
+        if mask == 0:
+            return 0
+        cached = self._cooccur.get(mask)
+        if cached is not None:
+            return cached
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            parent = self._cooccur.get(mask ^ low)
+            if parent is not None:
+                bits = parent & self.class_trace_bits[low.bit_length() - 1]
+                self._cooccur_insert(mask, bits)
+                return bits
+            remaining ^= low
+        bits = self._all_traces_mask
+        remaining = mask
+        while remaining and bits:
+            low = remaining & -remaining
+            bits &= self.class_trace_bits[low.bit_length() - 1]
+            remaining ^= low
+        self._cooccur_insert(mask, bits)
+        return bits
+
+    def extend_cooccurring(self, parent_mask: int, cls_bit: int) -> int:
+        """Trace bitset of ``parent_mask | cls_bit`` via one intersection."""
+        child_mask = parent_mask | cls_bit
+        cached = self._cooccur.get(child_mask)
+        if cached is not None:
+            return cached
+        bits = self.cooccurring_traces(parent_mask) & self.class_trace_bits[
+            cls_bit.bit_length() - 1
+        ]
+        self._cooccur_insert(child_mask, bits)
+        return bits
+
+    def occurs_mask(self, mask: int) -> bool:
+        """``occurs(g, L)`` on a group bitmask."""
+        return mask != 0 and self.cooccurring_traces(mask) != 0
+
+    def occurs(self, group: Iterable[str]) -> bool:
+        """``occurs(g, L)`` on a class set (foreign classes never occur)."""
+        group = frozenset(group)
+        if not group:
+            return False
+        for cls in group:
+            if cls not in self.class_to_id:
+                return False
+        return self.occurs_mask(self.mask_of(group))
+
+    # -- vectorized instance detection ------------------------------------
+
+    def instances(
+        self, group: Iterable[str], policy: str = "repeat", gap_limit: int = 3
+    ) -> tuple[list[tuple[int, list[int]]], list[int]]:
+        """Instances of one group: ``(trace index, positions)`` + distinct counts.
+
+        The pairs are byte-identical to
+        :func:`repro.core.instances.instances_in_log`; the parallel list
+        holds each instance's number of distinct classes (what Eq. 1's
+        ``missing`` term needs), computed for free during detection.
+        """
+        stats = self.stats_batch([frozenset(group)], policy, gap_limit)[0]
+        return stats.pairs(), stats.distinct_list()
+
+    def stats_batch(
+        self,
+        groups: Sequence[frozenset[str]],
+        policy: str = "repeat",
+        gap_limit: int = 3,
+    ) -> list[GroupInstances]:
+        """Detect the instances of many groups in vectorized sweeps.
+
+        One boolean membership matrix per batch of ``_BATCH_GROUPS``
+        groups is indexed with the whole log's class-ID buffer; a single
+        ``np.nonzero`` then yields every (group, event) hit in group-
+        major, position-ascending order — exactly the iteration order of
+        the reference implementation.  The splitting policies become
+        boolean instance-boundary masks over the flat hit list; only
+        hits whose class actually recurs within its trace (precomputed
+        per event) ever need duplicate handling.
+        """
+        if policy not in POLICIES:
+            raise EventLogError(
+                f"unknown instance policy {policy!r}; use one of {POLICIES}"
+            )
+        results: list[GroupInstances] = [None] * len(groups)  # type: ignore[list-item]
+        if not groups:
+            return results
+        if self.num_classes == 0 or self.all_ids.size == 0:
+            return [_EMPTY_INSTANCES for _ in groups]
+        for start in range(0, len(groups), _BATCH_GROUPS):
+            batch = groups[start : start + _BATCH_GROUPS]
+            self._extract_batch(batch, start, policy, gap_limit, results)
+        return results
+
+    def _extract_batch(self, batch, base, policy, gap_limit, results) -> None:
+        if self.num_classes <= 64:
+            # Unpack the group bitmasks directly into the membership
+            # matrix — no per-group python loop.
+            masks = np.array(
+                [self.mask_of(group) for group in batch], dtype=np.uint64
+            )
+            membership = (
+                masks[:, None] >> np.arange(self.num_classes, dtype=np.uint64)
+            ) & np.uint64(1) != 0
+        else:
+            membership = np.zeros((len(batch), self.num_classes), dtype=bool)
+            for row, group in enumerate(batch):
+                ids = [
+                    self.class_to_id[cls]
+                    for cls in group
+                    if cls in self.class_to_id
+                ]
+                if ids:
+                    membership[row, ids] = True
+        group_idx, event_idx = np.nonzero(membership[:, self.all_ids])
+        total = group_idx.size
+        if total == 0:
+            for row in range(len(batch)):
+                results[base + row] = _EMPTY_INSTANCES
+            return
+        trace_of = self._trace_of_event[event_idx]
+        local = self._local_of_event[event_idx]
+
+        # One segment per (group, trace) pair; instances never span
+        # segments, so every policy starts from the segment boundaries.
+        seg_change = np.empty(total, dtype=bool)
+        seg_change[0] = True
+        np.not_equal(trace_of[1:], trace_of[:-1], out=seg_change[1:])
+        np.logical_or(
+            seg_change[1:], group_idx[1:] != group_idx[:-1], out=seg_change[1:]
+        )
+
+        # Hits whose class recurs within its trace are the only ones that
+        # can repeat inside a segment; everything else skips duplicate
+        # handling entirely.
+        repeat_candidates = self._event_repeats[event_idx]
+        has_repeats = bool(repeat_candidates.any())
+
+        if policy == "repeat":
+            boundaries = self._repeat_boundaries(
+                seg_change, repeat_candidates, has_repeats, event_idx
+            )
+        elif policy == "none":
+            boundaries = seg_change
+        else:  # policy == "gap"
+            boundaries = seg_change.copy()
+            gap_split = (local[1:] - local[:-1] - 1) > gap_limit
+            boundaries[1:] |= gap_split & ~seg_change[1:]
+
+        inst_starts = np.flatnonzero(boundaries)
+        num_instances = inst_starts.size
+        counts = np.diff(inst_starts, append=total)
+
+        if policy == "repeat" or not has_repeats:
+            # ``repeat`` instances are all-distinct by construction; for
+            # the other policies a repeat-free batch is too.
+            distincts = counts
+        else:
+            distincts = counts - self._duplicates_per_instance(
+                group_idx,
+                trace_of,
+                repeat_candidates,
+                event_idx,
+                boundaries,
+                inst_starts,
+                num_instances,
+            )
+
+        first_arr = local[inst_starts]
+        last_arr = local[inst_starts + counts - 1]
+        # Cohesion term per instance: interrupts/|ξ|, with interrupts
+        # defined as 0 for single-event instances (reference divides the
+        # same integers, so the floats are bitwise identical).
+        cohesion = (
+            np.where(counts >= 2, last_arr - first_arr + 1 - counts, 0) / counts
+        ).tolist()
+        firsts = first_arr.tolist()
+        lasts = last_arr.tolist()
+        inst_group = group_idx[inst_starts]
+        inst_trace = trace_of[inst_starts].tolist()
+        counts_list = counts.tolist()
+        distincts_list = distincts.tolist() if distincts is not counts else counts_list
+        positions = local.tolist()
+
+        bounds = self._row_bounds[: len(batch) + 1]
+        hit_bounds = np.searchsorted(group_idx, bounds).tolist()
+        inst_bounds = np.searchsorted(inst_group, bounds).tolist()
+        for row in range(len(batch)):
+            i0, i1 = inst_bounds[row], inst_bounds[row + 1]
+            if i0 == i1:
+                results[base + row] = _EMPTY_INSTANCES
+            else:
+                h0, h1 = hit_bounds[row], hit_bounds[row + 1]
+                results[base + row] = GroupInstances(
+                    inst_trace[i0:i1],
+                    firsts[i0:i1],
+                    lasts[i0:i1],
+                    counts_list[i0:i1],
+                    distincts_list[i0:i1],
+                    cohesion[i0:i1],
+                    positions[h0:h1],
+                )
+
+    def _repeat_boundaries(
+        self, seg_change, repeat_candidates, has_repeats, event_idx
+    ):
+        """Boundary mask for the ``repeat`` policy.
+
+        Without recurring classes every segment is one instance.  Only
+        segments that contain a potentially recurring class need the
+        sequential seen-set walk (a new instance starts whenever a class
+        re-occurs within the current one) — and only those are walked.
+        """
+        if not has_repeats:
+            return seg_change
+        boundaries = seg_change.copy()
+        seg_index = np.cumsum(seg_change) - 1
+        seg_starts = np.flatnonzero(seg_change)
+        seg_ends = np.append(seg_starts[1:], seg_change.size)
+        dirty = np.unique(seg_index[repeat_candidates])
+        class_list = self.all_ids[event_idx].tolist()
+        for seg in dirty.tolist():
+            seen = 0
+            for hit in range(int(seg_starts[seg]), int(seg_ends[seg])):
+                bit = 1 << class_list[hit]
+                if seen & bit:
+                    boundaries[hit] = True
+                    seen = 0
+                seen |= bit
+        return boundaries
+
+    def _duplicates_per_instance(
+        self,
+        group_idx,
+        trace_of,
+        repeat_candidates,
+        event_idx,
+        boundaries,
+        inst_starts,
+        num_instances,
+    ):
+        """Per-instance duplicate-class counts (``none`` / ``gap`` policies).
+
+        Only hits flagged as potential repeats participate: a stable
+        sort of those hits by (group, trace, class) makes consecutive
+        occurrences adjacent; a hit whose previous same-class occurrence
+        falls inside the same instance is a duplicate.
+        """
+        flagged = np.flatnonzero(repeat_candidates)
+        keys = (
+            group_idx[flagged] * np.int64(self.num_traces) + trace_of[flagged]
+        ) * np.int64(self.num_classes) + self.all_ids[event_idx[flagged]]
+        order = np.argsort(keys, kind="stable")
+        ordered = keys[order]
+        same = ordered[1:] == ordered[:-1]
+        duplicates = flagged[order[1:][same]]
+        previous = flagged[order[:-1][same]]
+        inst_id = np.cumsum(boundaries) - 1
+        within = previous >= inst_starts[inst_id[duplicates]]
+        return np.bincount(
+            inst_id[duplicates[within]], minlength=num_instances
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledLog({self.num_traces} traces, {self.all_ids.size} events, "
+            f"{self.num_classes} classes)"
+        )
+
+
+class CompiledInstanceIndex(InstanceIndex):
+    """Drop-in :class:`InstanceIndex` backed by a :class:`CompiledLog`.
+
+    ``positions`` / ``events`` / ``count`` keep their reference
+    semantics (and exact output format); detection runs through the
+    vectorized batch path, and :meth:`prime` lets the beam search
+    extract a whole frontier of groups in one sweep.
+    """
+
+    def __init__(
+        self,
+        log: EventLog,
+        compiled: CompiledLog | None = None,
+        policy: str = "repeat",
+        gap_limit: int = 3,
+    ):
+        super().__init__(log, policy=policy, gap_limit=gap_limit)
+        if compiled is not None and compiled.log is not log:
+            raise GroupingError("compiled log was built for a different log")
+        self.compiled = compiled or CompiledLog(log)
+        self._stats_cache: dict[frozenset[str], GroupInstances] = {}
+
+    def stats(self, group: frozenset[str]) -> GroupInstances:
+        """The group's instance summary (cached)."""
+        group = frozenset(group)
+        cached = self._stats_cache.get(group)
+        if cached is None:
+            cached = self.compiled.stats_batch(
+                [group], self.policy, self.gap_limit
+            )[0]
+            self._stats_cache[group] = cached
+        return cached
+
+    def prime(self, groups: Sequence[frozenset[str]]) -> None:
+        """Batch-detect all not-yet-cached groups in one vectorized sweep."""
+        missing = [group for group in groups if group not in self._stats_cache]
+        if not missing:
+            return
+        extracted = self.compiled.stats_batch(
+            missing, self.policy, self.gap_limit
+        )
+        for group, stats in zip(missing, extracted):
+            self._stats_cache[group] = stats
+
+    def positions(self, group: frozenset[str]) -> list[tuple[int, list[int]]]:
+        return self.stats(group).pairs()
+
+    def distinct_counts(self, group: frozenset[str]) -> list[int]:
+        """Per-instance distinct-class counts, parallel to :meth:`positions`."""
+        return self.stats(group).distinct_list()
+
+    def count(self, group: frozenset[str]) -> int:
+        return len(self.stats(group))
+
+    def cache_size(self) -> int:
+        return len(self._stats_cache)
+
+
+def _eq1_from_stats(stats: GroupInstances, size: int) -> float:
+    """Eq. 1 on an instance summary, replaying the reference arithmetic.
+
+    Same divisions on the same integers, accumulated in the same order
+    as :meth:`repro.core.distance.DistanceFunction.group_distance`, so
+    the result is bitwise identical.  The cohesion terms come
+    precomputed from detection; the missing terms take at most
+    ``size + 1`` distinct values and are tabulated once per group.
+    """
+    num_instances = len(stats.counts)
+    if num_instances == 0:
+        return 1.0 / size
+    missing_term = [(size - present) / size for present in range(size + 1)]
+    total = 0.0
+    for cohesion, distinct in zip(stats.cohesion, stats.distincts):
+        total += cohesion
+        total += missing_term[distinct]
+    return total / num_instances + 1.0 / size
+
+
+class CompiledDistanceFunction(DistanceFunction):
+    """Eq. 1 on precomputed instance summaries (no ``Event`` access).
+
+    The heavy part — locating every instance of every group — runs
+    through the compiled log's vectorized batch detection
+    (:meth:`prime`); the remaining per-instance accumulation replays the
+    reference implementation's arithmetic on plain integers, keeping the
+    returned floats bitwise identical so the beam ordering of
+    Algorithm 2 is preserved exactly.
+    """
+
+    def __init__(self, log: EventLog, instance_index: CompiledInstanceIndex | None = None):
+        if instance_index is None:
+            instance_index = CompiledInstanceIndex(log)
+        if not isinstance(instance_index, CompiledInstanceIndex):
+            raise GroupingError(
+                "CompiledDistanceFunction requires a CompiledInstanceIndex"
+            )
+        super().__init__(log, instance_index)
+
+    @property
+    def _singletons_are_unit(self) -> bool:
+        """Whether singleton groups score exactly 1.0 without detection.
+
+        Under the ``repeat`` policy a singleton's instances are all
+        single events (the class re-occurring starts a new instance), so
+        every cohesion and missing term is exactly ``0.0`` and Eq. 1
+        reduces to ``0.0/N + 1/1 = 1.0`` — bitwise identical to the
+        reference accumulation of zero terms.  Not true for ``none`` /
+        ``gap``, where multi-event singleton instances can interrupt.
+        """
+        return self.instances.policy == "repeat"
+
+    def prime(self, groups: Sequence[frozenset[str]]) -> None:
+        """Batch-compute distances for ``groups`` in one detection sweep."""
+        singleton_unit = self._singletons_are_unit
+        missing: list[frozenset[str]] = []
+        seen: set[frozenset[str]] = set()
+        for group in groups:
+            group = frozenset(group)
+            if group in self._cache or group in seen:
+                continue
+            if singleton_unit and len(group) == 1:
+                self._cache[group] = 1.0
+                continue
+            seen.add(group)
+            missing.append(group)
+        if not missing:
+            return
+        self.instances.prime(missing)
+        for group in missing:
+            self._cache[group] = _eq1_from_stats(
+                self.instances.stats(group), len(group)
+            )
+
+    def group_distance(self, group: Iterable[str]) -> float:
+        group = frozenset(group)
+        if not group:
+            raise GroupingError("cannot compute distance of an empty group")
+        cached = self._cache.get(group)
+        if cached is not None:
+            return cached
+        if len(group) == 1 and self._singletons_are_unit:
+            value = 1.0
+        else:
+            value = _eq1_from_stats(self.instances.stats(group), len(group))
+        self._cache[group] = value
+        return value
+
+
+class CompiledDfgOps:
+    """Group-level DFG neighborhoods on class bitmasks (Algorithm 3).
+
+    Exposes the same ``pre`` / ``post`` / ``exclusive`` /
+    ``equal_pre_post`` API as
+    :class:`~repro.eventlog.dfg.DirectlyFollowsGraph`, so the
+    exclusive-merging pass can use either interchangeably.  Per-class
+    predecessor/successor bitmasks are precomputed once; every group
+    query is then a handful of integer operations.
+    """
+
+    def __init__(self, compiled: CompiledLog, graph: DirectlyFollowsGraph):
+        self.compiled = compiled
+        self.graph = graph
+        succ = [0] * compiled.num_classes
+        pred = [0] * compiled.num_classes
+        to_id = compiled.class_to_id
+        for source, target in graph.edge_counts:
+            source_id = to_id.get(source)
+            target_id = to_id.get(target)
+            if source_id is None or target_id is None:
+                continue
+            succ[source_id] |= 1 << target_id
+            pred[target_id] |= 1 << source_id
+        self._succ = succ
+        self._pred = pred
+        self._neighborhood_cache: dict[int, tuple[int, int]] = {}
+
+    def _neighborhood(self, mask: int) -> tuple[int, int]:
+        """Raw (predecessors, successors) bitmask union over members."""
+        cached = self._neighborhood_cache.get(mask)
+        if cached is not None:
+            return cached
+        preds = 0
+        succs = 0
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            class_id = low.bit_length() - 1
+            preds |= self._pred[class_id]
+            succs |= self._succ[class_id]
+            remaining ^= low
+        result = (preds, succs)
+        self._neighborhood_cache[mask] = result
+        return result
+
+    def pre(self, group: Iterable[str]) -> frozenset[str]:
+        """Preset of a group: external predecessors of its members."""
+        mask = self.compiled.mask_of(group)
+        preds, _ = self._neighborhood(mask)
+        return self.compiled.group_of(preds & ~mask)
+
+    def post(self, group: Iterable[str]) -> frozenset[str]:
+        """Postset of a group: external successors of its members."""
+        mask = self.compiled.mask_of(group)
+        _, succs = self._neighborhood(mask)
+        return self.compiled.group_of(succs & ~mask)
+
+    def exclusive(self, group_a: Iterable[str], group_b: Iterable[str]) -> bool:
+        """``True`` iff no DFG edge connects the two (disjoint) groups."""
+        mask_a = self.compiled.mask_of(group_a)
+        mask_b = self.compiled.mask_of(group_b)
+        if mask_a & mask_b:
+            return False
+        if self._neighborhood(mask_a)[1] & mask_b:
+            return False
+        if self._neighborhood(mask_b)[1] & mask_a:
+            return False
+        return True
+
+    def equal_pre_post(
+        self, group: Iterable[str], candidates: Iterable[frozenset[str]]
+    ) -> list[frozenset[str]]:
+        """Candidates sharing ``group``'s pre- and postsets (as bitmasks)."""
+        mask = self.compiled.mask_of(group)
+        preds, succs = self._neighborhood(mask)
+        reference = (preds & ~mask, succs & ~mask)
+        matches = []
+        for other in candidates:
+            other_mask = self.compiled.mask_of(other)
+            if other_mask == mask:
+                continue
+            other_preds, other_succs = self._neighborhood(other_mask)
+            if (other_preds & ~other_mask, other_succs & ~other_mask) == reference:
+                matches.append(frozenset(other))
+        return matches

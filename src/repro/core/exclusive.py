@@ -42,14 +42,25 @@ def merge_exclusive_candidates(
     candidates: set[frozenset[str]],
     checker: GroupChecker,
     dfg: DirectlyFollowsGraph | None = None,
+    compiled=None,
 ) -> tuple[set[frozenset[str]], ExclusiveStats]:
     """Extend ``candidates`` with merges of behavioral alternatives (Alg. 3).
 
     Returns the extended candidate set (a new set; the input is not
-    mutated) together with pass statistics.
+    mutated) together with pass statistics.  When ``compiled`` (a
+    :class:`~repro.core.encoding.CompiledLog`) is given, the DFG
+    neighborhood queries run on precomputed class bitmasks via
+    :class:`~repro.core.encoding.CompiledDfgOps` — same API, same
+    results, without per-query set algebra over edge tuples.
     """
     started = time.perf_counter()
-    graph = dfg or compute_dfg(log)
+    dfg = dfg or compute_dfg(log)
+    if compiled is not None:
+        from repro.core.encoding import CompiledDfgOps
+
+        graph = CompiledDfgOps(compiled, dfg)
+    else:
+        graph = dfg
     stats = ExclusiveStats()
     result = set(candidates)
     seen_groups: set[frozenset[str]] = set()

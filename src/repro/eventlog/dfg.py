@@ -43,6 +43,31 @@ class DirectlyFollowsGraph:
     start_counts: dict[str, int] = field(default_factory=dict)
     end_counts: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self):
+        self._successor_map: dict[str, frozenset[str]] | None = None
+        self._predecessor_map: dict[str, frozenset[str]] | None = None
+
+    def _adjacency(self) -> tuple[dict, dict]:
+        """Cached successor/predecessor maps.
+
+        Built once from ``edge_counts`` (which is never mutated after
+        construction — filtering returns a new graph), so repeated
+        neighborhood queries avoid rescanning the full edge dict.
+        """
+        if self._successor_map is None:
+            successors: dict[str, set[str]] = {}
+            predecessors: dict[str, set[str]] = {}
+            for source, target in self.edge_counts:
+                successors.setdefault(source, set()).add(target)
+                predecessors.setdefault(target, set()).add(source)
+            self._successor_map = {
+                node: frozenset(members) for node, members in successors.items()
+            }
+            self._predecessor_map = {
+                node: frozenset(members) for node, members in predecessors.items()
+            }
+        return self._successor_map, self._predecessor_map
+
     # -- basic queries -------------------------------------------------
 
     @property
@@ -60,11 +85,11 @@ class DirectlyFollowsGraph:
 
     def successors(self, node: str) -> frozenset[str]:
         """Classes that ever directly follow ``node``."""
-        return frozenset(b for (a, b) in self.edge_counts if a == node)
+        return self._adjacency()[0].get(node, frozenset())
 
     def predecessors(self, node: str) -> frozenset[str]:
         """Classes that ``node`` ever directly follows."""
-        return frozenset(a for (a, b) in self.edge_counts if b == node)
+        return self._adjacency()[1].get(node, frozenset())
 
     # -- group-level neighborhoods (Algorithm 3) ------------------------
 

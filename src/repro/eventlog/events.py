@@ -31,6 +31,11 @@ TIMESTAMP_KEY = "time:timestamp"
 #: Attribute key conventionally holding the executing role/resource.
 ROLE_KEY = "org:role"
 
+#: Upper bound on memoized ``occurs`` trace-set entries per log; the
+#: candidate searches probe huge numbers of throwaway frontier groups,
+#: so the cache resets rather than growing without bound.
+_OCCURS_CACHE_LIMIT = 1 << 17
+
 
 def _ensure_datetime(value: Any) -> Any:
     """Normalize timestamp-ish values to timezone-aware ``datetime``.
@@ -216,7 +221,14 @@ class EventLog(Sequence[Trace]):
     the caches.
     """
 
-    __slots__ = ("traces", "attributes", "_classes", "_class_counts", "_traces_by_class")
+    __slots__ = (
+        "traces",
+        "attributes",
+        "_classes",
+        "_class_counts",
+        "_traces_by_class",
+        "_group_trace_sets",
+    )
 
     def __init__(
         self,
@@ -234,6 +246,7 @@ class EventLog(Sequence[Trace]):
         self._classes: frozenset[str] | None = None
         self._class_counts: dict[str, int] | None = None
         self._traces_by_class: dict[str, frozenset[int]] | None = None
+        self._group_trace_sets: dict[frozenset[str], frozenset[int]] = {}
 
     # -- sequence protocol -------------------------------------------------
 
@@ -295,36 +308,61 @@ class EventLog(Sequence[Trace]):
             }
         return dict(self._traces_by_class)
 
+    def _group_trace_set(self, group: frozenset[str]) -> frozenset[int]:
+        """Traces containing all classes of ``group``, memoized per group.
+
+        The candidate searches filter every frontier group through
+        ``occurs``; frontier groups extend an already-filtered parent by
+        one class, so when a parent's trace set is cached the child
+        costs a single posting-list intersection.  Cold groups fall back
+        to intersecting the member posting lists smallest-first.  The
+        cache is dropped whenever the trace list mutates and resets when
+        it reaches :data:`_OCCURS_CACHE_LIMIT` entries.
+        """
+        cached = self._group_trace_sets.get(group)
+        if cached is not None:
+            return cached
+        if len(self._group_trace_sets) >= _OCCURS_CACHE_LIMIT:
+            self._group_trace_sets.clear()
+        if self._traces_by_class is None:
+            self.traces_by_class  # build the per-class posting lists
+        membership = self._traces_by_class
+        result: frozenset[int] | None = None
+        if len(group) > 1:
+            for cls in group:
+                parent = self._group_trace_sets.get(group - {cls})
+                if parent is not None:
+                    result = parent & membership.get(cls, frozenset())
+                    break
+        if result is None:
+            postings = sorted(
+                (membership.get(cls, frozenset()) for cls in group), key=len
+            )
+            result = postings[0]
+            for posting in postings[1:]:
+                if not result:
+                    break
+                result = result & posting
+        self._group_trace_sets[group] = result
+        return result
+
     def occurs(self, group: Iterable[str]) -> bool:
         """Return ``True`` iff some trace contains *all* classes of ``group``.
 
         This is the paper's ``occurs(g, L)`` predicate (Alg. 1 line 13,
         Alg. 2 line 29).
         """
-        group = list(group)
+        group = frozenset(group)
         if not group:
             return False
-        membership = self.traces_by_class
-        try:
-            candidate_traces = membership[group[0]]
-        except KeyError:
-            return False
-        for cls in group[1:]:
-            candidate_traces = candidate_traces & membership.get(cls, frozenset())
-            if not candidate_traces:
-                return False
-        return True
+        return bool(self._group_trace_set(group))
 
     def traces_containing(self, group: Iterable[str]) -> list[int]:
         """Indices of traces containing all classes of ``group``."""
-        group = list(group)
+        group = frozenset(group)
         if not group:
             return []
-        membership = self.traces_by_class
-        result = membership.get(group[0], frozenset())
-        for cls in group[1:]:
-            result = result & membership.get(cls, frozenset())
-        return sorted(result)
+        return sorted(self._group_trace_set(group))
 
     @property
     def event_count(self) -> int:
