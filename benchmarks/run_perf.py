@@ -40,6 +40,8 @@ from repro.datasets.attributes import enrich_log  # noqa: E402
 from repro.datasets.playout import playout  # noqa: E402
 from repro.datasets.process_tree import TreeSpec, random_tree  # noqa: E402
 from repro.experiments.configs import constraint_set_for_log  # noqa: E402
+from repro.service import AbstractionJob, make_executor, result_signature  # noqa: E402
+from repro.service.jobs import share_log_refs  # noqa: E402
 
 ENGINES = ("python", "compiled")
 
@@ -180,6 +182,118 @@ def run_workload(workload: Workload, repeats: int) -> dict:
     return record
 
 
+def batch_manifest_rows(quick: bool) -> list[dict]:
+    """The batch workload: (log × constraint set) jobs in manifest form.
+
+    The full set is the acceptance workload of the service runtime: a
+    20-job manifest over the running example and the loan log, several
+    class-based and grouping constraint sets each.
+    """
+    logs = ("running_example",) if quick else ("running_example", "loan:60")
+    size_bounds = (3, 5) if quick else (2, 3, 4, 5, 6)
+    group_bounds = (3,) if quick else (3, 4, 5, 6, 7)
+    rows = []
+    for log_spec in logs:
+        for bound in size_bounds:
+            rows.append(
+                {
+                    "id": f"{log_spec}/size{bound}",
+                    "log": log_spec,
+                    "constraints": [{"type": "max_group_size", "bound": bound}],
+                    "config": {"beam_width": "auto"},
+                }
+            )
+        for bound in group_bounds:
+            rows.append(
+                {
+                    "id": f"{log_spec}/groups{bound}",
+                    "log": log_spec,
+                    "constraints": [
+                        {"type": "max_group_size", "bound": 8},
+                        {"type": "max_groups", "bound": bound},
+                    ],
+                    "config": {"beam_width": "auto"},
+                }
+            )
+    return rows
+
+
+def run_batch_benchmark(quick: bool) -> dict:
+    """Throughput of the service runtime: 1 vs N workers, cold vs warm.
+
+    Every run is cross-checked against a sequential reference (a fresh
+    ``Gecco.abstract`` per job, no artifact sharing): the runtime must
+    be byte-identical, merely faster.
+    """
+    rows = batch_manifest_rows(quick)
+    jobs = share_log_refs([AbstractionJob.from_dict(row) for row in rows])
+    num_logs = len({job.log.digest() for job in jobs})
+
+    started = time.perf_counter()
+    reference = [
+        result_signature(Gecco(job.constraints, job.config).abstract(job.log.resolve()))
+        for job in jobs
+    ]
+    sequential_seconds = time.perf_counter() - started
+
+    record = {
+        "num_jobs": len(jobs),
+        "num_logs": num_logs,
+        "sequential_reference_seconds": sequential_seconds,
+        "sequential_reference_jobs_per_second": len(jobs) / sequential_seconds,
+        "runs": {},
+    }
+    worker_counts = (1, 2) if quick else (1, 4)
+    for workers in worker_counts:
+        executor = make_executor(workers=workers)
+        try:
+            cold_started = time.perf_counter()
+            cold_results = executor.map(jobs)
+            cold_seconds = time.perf_counter() - cold_started
+
+            warm_started = time.perf_counter()
+            warm_results = executor.map(jobs)
+            warm_seconds = time.perf_counter() - warm_started
+            stats = executor.stats()
+        finally:
+            executor.shutdown()
+
+        builds = stats["parent"]["artifact_builds"] + stats.get(
+            "workers_total", {}
+        ).get("artifact_builds", 0)
+        run = {
+            "cold_seconds": cold_seconds,
+            "cold_jobs_per_second": len(jobs) / cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_jobs_per_second": len(jobs) / warm_seconds,
+            "warm_speedup": cold_seconds / warm_seconds if warm_seconds > 0 else None,
+            "byte_identical_cold": [result_signature(r) for r in cold_results]
+            == reference,
+            "byte_identical_warm": [result_signature(r) for r in warm_results]
+            == reference,
+            "artifact_builds": builds,
+            # Exactly one build per (worker, log): sequential builds each
+            # log's artifacts once; a pool builds them at most once per
+            # worker that saw the log.
+            "artifacts_built_once_per_log": (
+                builds == num_logs
+                if workers == 1
+                else num_logs <= builds <= workers * num_logs
+            ),
+            "cache": stats,
+        }
+        record["runs"][f"workers_{workers}"] = run
+        print(
+            f"batch workers={workers}: cold={cold_seconds:6.2f}s "
+            f"({run['cold_jobs_per_second']:6.2f} jobs/s) "
+            f"warm={warm_seconds:6.3f}s ({run['warm_jobs_per_second']:8.2f} jobs/s) "
+            f"warm_speedup={run['warm_speedup']:6.1f}x "
+            f"identical={run['byte_identical_cold'] and run['byte_identical_warm']} "
+            f"builds={builds}/{num_logs} logs"
+        )
+    return record
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -217,6 +331,8 @@ def main(argv=None) -> int:
             f"({elapsed:.1f}s)"
         )
 
+    batch_record = run_batch_benchmark(args.quick)
+
     scaling_speedups = [
         r["speedup_candidates"]
         for r in records
@@ -224,18 +340,28 @@ def main(argv=None) -> int:
     ]
     all_speedups = [r["speedup_candidates"] for r in records if r["speedup_candidates"]]
     mismatches = [r["name"] for r in records if not r["outputs_match"]]
+    mismatches += [
+        f"batch/{name}"
+        for name, run in batch_record["runs"].items()
+        if not (run["byte_identical_cold"] and run["byte_identical_warm"])
+    ]
     report = {
         "schema": "gecco-perf/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": args.quick,
         "repeats": repeats,
         "workloads": records,
+        "batch": batch_record,
         "summary": {
             "median_speedup_candidates_scaling_classes": (
                 statistics.median(scaling_speedups) if scaling_speedups else None
             ),
             "median_speedup_candidates_all": (
                 statistics.median(all_speedups) if all_speedups else None
+            ),
+            "batch_warm_speedup": max(
+                (run["warm_speedup"] or 0.0)
+                for run in batch_record["runs"].values()
             ),
             "outputs_match": not mismatches,
             "mismatched_workloads": mismatches,

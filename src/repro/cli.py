@@ -20,6 +20,16 @@ Subcommands
 
 ``constraint-types``
     List the constraint types accepted in JSON specifications.
+
+``batch``
+    Run a JSONL manifest of abstraction jobs through the service
+    runtime (:mod:`repro.service`) — multi-core, cache-backed::
+
+        gecco batch jobs.jsonl --workers 4 --output results.jsonl
+
+``serve``
+    Long-lived line-JSON request/response loop (stdin/stdout, or a TCP
+    socket with ``--port``) over a warm artifact cache.
 """
 
 from __future__ import annotations
@@ -188,6 +198,53 @@ def _cmd_constraint_types(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import load_manifest, run_batch
+
+    jobs = load_manifest(args.manifest)
+    report = run_batch(
+        jobs,
+        workers=args.workers,
+        output=args.output,
+        include_log=args.include_log,
+        disk_dir=args.cache_dir,
+    )
+    if args.output is None:
+        for row in report.rows:
+            print(json.dumps(row))
+    print(
+        f"batch: {len(report.rows)} jobs ({report.solved()} solved, "
+        f"{report.cache_hits()} served from cache) in {report.seconds:.2f}s "
+        f"({report.jobs_per_second:.2f} jobs/s, workers={args.workers}); "
+        f"artifact builds={report.artifact_builds()}",
+        file=sys.stderr,
+    )
+    if args.output:
+        print(f"results written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import make_executor, serve_loop, serve_socket
+
+    executor = make_executor(workers=args.workers, disk_dir=args.cache_dir)
+    try:
+        if args.port is not None:
+            print(
+                f"serving on {args.host}:{args.port} (workers={args.workers})",
+                file=sys.stderr,
+            )
+            served = serve_socket(
+                args.host, args.port, executor, max_requests=args.max_requests
+            )
+        else:
+            served = serve_loop(sys.stdin, sys.stdout, executor)
+    finally:
+        executor.shutdown()
+    print(f"served {served} requests", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -262,6 +319,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     types = sub.add_parser("constraint-types", help="list JSON constraint types")
     types.set_defaults(handler=_cmd_constraint_types)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSONL job manifest through the service runtime"
+    )
+    batch.add_argument("manifest", help="JSONL manifest (one job per line)")
+    batch.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = sequential)"
+    )
+    batch.add_argument("--output", help="results JSONL path (default: stdout)")
+    batch.add_argument(
+        "--cache-dir", help="persistent on-disk result cache directory"
+    )
+    batch.add_argument(
+        "--include-log",
+        action="store_true",
+        help="embed the abstracted log in each result row",
+    )
+    batch.set_defaults(handler=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="serve abstraction jobs over stdin/stdout or TCP"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = sequential)"
+    )
+    serve.add_argument("--cache-dir", help="persistent on-disk result cache directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None, help="serve over TCP instead")
+    serve.add_argument(
+        "--max-requests", type=int, default=None, help="stop after N requests (TCP)"
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

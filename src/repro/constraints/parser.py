@@ -121,3 +121,46 @@ def parse_constraints(specs: Sequence[Mapping[str, Any]]) -> ConstraintSet:
 def known_constraint_types() -> list[str]:
     """All type tags the parser accepts (for CLI help output)."""
     return sorted(_REGISTRY)
+
+
+#: Constraint class -> type tag (inverse of :data:`_REGISTRY`).
+_TYPE_TAGS: dict[type, str] = {
+    constructor: tag for tag, (constructor, _required) in _REGISTRY.items()
+}
+
+#: Attribute values that need a canonical JSON rendering per field.
+_FIELD_NORMALIZERS = {
+    "allowed": lambda value: sorted(value),
+    "classes": lambda value: None if value is None else sorted(value),
+}
+
+
+def constraint_to_spec(constraint: Constraint) -> dict[str, Any]:
+    """Render a constraint back to its dictionary specification.
+
+    The exact inverse of :func:`parse_constraint`:
+    ``parse_constraint(constraint_to_spec(c))`` reconstructs an
+    equivalent constraint for every registered type.  Set-valued fields
+    are rendered sorted so equal constraints yield equal specifications
+    (the service layer fingerprints jobs by this rendering).
+    """
+    if isinstance(constraint, AtLeastFraction):
+        spec = constraint_to_spec(constraint.inner)
+        spec["fraction"] = constraint.fraction
+        return spec
+    type_tag = _TYPE_TAGS.get(type(constraint))
+    if type_tag is None:
+        raise ConstraintError(
+            f"constraint type {type(constraint).__name__} has no registered "
+            "specification; add it to the parser registry"
+        )
+    _constructor, required = _REGISTRY[type_tag]
+    spec: dict[str, Any] = {"type": type_tag}
+    for name in (*required, *_OPTIONAL.get(type_tag, ())):
+        value = getattr(constraint, name)
+        if name in _FIELD_NORMALIZERS:
+            value = _FIELD_NORMALIZERS[name](value)
+        if value is None and name in _OPTIONAL.get(type_tag, ()):
+            continue
+        spec[name] = value
+    return spec

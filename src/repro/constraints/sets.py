@@ -18,6 +18,7 @@ class violates them.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -226,6 +227,36 @@ class ConstraintSet:
             class_constraint_violations=class_violations,
             instance_violation_fractions=instance_violation_fractions,
         )
+
+    # -- canonical serialization -------------------------------------------
+
+    def to_specs(self) -> list[dict]:
+        """The constraints as canonically ordered specification dicts.
+
+        Specifications are sorted by their canonical JSON rendering, so
+        two sets built from the same constraints in different orders
+        produce identical output (required for stable job fingerprints
+        in :mod:`repro.service`).
+        """
+        from repro.constraints.parser import constraint_to_spec
+
+        specs = [constraint_to_spec(constraint) for constraint in self.constraints]
+        return sorted(
+            specs, key=lambda spec: json.dumps(spec, sort_keys=True, default=str)
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON: order- and whitespace-stable for equal sets."""
+        return json.dumps(
+            self.to_specs(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConstraintSet":
+        """Rebuild a set from :meth:`to_json` output."""
+        from repro.constraints.parser import parse_constraints
+
+        return parse_constraints(json.loads(text))
 
     def describe(self) -> str:
         """One line per constraint, for logs and error messages."""

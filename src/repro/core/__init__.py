@@ -13,7 +13,15 @@ from repro.core.encoding import (
     CompiledLog,
 )
 from repro.core.exclusive import ExclusiveStats, merge_exclusive_candidates
-from repro.core.gecco import AbstractionResult, Gecco, GeccoConfig, StepTimings
+from repro.core.gecco import (
+    AbstractionResult,
+    Gecco,
+    GeccoConfig,
+    PipelineArtifacts,
+    StepTimings,
+    prepare_artifacts,
+    resolve_engine,
+)
 from repro.core.grouping import Grouping, singleton_grouping
 from repro.core.grouping_constraints import (
     GroupingConstraintRule,
@@ -46,7 +54,10 @@ __all__ = [
     "AbstractionResult",
     "Gecco",
     "GeccoConfig",
+    "PipelineArtifacts",
     "StepTimings",
+    "prepare_artifacts",
+    "resolve_engine",
     "Grouping",
     "singleton_grouping",
     "GroupingConstraintRule",

@@ -239,6 +239,29 @@ class CompiledLog:
             mask ^= low
         return frozenset(members)
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate footprint of the compiled arrays, in bytes.
+
+        Surfaced as ``resident_artifact_bytes`` in the service-layer
+        artifact cache's snapshots (:mod:`repro.service.cache`) so
+        operators can see what the artifact tier holds; eviction itself
+        is entry-count bounded.
+        """
+        arrays = (
+            self.offsets,
+            self.all_ids,
+            self._trace_of_event,
+            self._local_of_event,
+            self._event_repeats,
+            self._row_bounds,
+        )
+        total = sum(int(array.nbytes) for array in arrays)
+        total += sum(
+            (bits.bit_length() + 7) // 8 for bits in self.class_trace_bits
+        )
+        return total
+
     # -- co-occurrence (the ``occurs`` predicate) -------------------------
 
     def _cooccur_insert(self, mask: int, bits: int) -> None:

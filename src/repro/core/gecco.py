@@ -29,14 +29,24 @@ Typical use::
   checks incrementally.  Identical candidates, distances, and groupings
   as the reference engine, typically ≥5× faster on the candidate phase
   (see ``benchmarks/run_perf.py``).  Requires ``numpy``; when ``numpy``
-  is unavailable the pipeline silently falls back to ``"python"``.
+  is unavailable the pipeline falls back to ``"python"`` with a
+  ``RuntimeWarning`` and records the effective engine on the result
+  (:attr:`AbstractionResult.engine`).
 * ``"python"`` — the pure-Python reference implementation.  Pick it to
   cross-check results, to debug, or on deployments without ``numpy``.
+
+**Artifact sharing.**  The expensive per-log artifacts (the compiled
+log, the instance index, and the DFG) depend only on the log, the
+instance policy, and the engine — not on the constraints.  Callers that
+solve many problems on the same log (the service runtime of
+:mod:`repro.service`, the experiment runner) build them once with
+:func:`prepare_artifacts` and pass them to :meth:`Gecco.abstract`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.constraints.sets import ConstraintSet, InfeasibilityReport
@@ -103,7 +113,8 @@ class GeccoConfig:
     engine:
         ``"compiled"`` (integer-encoded hot path, default) or
         ``"python"`` (pure-Python reference); see the module docstring.
-        ``"compiled"`` degrades to ``"python"`` when numpy is missing.
+        ``"compiled"`` degrades to ``"python"`` with a ``RuntimeWarning``
+        when numpy is missing; the result records the effective engine.
     """
 
     strategy: str = "dfg"
@@ -171,6 +182,64 @@ class GeccoConfig:
         return cls(strategy="dfg", beam_width="auto", **overrides)
 
 
+def resolve_engine(engine: str) -> str:
+    """The engine that will actually run for a requested ``engine``.
+
+    Warns (``RuntimeWarning``) when the compiled engine is requested but
+    numpy is unavailable, instead of degrading silently.
+    """
+    if engine == "compiled" and not encoding.HAVE_NUMPY:
+        warnings.warn(
+            "engine='compiled' requested but numpy is unavailable; "
+            "falling back to the pure-Python reference engine",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "python"
+    return engine
+
+
+@dataclass
+class PipelineArtifacts:
+    """Per-log artifacts shared by every problem on the same log.
+
+    Building these is the constraint-independent part of a pipeline run:
+    the compiled encoding, the instance index, and the DFG depend only
+    on ``(log, instance_policy, engine)``.  :meth:`Gecco.abstract`
+    accepts a prebuilt instance so that batch callers (the
+    :mod:`repro.service` runtime, the experiment runner) pay the cost
+    once per log instead of once per job.
+    """
+
+    engine: str
+    instance_policy: str
+    log: EventLog
+    compiled: object | None
+    instance_index: InstanceIndex
+    dfg: dict
+
+
+def prepare_artifacts(log: EventLog, config: "GeccoConfig") -> PipelineArtifacts:
+    """Build the shareable per-log artifacts for ``config``."""
+    engine = resolve_engine(config.engine)
+    if engine == "compiled":
+        compiled = encoding.CompiledLog(log)
+        instance_index: InstanceIndex = encoding.CompiledInstanceIndex(
+            log, compiled, policy=config.instance_policy
+        )
+    else:
+        compiled = None
+        instance_index = InstanceIndex(log, policy=config.instance_policy)
+    return PipelineArtifacts(
+        engine=engine,
+        instance_policy=config.instance_policy,
+        log=log,
+        compiled=compiled,
+        instance_index=instance_index,
+        dfg=compute_dfg(log),
+    )
+
+
 @dataclass
 class StepTimings:
     """Wall-clock seconds per pipeline step."""
@@ -198,6 +267,9 @@ class AbstractionResult:
     candidate_stats: object | None = None
     infeasibility: InfeasibilityReport | None = None
     original_log: EventLog | None = None
+    #: The engine that actually ran (``"compiled"`` or ``"python"``);
+    #: differs from the requested one after a numpy fallback.
+    engine: str | None = None
 
     @property
     def size_reduction(self) -> float | None:
@@ -218,18 +290,41 @@ class Gecco:
 
     # -- pipeline -----------------------------------------------------------
 
-    def abstract(self, log: EventLog) -> AbstractionResult:
-        """Run the full pipeline on ``log``."""
+    def abstract(
+        self, log: EventLog, artifacts: PipelineArtifacts | None = None
+    ) -> AbstractionResult:
+        """Run the full pipeline on ``log``.
+
+        ``artifacts`` may carry prebuilt per-log artifacts (from
+        :func:`prepare_artifacts`); they must match the configuration's
+        instance policy and effective engine.
+        """
         config = self.config
         timings = StepTimings()
-        compiled = None
-        if config.engine == "compiled" and encoding.HAVE_NUMPY:
-            compiled = encoding.CompiledLog(log)
-            instance_index: InstanceIndex = encoding.CompiledInstanceIndex(
-                log, compiled, policy=config.instance_policy
-            )
+        if artifacts is None:
+            artifacts = prepare_artifacts(log, config)
         else:
-            instance_index = InstanceIndex(log, policy=config.instance_policy)
+            expected = resolve_engine(config.engine)
+            if (
+                artifacts.engine != expected
+                or artifacts.instance_policy != config.instance_policy
+            ):
+                raise ConstraintError(
+                    f"artifacts built for engine={artifacts.engine!r}/"
+                    f"policy={artifacts.instance_policy!r} do not match config "
+                    f"engine={expected!r}/policy={config.instance_policy!r}"
+                )
+            if artifacts.log is not log and (
+                len(artifacts.log) != len(log)
+                or artifacts.log.classes != log.classes
+                or artifacts.log.event_count != log.event_count
+            ):
+                raise ConstraintError(
+                    "artifacts were built from a different log (trace count, "
+                    "class universe, or event count differs)"
+                )
+        compiled = artifacts.compiled
+        instance_index = artifacts.instance_index
         checker = GroupChecker(log, self.constraints, instance_index)
         if config.distance == "eq1":
             if compiled is not None:
@@ -240,7 +335,7 @@ class Gecco:
             from repro.core.alt_distance import ALTERNATIVE_DISTANCES
 
             distance = ALTERNATIVE_DISTANCES[config.distance](log, instance_index)
-        dfg = compute_dfg(log)
+        dfg = artifacts.dfg
 
         # Step 1: candidate computation.
         started = time.perf_counter()
@@ -290,6 +385,7 @@ class Gecco:
                 candidate_stats=candidate_result.stats,
                 infeasibility=report,
                 original_log=log,
+                engine=artifacts.engine,
             )
 
         grouping = selection.grouping
@@ -315,6 +411,7 @@ class Gecco:
             timings=timings,
             candidate_stats=candidate_result.stats,
             original_log=log,
+            engine=artifacts.engine,
         )
 
     # -- helpers ------------------------------------------------------------

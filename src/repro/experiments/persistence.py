@@ -11,10 +11,42 @@ from __future__ import annotations
 import csv
 import json
 import os
+import tempfile
+from pathlib import Path
 from typing import IO
 
 from repro.exceptions import ReproError
 from repro.experiments.runner import ExperimentReport, ProblemResult
+
+
+def write_json_atomic(data: dict, path: str | os.PathLike) -> None:
+    """Write JSON via a same-directory temp file plus atomic rename.
+
+    Concurrent writers (the service runtime's disk cache is shared by
+    several worker processes) each land a complete file; readers never
+    observe a partially written one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: str | os.PathLike) -> dict:
+    """Read a JSON file written by :func:`write_json_atomic`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
 
 _FIELDS = [
     "log_name",

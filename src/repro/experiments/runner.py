@@ -90,6 +90,42 @@ def _gecco_config(approach: str, **overrides) -> GeccoConfig:
     raise ReproError(f"not a GECCO approach: {approach!r}")
 
 
+def _row_from_result(
+    log: EventLog,
+    constraint_set_name: str,
+    approach: str,
+    log_name: str,
+    result: AbstractionResult | None,
+    seconds: float,
+    error: str = "",
+) -> ProblemResult:
+    """Turn one pipeline outcome into a measured result row."""
+    if result is None or not result.feasible or result.grouping is None:
+        return ProblemResult(
+            log_name=log_name,
+            constraint_set=constraint_set_name,
+            approach=approach,
+            solved=False,
+            seconds=seconds,
+            num_candidates=None if result is None else result.num_candidates,
+            error=error,
+        )
+
+    grouping = result.grouping
+    return ProblemResult(
+        log_name=log_name,
+        constraint_set=constraint_set_name,
+        approach=approach,
+        solved=True,
+        size_red=size_reduction(len(grouping), len(log.classes)),
+        complexity_red=complexity_reduction(log, result.abstracted_log),
+        silhouette=silhouette_coefficient(log, grouping),
+        seconds=seconds,
+        num_groups=len(grouping),
+        num_candidates=result.num_candidates,
+    )
+
+
 def solve_problem(
     log: EventLog,
     constraint_set_name: str,
@@ -120,30 +156,8 @@ def solve_problem(
     except ReproError as exc:
         error = str(exc)
     seconds = time.perf_counter() - started
-
-    if result is None or not result.feasible or result.grouping is None:
-        return ProblemResult(
-            log_name=log_name,
-            constraint_set=constraint_set_name,
-            approach=approach,
-            solved=False,
-            seconds=seconds,
-            num_candidates=None if result is None else result.num_candidates,
-            error=error,
-        )
-
-    grouping = result.grouping
-    return ProblemResult(
-        log_name=log_name,
-        constraint_set=constraint_set_name,
-        approach=approach,
-        solved=True,
-        size_red=size_reduction(len(grouping), len(log.classes)),
-        complexity_red=complexity_reduction(log, result.abstracted_log),
-        silhouette=silhouette_coefficient(log, grouping),
-        seconds=seconds,
-        num_groups=len(grouping),
-        num_candidates=result.num_candidates,
+    return _row_from_result(
+        log, constraint_set_name, approach, log_name, result, seconds, error
     )
 
 
@@ -152,26 +166,87 @@ def run_experiment(
     constraint_set_names: Iterable[str],
     approaches: Iterable[str],
     candidate_timeout: float | None = 60.0,
+    executor=None,
 ) -> ExperimentReport:
     """Cross product of logs × constraint sets × approaches.
 
     Inapplicable combinations (per :func:`repro.experiments.configs.applicable`,
     e.g. BL3 on logs without class-level attributes) are skipped, as in
     the paper.
+
+    ``executor`` optionally routes the GECCO cells of the grid through a
+    :mod:`repro.service` executor (e.g. a
+    :class:`~repro.service.executor.PoolExecutor`): every (log ×
+    constraint set × configuration) cell becomes an
+    :class:`~repro.service.jobs.AbstractionJob`, so the grid fans out
+    across cores and per-log artifacts are shared between cells instead
+    of being recomputed per cell.  Baseline approaches always run
+    in-process.  Row order matches the sequential path; ``seconds`` of
+    executor rows is the pipeline time measured inside the job
+    (:attr:`~repro.core.gecco.StepTimings.total`), not parent wall time.
     """
     report = ExperimentReport()
+    if executor is None:
+        for approach in approaches:
+            for set_name in constraint_set_names:
+                for log_name, log in logs.items():
+                    if not applicable(set_name, log):
+                        continue
+                    report.rows.append(
+                        solve_problem(
+                            log,
+                            set_name,
+                            approach,
+                            log_name=log_name,
+                            candidate_timeout=candidate_timeout,
+                        )
+                    )
+        return report
+
+    from repro.service.jobs import AbstractionJob, LogRef
+
+    refs = {name: LogRef.inline(log, name=name) for name, log in logs.items()}
+    cells = []
     for approach in approaches:
         for set_name in constraint_set_names:
             for log_name, log in logs.items():
                 if not applicable(set_name, log):
                     continue
-                report.rows.append(
-                    solve_problem(
-                        log,
-                        set_name,
-                        approach,
-                        log_name=log_name,
-                        candidate_timeout=candidate_timeout,
+                handle = None
+                if approach in ("Exh", "DFGinf", "DFGk"):
+                    job = AbstractionJob(
+                        log=refs[log_name],
+                        constraints=constraint_set_for_log(set_name, log),
+                        config=_gecco_config(
+                            approach, candidate_timeout=candidate_timeout
+                        ),
+                        job_id=f"{approach}/{set_name}/{log_name}",
                     )
+                    handle = executor.submit(job)
+                cells.append((approach, set_name, log_name, handle))
+    for approach, set_name, log_name, handle in cells:
+        log = logs[log_name]
+        if handle is None:
+            report.rows.append(
+                solve_problem(
+                    log,
+                    set_name,
+                    approach,
+                    log_name=log_name,
+                    candidate_timeout=candidate_timeout,
                 )
+            )
+            continue
+        error = ""
+        result: AbstractionResult | None = None
+        try:
+            result = handle.result()
+        except ReproError as exc:
+            error = str(exc)
+        seconds = result.timings.total if result is not None else 0.0
+        report.rows.append(
+            _row_from_result(
+                log, set_name, approach, log_name, result, seconds, error
+            )
+        )
     return report

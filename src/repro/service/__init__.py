@@ -1,0 +1,91 @@
+"""``repro.service`` — the parallel, cache-backed abstraction runtime.
+
+The batch pipeline (:class:`~repro.core.gecco.Gecco`) solves one
+problem per call; this package turns it into a *servable* runtime that
+amortizes work across requests:
+
+* :mod:`~repro.service.jobs` — the job model: content-addressed
+  :class:`AbstractionJob` (log reference × constraints × config) with
+  canonical fingerprints;
+* :mod:`~repro.service.cache` — the two-tier :class:`ArtifactCache`:
+  per-log artifacts shared across constraint sets, finished results
+  served without recomputation, optional on-disk persistence;
+* :mod:`~repro.service.executor` — :class:`PoolExecutor`
+  (multiprocessing, priorities, backpressure, per-worker artifact
+  reuse) and the deterministic :class:`SequentialExecutor`;
+* :mod:`~repro.service.batch` — ``repro batch`` / ``repro serve``
+  entry-point machinery (JSONL manifests, line-JSON serve loop);
+* :mod:`~repro.service.serialization` — lossless pickle/JSON
+  round-trips for every object that crosses a process boundary.
+
+Quickstart::
+
+    from repro.service import AbstractionJob, LogRef, PoolExecutor
+    from repro.constraints import ConstraintSet, MaxGroupSize
+
+    job = AbstractionJob(
+        log=LogRef.builtin("loan:80"),
+        constraints=ConstraintSet([MaxGroupSize(5)]),
+    )
+    with PoolExecutor(workers=4) as pool:
+        handle = pool.submit(job)
+        result = handle.result()      # == Gecco(...).abstract(log)
+"""
+
+from repro.service.batch import (
+    BatchReport,
+    load_manifest,
+    make_executor,
+    run_batch,
+    serve_loop,
+    serve_socket,
+)
+from repro.service.cache import ArtifactCache, CacheStats, TierStats
+from repro.service.executor import (
+    JobHandle,
+    PoolExecutor,
+    SequentialExecutor,
+    run_job,
+)
+from repro.service.jobs import (
+    BUILTIN_LOGS,
+    AbstractionJob,
+    JobFingerprint,
+    LogRef,
+)
+from repro.service.serialization import (
+    grouping_from_dict,
+    grouping_to_dict,
+    log_from_dict,
+    log_to_dict,
+    result_from_dict,
+    result_signature,
+    result_to_dict,
+)
+
+__all__ = [
+    "AbstractionJob",
+    "ArtifactCache",
+    "BatchReport",
+    "BUILTIN_LOGS",
+    "CacheStats",
+    "JobFingerprint",
+    "JobHandle",
+    "LogRef",
+    "PoolExecutor",
+    "SequentialExecutor",
+    "TierStats",
+    "grouping_from_dict",
+    "grouping_to_dict",
+    "load_manifest",
+    "log_from_dict",
+    "log_to_dict",
+    "make_executor",
+    "result_from_dict",
+    "result_signature",
+    "result_to_dict",
+    "run_batch",
+    "run_job",
+    "serve_loop",
+    "serve_socket",
+]

@@ -1,0 +1,271 @@
+"""Batch and serve entry points: JSONL manifests in, JSONL results out.
+
+``repro batch`` turns a manifest — one JSON job per line, see
+:meth:`~repro.service.jobs.AbstractionJob.from_dict` for the row
+format — into a results file, fanning the jobs out over a
+:class:`~repro.service.executor.PoolExecutor` (or the deterministic
+sequential executor).  ``repro serve`` runs the same machinery as a
+long-lived request/response loop over line-delimited JSON on
+stdin/stdout or a TCP socket, so a warm cache keeps serving repeat
+traffic without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.exceptions import ReproError
+from repro.service.executor import PoolExecutor, SequentialExecutor
+from repro.service.jobs import AbstractionJob, share_log_refs
+from repro.service.serialization import result_to_dict
+
+
+def load_manifest(source: "str | Path | IO | Iterable[str]") -> list[AbstractionJob]:
+    """Parse a JSONL job manifest.
+
+    Blank lines and ``#`` comment lines are skipped.  Jobs without an
+    explicit ``id`` are named ``job-<line number>``.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text(encoding="utf-8").splitlines()
+    elif hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = source
+    jobs = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"manifest line {number} is not valid JSON: {exc}") from exc
+        job = AbstractionJob.from_dict(row)
+        if job.job_id is None:
+            job.job_id = f"job-{number}"
+        jobs.append(job)
+    if not jobs:
+        raise ReproError("manifest contains no jobs")
+    return share_log_refs(jobs)
+
+
+def job_row(job: AbstractionJob, result, cached: bool, seconds: float,
+            include_log: bool = False) -> dict:
+    """One JSONL result row for a finished job.
+
+    ``seconds`` is whatever duration the caller measured for this job —
+    batch rows report the job's own pipeline time (0.0 when served
+    from a cache), serve responses report request wall time.
+    """
+    row = {
+        "id": job.job_id,
+        "log": job.log.describe(),
+        "fingerprint": job.fingerprint().full,
+        "cached": cached,
+        "seconds": seconds,
+        "feasible": result.feasible,
+        "distance": result.distance,
+        "num_candidates": result.num_candidates,
+        "num_groups": len(result.grouping) if result.grouping is not None else None,
+        "engine": result.engine,
+        "groups": (
+            sorted(sorted(group) for group in result.grouping)
+            if result.grouping is not None
+            else None
+        ),
+    }
+    if result.infeasibility is not None:
+        row["infeasibility"] = result.infeasibility.summary()
+    if include_log:
+        from repro.service.serialization import log_to_dict
+
+        row["abstracted_log"] = log_to_dict(result.abstracted_log)
+    return row
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch run."""
+
+    rows: list[dict] = field(default_factory=list)
+    seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def jobs_per_second(self) -> float:
+        return len(self.rows) / self.seconds if self.seconds > 0 else 0.0
+
+    def solved(self) -> int:
+        """Number of jobs whose abstraction problem was feasible."""
+        return sum(1 for row in self.rows if row["feasible"])
+
+    def cache_hits(self) -> int:
+        """Number of jobs served from a cache instead of computed."""
+        return sum(1 for row in self.rows if row["cached"])
+
+    def artifact_builds(self) -> int:
+        """Per-log artifact builds across the parent and all workers."""
+        parent = self.stats.get("parent", {}).get("artifact_builds", 0)
+        workers = self.stats.get("workers_total", {}).get("artifact_builds", 0)
+        return parent + workers
+
+
+def make_executor(
+    workers: int = 1,
+    cache=None,
+    disk_dir=None,
+    max_pending: int | None = None,
+):
+    """Build the executor the CLI flags describe (1 worker = sequential)."""
+    if workers <= 1:
+        from repro.service.cache import ArtifactCache
+
+        return SequentialExecutor(cache or ArtifactCache(disk_dir=disk_dir))
+    return PoolExecutor(
+        workers=workers, cache=cache, disk_dir=disk_dir, max_pending=max_pending
+    )
+
+
+def run_batch(
+    jobs: list[AbstractionJob],
+    executor=None,
+    workers: int = 1,
+    output: "str | Path | IO | None" = None,
+    include_log: bool = False,
+    disk_dir=None,
+) -> BatchReport:
+    """Run a list of jobs and collect (optionally write) result rows.
+
+    Rows are emitted in manifest order regardless of completion order,
+    so batch output is reproducible.  The executor is shut down only
+    when it was created here.
+    """
+    owns_executor = executor is None
+    if executor is None:
+        executor = make_executor(workers=workers, disk_dir=disk_dir)
+    report = BatchReport()
+    started = time.perf_counter()
+    try:
+        submitted = [(job, executor.submit(job)) for job in jobs]
+        for job, handle in submitted:
+            result = handle.result()
+            cached = bool(handle.cached)
+            # Per-row seconds: the job's own pipeline time — wall time
+            # from submit would be order-dependent (it includes waiting
+            # on every earlier row in this ordered collection loop).
+            seconds = 0.0 if cached else result.timings.total
+            report.rows.append(job_row(job, result, cached, seconds, include_log))
+        report.seconds = time.perf_counter() - started
+        report.stats = executor.stats()
+    finally:
+        if owns_executor:
+            executor.shutdown()
+    if output is not None:
+        _write_rows(report.rows, output)
+    return report
+
+
+def _write_rows(rows: list[dict], target: "str | Path | IO") -> None:
+    if hasattr(target, "write"):
+        for row in rows:
+            target.write(json.dumps(row) + "\n")
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+
+
+# -- serve loop -------------------------------------------------------------
+
+
+def _serve_one(line: str, executor) -> tuple[dict, bool]:
+    """Handle one request line; return ``(response, keep_going)``."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"invalid JSON: {exc}"}, True
+    if not isinstance(request, dict):
+        return {"ok": False, "error": "request must be a JSON object"}, True
+    op = request.get("op", "run")
+    if op == "shutdown":
+        return {"ok": True, "bye": True}, False
+    if op == "ping":
+        return {"ok": True, "pong": True}, True
+    if op == "stats":
+        return {"ok": True, "stats": executor.stats()}, True
+    if op != "run":
+        return {"ok": False, "error": f"unknown op {op!r}"}, True
+    payload = {key: value for key, value in request.items() if key != "op"}
+    try:
+        job = AbstractionJob.from_dict(payload)
+        started = time.perf_counter()
+        handle = executor.submit(job)
+        result = handle.result()
+        seconds = time.perf_counter() - started
+    except Exception as exc:  # noqa: BLE001 - reported in-band, loop survives
+        return {"ok": False, "error": str(exc)}, True
+    row = job_row(job, result, bool(handle.cached), seconds)
+    return {"ok": True, **row}, True
+
+
+def serve_loop(input_stream: IO, output_stream: IO, executor) -> int:
+    """Serve line-delimited JSON requests until EOF or ``shutdown``.
+
+    Requests: a job row (optionally with ``"op": "run"``), or control
+    operations ``{"op": "stats"}``, ``{"op": "ping"}``,
+    ``{"op": "shutdown"}``.  One JSON response per line; errors are
+    reported in-band (``{"ok": false, ...}``) and never kill the loop.
+    Returns the number of requests served.
+    """
+    served = 0
+    for line in input_stream:
+        if not line.strip():
+            continue
+        response, keep_going = _serve_one(line, executor)
+        output_stream.write(json.dumps(response) + "\n")
+        output_stream.flush()
+        served += 1
+        if not keep_going:
+            break
+    return served
+
+
+def serve_socket(host: str, port: int, executor, max_requests: int | None = None) -> int:
+    """Serve the same protocol over TCP, one client at a time.
+
+    The server keeps accepting connections (clients that connect and
+    send nothing are harmless) until a client sends
+    ``{"op": "shutdown"}`` or ``max_requests`` requests were served.
+    Returns the number of requests served.  Intended for smoke tests
+    and single-tenant deployments; heavy multi-tenant traffic should
+    front several ``repro serve`` processes with a real load balancer
+    (see ROADMAP).
+    """
+    import socket
+
+    served = 0
+    stopped = False
+    with socket.create_server((host, port)) as server:
+        while not stopped and (max_requests is None or served < max_requests):
+            connection, _address = server.accept()
+            with connection:
+                reader = connection.makefile("r", encoding="utf-8")
+                writer = connection.makefile("w", encoding="utf-8")
+                for line in reader:
+                    if not line.strip():
+                        continue
+                    response, keep_going = _serve_one(line, executor)
+                    writer.write(json.dumps(response) + "\n")
+                    writer.flush()
+                    served += 1
+                    if not keep_going:
+                        stopped = True
+                        break
+                    if max_requests is not None and served >= max_requests:
+                        break
+    return served

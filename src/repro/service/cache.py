@@ -1,0 +1,248 @@
+"""The artifact cache: per-log artifacts and finished results.
+
+Two tiers, both content-addressed by components of the job fingerprint
+(:class:`~repro.service.jobs.JobFingerprint`):
+
+* **artifact tier** — keyed by the fingerprint's *log prefix*
+  ``(log digest, instance policy, engine)``; holds the expensive
+  constraint-independent :class:`~repro.core.gecco.PipelineArtifacts`
+  (compiled log, instance index, DFG) so every job on the same log
+  shares one build;
+* **result tier** — keyed by the *full* fingerprint; holds finished
+  :class:`~repro.core.gecco.AbstractionResult` objects so repeated jobs
+  are served without recomputation.  Optionally backed by an on-disk
+  store (JSON, via :mod:`repro.service.serialization` and the atomic
+  writers of :mod:`repro.experiments.persistence`) that survives
+  process restarts and is shared between workers.
+
+Both tiers are bounded LRU maps; hit/miss/eviction counters are kept
+per tier and surface in batch reports and ``BENCH_pipeline.json``.
+All operations are thread-safe (the pool executor's completion
+callbacks run on a helper thread).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.gecco import AbstractionResult
+from repro.experiments.persistence import read_json, write_json_atomic
+from repro.service.serialization import result_from_dict, result_to_dict
+
+
+@dataclass
+class TierStats:
+    """Hit/miss accounting of one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering for snapshots and benchmark records."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class CacheStats:
+    """All counters of an :class:`ArtifactCache`."""
+
+    artifacts: TierStats = field(default_factory=TierStats)
+    results: TierStats = field(default_factory=TierStats)
+    disk: TierStats = field(default_factory=TierStats)
+    #: Number of times per-log artifacts were actually *built* (cache
+    #: misses that led to a :func:`~repro.core.gecco.prepare_artifacts`
+    #: call); the acceptance check "artifacts computed exactly once per
+    #: log" reads this.
+    artifact_builds: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering for snapshots and benchmark records."""
+        return {
+            "artifacts": self.artifacts.as_dict(),
+            "results": self.results.as_dict(),
+            "disk": self.disk.as_dict(),
+            "artifact_builds": self.artifact_builds,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object (e.g. from a worker process)."""
+        for mine, theirs in (
+            (self.artifacts, other.artifacts),
+            (self.results, other.results),
+            (self.disk, other.disk),
+        ):
+            mine.hits += theirs.hits
+            mine.misses += theirs.misses
+            mine.stores += theirs.stores
+            mine.evictions += theirs.evictions
+        self.artifact_builds += other.artifact_builds
+
+
+class ArtifactCache:
+    """Bounded, thread-safe, two-tier cache keyed by fingerprint parts.
+
+    Parameters
+    ----------
+    max_artifacts:
+        Artifact-tier capacity (per-log bundles are large: the compiled
+        arrays alone are ``CompiledLog.nbytes`` bytes, and the instance
+        index grows with use — keep this small).
+    max_results:
+        Result-tier capacity.
+    disk_dir:
+        Optional directory for the persistent result store.  Results
+        are written as ``<prefix>/<fingerprint>.json``; reads fall back
+        to disk on a memory miss and repopulate the memory tier.
+    """
+
+    def __init__(
+        self,
+        max_artifacts: int = 8,
+        max_results: int = 256,
+        disk_dir: "str | Path | None" = None,
+    ):
+        if max_artifacts < 1 or max_results < 1:
+            raise ValueError("cache capacities must be >= 1")
+        self._artifacts: OrderedDict[tuple, object] = OrderedDict()
+        self._results: OrderedDict[str, AbstractionResult] = OrderedDict()
+        self._max_artifacts = max_artifacts
+        self._max_results = max_results
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # -- artifact tier (log-prefix keyed) ---------------------------------
+
+    def get_artifacts(self, key: tuple):
+        """Look up the per-log artifact bundle for a prefix ``key``."""
+        with self._lock:
+            bundle = self._artifacts.get(key)
+            if bundle is None:
+                self.stats.artifacts.misses += 1
+                return None
+            self._artifacts.move_to_end(key)
+            self.stats.artifacts.hits += 1
+            return bundle
+
+    def put_artifacts(self, key: tuple, bundle) -> None:
+        """Store a per-log artifact bundle under its prefix ``key``."""
+        with self._lock:
+            self._artifacts[key] = bundle
+            self._artifacts.move_to_end(key)
+            self.stats.artifacts.stores += 1
+            while len(self._artifacts) > self._max_artifacts:
+                self._artifacts.popitem(last=False)
+                self.stats.artifacts.evictions += 1
+
+    def count_artifact_build(self) -> None:
+        """Record that per-log artifacts were computed from scratch."""
+        with self._lock:
+            self.stats.artifact_builds += 1
+
+    # -- result tier (full-fingerprint keyed) -----------------------------
+
+    def _disk_path(self, fingerprint: str) -> Path:
+        return self._disk_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get_result(self, fingerprint: str) -> AbstractionResult | None:
+        """Look up a finished result; memory first, then disk."""
+        with self._lock:
+            result = self._results.get(fingerprint)
+            if result is not None:
+                self._results.move_to_end(fingerprint)
+                self.stats.results.hits += 1
+                return result
+            self.stats.results.misses += 1
+        if self._disk_dir is None:
+            return None
+        path = self._disk_path(fingerprint)
+        if not path.exists():
+            with self._lock:
+                self.stats.disk.misses += 1
+            return None
+        try:
+            result = result_from_dict(read_json(path))
+        except Exception:
+            # A stale or corrupt store entry (e.g. written by an older
+            # schema) must never take the service down — treat as miss
+            # and drop the bad file so the next put_result repairs it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.disk.misses += 1
+            return None
+        with self._lock:
+            self.stats.disk.hits += 1
+            self._store_result_locked(fingerprint, result)
+        return result
+
+    def put_result(self, fingerprint: str, result: AbstractionResult) -> None:
+        """Store a finished result (memory, and disk when configured)."""
+        with self._lock:
+            self._store_result_locked(fingerprint, result)
+            self.stats.results.stores += 1
+        if self._disk_dir is not None:
+            path = self._disk_path(fingerprint)
+            if not path.exists():
+                try:
+                    write_json_atomic(result_to_dict(result), path)
+                except Exception:
+                    # Best-effort tier: a full disk or a result with
+                    # JSON-unserializable attribute values must not fail
+                    # the job — it is already served from memory.
+                    return
+                with self._lock:
+                    self.stats.disk.stores += 1
+
+    def _store_result_locked(self, fingerprint: str, result: AbstractionResult) -> None:
+        self._results[fingerprint] = result
+        self._results.move_to_end(fingerprint)
+        while len(self._results) > self._max_results:
+            self._results.popitem(last=False)
+            self.stats.results.evictions += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self, memory_only: bool = True) -> None:
+        """Drop cached entries (the disk store survives by default)."""
+        with self._lock:
+            self._artifacts.clear()
+            self._results.clear()
+        if not memory_only and self._disk_dir is not None:
+            for path in self._disk_dir.glob("*/*.json"):
+                path.unlink()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def snapshot(self) -> dict:
+        """Plain-data counters for reports and benchmarks.
+
+        ``resident_artifact_bytes`` sums the compiled arrays
+        (:attr:`~repro.core.encoding.CompiledLog.nbytes`) of resident
+        bundles — the dominant, measurable part of the artifact tier's
+        footprint (indexes and DFGs are excluded).
+        """
+        with self._lock:
+            data = self.stats.as_dict()
+            data["resident_results"] = len(self._results)
+            data["resident_artifacts"] = len(self._artifacts)
+            compiled_bytes = 0
+            for bundle in self._artifacts.values():
+                compiled = getattr(bundle, "compiled", None)
+                compiled_bytes += getattr(compiled, "nbytes", 0) or 0
+            data["resident_artifact_bytes"] = compiled_bytes
+            return data

@@ -1,0 +1,402 @@
+"""Executors: the submit/poll/await runtime over the artifact cache.
+
+Two interchangeable executors run :class:`~repro.service.jobs.AbstractionJob`
+objects:
+
+* :class:`SequentialExecutor` — deterministic, in-process; jobs run at
+  submit time.  The reference for tests and the ``--sequential`` CLI
+  path.
+* :class:`PoolExecutor` — a ``multiprocessing`` worker pool with
+  priorities, a bounded pending queue for backpressure, and per-worker
+  artifact reuse: each worker process keeps its own
+  :class:`~repro.service.cache.ArtifactCache` so the per-log artifacts
+  are built at most once per (worker, log) and every further job on
+  that log pays only the constraint-dependent work.
+
+Both share :func:`run_job`, which implements the cache discipline: full
+fingerprint → finished result; log prefix → shared per-log artifacts;
+otherwise compute, then populate both tiers.  Handles returned by
+``submit`` are future-like (``done()`` to poll, ``result()`` to await).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.gecco import AbstractionResult, Gecco, prepare_artifacts, resolve_engine
+from repro.exceptions import ReproError
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import AbstractionJob
+
+
+def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResult, bool]:
+    """Run one job against a cache; return ``(result, from_cache)``.
+
+    The cache discipline of the whole runtime lives here:
+
+    1. a full-fingerprint hit serves the finished result directly;
+    2. otherwise the per-log artifacts are looked up under the
+       fingerprint's log prefix and built (once) on a miss;
+    3. the freshly computed result is stored under the full fingerprint.
+    """
+    fingerprint = job.fingerprint()
+    hit = cache.get_result(fingerprint.full)
+    if hit is not None:
+        return hit, True
+    config = job.config
+    engine = resolve_engine(config.engine)
+    key = fingerprint.artifact_key(config.instance_policy, engine)
+    artifacts = cache.get_artifacts(key)
+    if artifacts is None:
+        log = job.log.resolve()
+        artifacts = prepare_artifacts(log, config)
+        cache.put_artifacts(key, artifacts)
+        cache.count_artifact_build()
+    else:
+        # Reuse the log the artifacts were built from — content-equal
+        # by construction (the prefix key contains the log digest), and
+        # it keeps one set of warmed per-log caches per worker.
+        log = artifacts.log
+    result = Gecco(job.constraints, config).abstract(log, artifacts)
+    cache.put_result(fingerprint.full, result)
+    return result, False
+
+
+class JobHandle:
+    """Future-like handle of one submitted job (poll or await)."""
+
+    __slots__ = (
+        "job",
+        "fingerprint",
+        "cached",
+        "_event",
+        "_result",
+        "_error",
+        "_lock",
+        "_followers",
+    )
+
+    def __init__(self, job: AbstractionJob, fingerprint: str):
+        self.job = job
+        self.fingerprint = fingerprint
+        #: Whether the result came from a cache (or a coalesced
+        #: in-flight computation); ``None`` until done.
+        self.cached: bool | None = None
+        self._event = threading.Event()
+        self._result: AbstractionResult | None = None
+        self._error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._followers: list["JobHandle"] = []
+
+    def done(self) -> bool:
+        """Poll: has the job finished (successfully or not)?"""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> AbstractionResult:
+        """Await the result, re-raising any worker-side failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job.job_id or self.fingerprint[:12]} did not "
+                f"finish within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _attach(self, follower: "JobHandle") -> None:
+        """Coalesce ``follower`` onto this in-flight computation."""
+        with self._lock:
+            if not self._event.is_set():
+                self._followers.append(follower)
+                return
+        # Already finished — mirror the outcome immediately.
+        if self._error is not None:
+            follower._fail(self._error)
+        else:
+            follower._complete(self._result, True)
+
+    def _complete(self, result: AbstractionResult, cached: bool) -> None:
+        with self._lock:
+            self._result = result
+            self.cached = cached
+            self._event.set()
+            followers, self._followers = self._followers, []
+        for follower in followers:
+            follower._complete(result, True)
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = error
+            self._event.set()
+            followers, self._followers = self._followers, []
+        for follower in followers:
+            follower._fail(error)
+
+
+def _fingerprinted_handle(job: AbstractionJob) -> JobHandle:
+    """Build a job's handle, failing it when fingerprinting fails.
+
+    Fingerprinting resolves and digests the log, so an unreadable log
+    file surfaces here; submit never raises for a bad job — the error
+    is delivered through the handle like any worker-side failure.
+    """
+    try:
+        return JobHandle(job, job.fingerprint().full)
+    except Exception as exc:
+        handle = JobHandle(job, "invalid")
+        handle._fail(exc)
+        return handle
+
+
+class SequentialExecutor:
+    """Deterministic in-process executor (jobs run at submit time)."""
+
+    def __init__(self, cache: ArtifactCache | None = None):
+        self.cache = cache if cache is not None else ArtifactCache()
+
+    def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
+        """Run ``job`` now; the returned handle is already done."""
+        handle = _fingerprinted_handle(job)
+        if handle.done():  # fingerprinting failed (e.g. unreadable log)
+            return handle
+        try:
+            result, cached = run_job(job, self.cache)
+        except Exception as exc:
+            handle._fail(exc)
+        else:
+            handle._complete(result, cached)
+        return handle
+
+    def map(self, jobs) -> list[AbstractionResult]:
+        """Run jobs in order; return their results."""
+        return [self.submit(job).result() for job in jobs]
+
+    def stats(self) -> dict:
+        """Cache counters (mirrors :meth:`PoolExecutor.stats`)."""
+        return {"parent": self.cache.snapshot(), "workers": {}}
+
+    def shutdown(self, wait: bool = True) -> None:
+        """No-op, for API parity with the pool."""
+
+    def __enter__(self) -> "SequentialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# -- worker-process side ----------------------------------------------------
+
+#: The per-worker cache; living at module level so it survives across
+#: jobs dispatched to the same worker process.
+_WORKER_CACHE: ArtifactCache | None = None
+
+
+def _pool_worker_init(max_artifacts: int, max_results: int, disk_dir: str | None):
+    global _WORKER_CACHE
+    _WORKER_CACHE = ArtifactCache(
+        max_artifacts=max_artifacts, max_results=max_results, disk_dir=disk_dir
+    )
+
+
+def _pool_worker_run(job: AbstractionJob):
+    cache = _WORKER_CACHE
+    if cache is None:  # pragma: no cover - initializer always runs
+        raise ReproError("worker cache was not initialized")
+    result, cached = run_job(job, cache)
+    return result, cached, os.getpid(), cache.snapshot()
+
+
+class PoolExecutor:
+    """Multiprocessing executor: priorities, backpressure, worker caches.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (default: CPU count, at least 2).
+    cache:
+        Parent-side :class:`ArtifactCache` used to serve repeat
+        submissions without touching a worker at all.
+    max_pending:
+        Bound on queued-plus-running jobs; ``submit`` blocks once the
+        bound is reached (backpressure towards producers).
+    disk_dir:
+        Optional shared on-disk result store; both the parent cache and
+        every worker cache read and write it.
+    mp_context:
+        ``multiprocessing`` start method.  Default: ``"fork"`` where
+        available (cheap worker startup on Linux), else ``"spawn"``
+        (Windows, macOS).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ArtifactCache | None = None,
+        max_pending: int | None = None,
+        disk_dir=None,
+        mp_context: str | None = None,
+        worker_max_artifacts: int = 8,
+        worker_max_results: int = 64,
+    ):
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.workers = workers if workers is not None else max(2, os.cpu_count() or 2)
+        if self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ReproError(f"max_pending must be >= 1, got {max_pending}")
+        self.cache = cache if cache is not None else ArtifactCache(disk_dir=disk_dir)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(mp_context),
+            initializer=_pool_worker_init,
+            initargs=(
+                worker_max_artifacts,
+                worker_max_results,
+                str(disk_dir) if disk_dir is not None else None,
+            ),
+        )
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._heap: list[tuple] = []
+        self._ticket = itertools.count()
+        self._inflight = 0
+        self._pending = 0
+        self._max_pending = max_pending
+        self._closed = False
+        self._worker_stats: dict[int, dict] = {}
+        #: fingerprint -> primary in-flight handle (request coalescing).
+        self._active: dict[str, JobHandle] = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
+        """Enqueue ``job``; higher ``priority`` dispatches first.
+
+        Blocks while the pending queue is at ``max_pending``.  A parent
+        cache hit completes the handle immediately without occupying a
+        queue slot.
+        """
+        handle = _fingerprinted_handle(job)  # resolves/digests in the parent
+        if handle.done():
+            return handle
+        hit = self.cache.get_result(handle.fingerprint)
+        if hit is not None:
+            handle._complete(hit, True)
+            return handle
+        rank = job.priority if priority is None else priority
+        with self._space:
+            if self._closed:
+                raise ReproError("executor is shut down")
+            # Coalesce onto an identical in-flight job: one computation,
+            # many awaiters (request deduplication under load).
+            primary = self._active.get(handle.fingerprint)
+            if primary is not None:
+                primary._attach(handle)
+                return handle
+            while (
+                self._max_pending is not None and self._pending >= self._max_pending
+            ):
+                self._space.wait()
+                if self._closed:
+                    raise ReproError("executor is shut down")
+                primary = self._active.get(handle.fingerprint)
+                if primary is not None:
+                    primary._attach(handle)
+                    return handle
+            self._pending += 1
+            self._active[handle.fingerprint] = handle
+            heapq.heappush(self._heap, (-rank, next(self._ticket), job, handle))
+        self._dispatch()
+        return handle
+
+    def _dispatch(self) -> None:
+        """Feed queued jobs to free workers.
+
+        Pops and submits one job at a time, releasing the lock around
+        ``self._pool.submit``: ``add_done_callback`` may invoke
+        ``_on_done`` inline (already-failed future on a broken pool),
+        and ``_on_done`` re-acquires the non-reentrant lock.
+        """
+        while True:
+            with self._space:
+                if self._inflight >= self.workers or not self._heap:
+                    return
+                _rank, _ticket, job, handle = heapq.heappop(self._heap)
+                self._inflight += 1
+            try:
+                future = self._pool.submit(_pool_worker_run, job)
+            except Exception as exc:
+                with self._space:
+                    self._inflight -= 1
+                    self._pending -= 1
+                    self._active.pop(handle.fingerprint, None)
+                    self._space.notify_all()
+                handle._fail(exc)
+                continue
+            future.add_done_callback(
+                lambda future, handle=handle: self._on_done(handle, future)
+            )
+
+    def _on_done(self, handle: JobHandle, future) -> None:
+        with self._space:
+            self._inflight -= 1
+            self._pending -= 1
+            self._active.pop(handle.fingerprint, None)
+            self._space.notify_all()
+        self._dispatch()
+        try:
+            result, cached, pid, worker_snapshot = future.result()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the awaiter
+            handle._fail(exc)
+            return
+        try:
+            with self._lock:
+                self._worker_stats[pid] = worker_snapshot
+            self.cache.put_result(handle.fingerprint, result)
+        except Exception:
+            # Bookkeeping is best-effort: the computed result must reach
+            # the awaiter even if parent-side caching fails — an
+            # exception here would otherwise be swallowed by the
+            # done-callback machinery and strand handle.result() forever.
+            pass
+        handle._complete(result, cached)
+
+    def map(self, jobs) -> list[AbstractionResult]:
+        """Submit all jobs, await all results (submission order)."""
+        handles = [self.submit(job) for job in jobs]
+        return [handle.result() for handle in handles]
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def stats(self) -> dict:
+        """Parent cache counters plus the latest per-worker snapshots."""
+        with self._lock:
+            workers = {str(pid): dict(snap) for pid, snap in self._worker_stats.items()}
+        totals = {
+            "artifact_builds": sum(s["artifact_builds"] for s in workers.values()),
+            "result_hits": sum(s["results"]["hits"] for s in workers.values()),
+            "result_misses": sum(s["results"]["misses"] for s in workers.values()),
+            "artifact_hits": sum(s["artifacts"]["hits"] for s in workers.values()),
+        }
+        return {"parent": self.cache.snapshot(), "workers": workers, "workers_total": totals}
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and shut the pool down."""
+        with self._space:
+            self._closed = True
+            self._space.notify_all()
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

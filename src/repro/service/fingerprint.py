@@ -1,0 +1,95 @@
+"""Content-addressed fingerprints: canonical JSON and digests.
+
+Everything the service runtime caches is keyed by a fingerprint derived
+from *content*, never from object identity: two jobs built
+independently — in different processes, from a manifest or from code —
+must collide exactly when they describe the same computation.  That
+requires a canonical rendering: dictionaries are key-sorted, sets are
+ordered, datetimes are ISO-rendered, and the JSON is whitespace-free,
+so the bytes (and therefore the SHA-256) are reproducible across
+interpreter runs regardless of ``PYTHONHASHSEED`` or insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from datetime import datetime
+from typing import Any
+
+from repro.eventlog.events import EventLog
+
+#: Length of the hex digests used throughout the service layer.
+DIGEST_LENGTH = 64
+
+
+def canonical(value: Any) -> Any:
+    """Normalize ``value`` into a deterministic JSON-able structure.
+
+    * mappings become key-sorted dicts (keys coerced to ``str``),
+    * sequences become lists, sets become sorted lists,
+    * datetimes become ``{"$dt": <isoformat>}`` tags,
+    * scalars pass through unchanged,
+    * anything else falls back to a ``{"$repr": repr(value)}`` tag —
+      stable enough for hashing, though not reconstructible.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, datetime):
+        return {"$dt": value.isoformat()}
+    if isinstance(value, dict):
+        return {str(key): canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonical(item) for item in value), key=_sort_key)
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    return {"$repr": repr(value)}
+
+
+def _sort_key(item: Any) -> str:
+    return json.dumps(item, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(value: Any) -> str:
+    """Whitespace-free, key-sorted JSON of :func:`canonical` output."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def digest_text(text: str) -> str:
+    """SHA-256 hex digest of a text (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def combine_digests(*parts: str) -> str:
+    """Fold several component digests into one (order-sensitive)."""
+    return digest_text(":".join(parts))
+
+
+def log_digest(log: EventLog) -> str:
+    """Content digest of an event log.
+
+    Covers log/trace/event attributes and the event-class sequences, so
+    two logs with equal content — however they were loaded or built —
+    share a digest, while any attribute or ordering difference changes
+    it.
+
+    The rendered shape deliberately mirrors
+    :func:`repro.service.serialization.log_to_dict` (keep the two in
+    sync when the event model grows a field) but encodes values with
+    :func:`canonical` rather than the strict typed encoder: hashing
+    must accept *any* attribute value (``$repr`` fallback), while the
+    round-trip encoder must reject what it cannot reconstruct.
+    """
+    rendering = {
+        "attributes": log.attributes,
+        "traces": [
+            {
+                "attributes": trace.attributes,
+                "events": [
+                    [event.event_class, event.attributes] for event in trace
+                ],
+            }
+            for trace in log
+        ],
+    }
+    return digest_text(canonical_json(rendering))

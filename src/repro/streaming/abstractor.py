@@ -15,7 +15,14 @@ that lifting on top of the batch pipeline:
   appears — the batch GECCO pipeline is re-run on the window and the
   grouping is swapped;
 * every swap is recorded as a :class:`GroupingEpoch`, giving a full
-  audit trail of how the abstraction evolved with the stream.
+  audit trail of how the abstraction evolved with the stream;
+* with an ``executor`` (a :mod:`repro.service` executor such as the
+  multiprocessing :class:`~repro.service.executor.PoolExecutor`),
+  re-grouping is *offloaded*: the window snapshot is submitted as an
+  :class:`~repro.service.jobs.AbstractionJob` and the hot per-trace
+  abstraction path keeps running under the old grouping until the new
+  one arrives — arriving traces are never blocked behind a pipeline
+  run.
 """
 
 from __future__ import annotations
@@ -72,6 +79,14 @@ class StreamingAbstractor:
         Drift is checked every ``check_every`` arrivals once a grouping
         exists (checking per trace would recompute the window DFG
         constantly).
+    executor:
+        Optional :mod:`repro.service` executor.  When given, drift-
+        triggered re-groupings are submitted asynchronously and adopted
+        when finished; the per-trace path never blocks on a pipeline
+        run.  At most one re-grouping is in flight at a time.  (The
+        constraint set must consist of parser-registered constraint
+        types, since jobs are fingerprinted via their canonical
+        specification.)
     """
 
     def __init__(
@@ -82,6 +97,7 @@ class StreamingAbstractor:
         drift_threshold: float = 0.2,
         min_traces: int = 20,
         check_every: int = 10,
+        executor=None,
     ):
         self.gecco = Gecco(constraints, config)
         self.window = TraceWindow(window_size)
@@ -91,6 +107,8 @@ class StreamingAbstractor:
         self.grouping: Grouping | None = None
         self.epochs: list[GroupingEpoch] = []
         self.stats = StreamingStats()
+        self.executor = executor
+        self._pending: tuple[object, str] | None = None
 
     # -- streaming interface ------------------------------------------------
 
@@ -100,6 +118,7 @@ class StreamingAbstractor:
         The trace is abstracted with the grouping in effect *on
         arrival*; re-grouping (if triggered) affects later traces.
         """
+        self._adopt_pending()
         abstracted = self._abstract_now(trace)
         self.window.push(trace)
         self.stats.traces_processed += 1
@@ -116,6 +135,12 @@ class StreamingAbstractor:
     def process_log(self, log: EventLog) -> EventLog:
         """Stream every trace of ``log`` through :meth:`process`."""
         return EventLog([self.process(trace) for trace in log], dict(log.attributes))
+
+    def flush(self) -> None:
+        """Await and adopt an in-flight offloaded re-grouping, if any."""
+        if self._pending is not None:
+            self._pending[0].result()
+            self._adopt_pending()
 
     # -- internals -----------------------------------------------------------
 
@@ -142,12 +167,57 @@ class StreamingAbstractor:
             return merged
         return abstracted
 
+    def _adopt_pending(self) -> None:
+        """Swap in an asynchronously computed grouping once it is done."""
+        if self._pending is None:
+            return
+        handle, reason = self._pending
+        if not handle.done():
+            return
+        self._pending = None
+        result = handle.result()
+        if not result.feasible:
+            self.stats.infeasible_regroupings += 1
+            self.epochs.append(
+                GroupingEpoch(
+                    grouping=self.grouping,
+                    started_at_trace=self.stats.traces_processed,
+                    reason=f"re-grouping infeasible after drift ({reason})",
+                )
+            )
+            return
+        self.grouping = result.grouping
+        self.epochs.append(
+            GroupingEpoch(
+                grouping=result.grouping,
+                started_at_trace=self.stats.traces_processed,
+                reason=reason,
+                distance=result.distance,
+            )
+        )
+
     def _maybe_regroup(self) -> None:
+        if self._pending is not None:
+            return  # a re-grouping is already in flight
         log = self.window.as_log()
         dfg = compute_dfg(log)
         self.stats.drift_checks += 1
         verdict: DriftVerdict = self.detector.check(dfg)
         if not verdict.drifted:
+            return
+        if self.executor is not None:
+            from repro.service.jobs import AbstractionJob, LogRef
+
+            job = AbstractionJob(
+                log=LogRef.inline(log, name="stream-window"),
+                constraints=self.gecco.constraints,
+                config=self.gecco.config,
+            )
+            self._pending = (self.executor.submit(job), verdict.reason)
+            self.stats.regroupings += 1
+            # Rebase now so the next checks measure drift against the
+            # window the pending re-grouping was computed from.
+            self.detector.rebase(dfg)
             return
         result = self.gecco.abstract(log)
         self.stats.regroupings += 1

@@ -1,0 +1,133 @@
+"""Artifact-cache behavior: hit/miss accounting, LRU, disk store."""
+
+import json
+
+import pytest
+
+from repro.constraints import ConstraintSet, MaxGroupSize
+from repro.service import ArtifactCache, LogRef, AbstractionJob, run_job
+from repro.service.serialization import result_signature
+
+
+def job_for(bound: int, log_spec: str = "running_example") -> AbstractionJob:
+    return AbstractionJob(
+        log=LogRef.builtin(log_spec),
+        constraints=ConstraintSet([MaxGroupSize(bound)]),
+    )
+
+
+class TestArtifactTier:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        assert cache.get_artifacts(("d", "repeat", "compiled")) is None
+        cache.put_artifacts(("d", "repeat", "compiled"), "bundle")
+        assert cache.get_artifacts(("d", "repeat", "compiled")) == "bundle"
+        assert cache.stats.artifacts.misses == 1
+        assert cache.stats.artifacts.hits == 1
+        assert cache.stats.artifacts.stores == 1
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_artifacts=1)
+        cache.put_artifacts(("a",), 1)
+        cache.put_artifacts(("b",), 2)
+        assert cache.stats.artifacts.evictions == 1
+        assert cache.get_artifacts(("a",)) is None
+        assert cache.get_artifacts(("b",)) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_artifacts=0)
+
+
+class TestResultTier:
+    def test_lru_keeps_recently_used(self, running_log):
+        cache = ArtifactCache(max_results=2)
+        results = {}
+        for bound in (3, 4, 5):
+            job = job_for(bound)
+            results[bound], _ = run_job(job, cache)
+            cache.get_result(job_for(3).fingerprint().full)  # keep 3 warm
+        # bound=3 was refreshed, bound=4 is the LRU victim.
+        assert cache.get_result(job_for(3).fingerprint().full) is not None
+        assert cache.get_result(job_for(4).fingerprint().full) is None
+
+    def test_run_job_accounting(self):
+        cache = ArtifactCache()
+        _, cached_a = run_job(job_for(3), cache)
+        _, cached_b = run_job(job_for(4), cache)
+        assert (cached_a, cached_b) == (False, False)
+        # Two constraint sets on one log: artifacts built exactly once.
+        assert cache.stats.artifact_builds == 1
+        assert cache.stats.artifacts.hits == 1
+        repeat, cached_repeat = run_job(job_for(3), cache)
+        assert cached_repeat is True
+        assert cache.stats.results.hits == 1
+
+    def test_distinct_logs_build_distinct_artifacts(self):
+        cache = ArtifactCache()
+        run_job(job_for(5, "running_example"), cache)
+        run_job(job_for(5, "loan:10"), cache)
+        assert cache.stats.artifact_builds == 2
+
+
+class TestDiskStore:
+    def test_round_trip_through_disk(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        job = job_for(5)
+        result, _ = run_job(job, cache)
+        fingerprint = job.fingerprint().full
+
+        fresh = ArtifactCache(disk_dir=store)
+        loaded = fresh.get_result(fingerprint)
+        assert loaded is not None
+        assert result_signature(loaded) == result_signature(result)
+        assert fresh.stats.disk.hits == 1
+        # The memory tier was repopulated: second read is a memory hit.
+        fresh.get_result(fingerprint)
+        assert fresh.stats.results.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        job = job_for(5)
+        run_job(job, cache)
+        fingerprint = job.fingerprint().full
+        path = next(store.glob("*/*.json"))
+        path.write_text("{not json", encoding="utf-8")
+
+        fresh = ArtifactCache(disk_dir=store)
+        assert fresh.get_result(fingerprint) is None
+        assert fresh.stats.disk.misses == 1
+        # The bad entry was dropped, so recomputing repairs the store.
+        run_job(job, fresh)
+        assert fresh.stats.disk.stores == 1
+        repaired = ArtifactCache(disk_dir=store)
+        assert repaired.get_result(fingerprint) is not None
+
+    def test_entries_are_valid_json_files(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        run_job(job_for(5), cache)
+        path = next(store.glob("*/*.json"))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == "gecco-result/1"
+
+    def test_clear_keeps_disk_by_default(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        job = job_for(5)
+        run_job(job, cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get_result(job.fingerprint().full) is not None  # disk hit
+        cache.clear(memory_only=False)
+        assert cache.get_result(job.fingerprint().full) is None
+
+    def test_snapshot_shape(self):
+        cache = ArtifactCache()
+        run_job(job_for(5), cache)
+        snap = cache.snapshot()
+        assert snap["artifact_builds"] == 1
+        assert snap["resident_results"] == 1
+        assert {"hits", "misses", "stores", "evictions"} <= set(snap["results"])
