@@ -33,9 +33,21 @@ _SRC = str(Path(__file__).resolve().parent.parent / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.constraints import (  # noqa: E402
+    ConstraintSet,
+    MaxDistinctClassAttribute,
+    MaxGroupSize,
+)
+from repro.core import encoding  # noqa: E402
+from repro.core.checker import GroupChecker  # noqa: E402
+from repro.core.dfg_candidates import default_beam_width, dfg_candidates  # noqa: E402
 from repro.core.encoding import HAVE_NUMPY  # noqa: E402
-from repro.core.gecco import Gecco, GeccoConfig  # noqa: E402
+from repro.core.exclusive import merge_exclusive_candidates  # noqa: E402
+from repro.core.gecco import Gecco, GeccoConfig, prepare_artifacts  # noqa: E402
+from repro.core.selection import select_optimal_grouping  # noqa: E402
 from repro.datasets import loan_application_log, running_example_log  # noqa: E402
+from repro.eventlog.events import ROLE_KEY  # noqa: E402
+from repro.selection2 import select_decomposed  # noqa: E402
 from repro.datasets.attributes import enrich_log  # noqa: E402
 from repro.datasets.playout import playout  # noqa: E402
 from repro.datasets.process_tree import TreeSpec, random_tree  # noqa: E402
@@ -294,6 +306,153 @@ def run_batch_benchmark(quick: bool) -> dict:
     return record
 
 
+def _step2_problem(log, constraints):
+    """Build one Step-2 instance: the candidate set and distance of a log."""
+    config = GeccoConfig(strategy="dfg", beam_width="auto")
+    artifacts = prepare_artifacts(log, config)
+    checker = GroupChecker(log, constraints, artifacts.instance_index)
+    distance = encoding.CompiledDistanceFunction(log, artifacts.instance_index)
+    result = dfg_candidates(
+        log,
+        constraints,
+        beam_width=default_beam_width(log),
+        checker=checker,
+        distance=distance,
+        dfg=artifacts.dfg,
+        compiled=artifacts.compiled,
+    )
+    candidates, _stats = merge_exclusive_candidates(
+        log, set(result.groups), checker, artifacts.dfg, compiled=artifacts.compiled
+    )
+    return candidates, distance
+
+
+def run_selection_benchmark(quick: bool, workers: int = 4) -> dict:
+    """Step-2 timings: monolithic vs decomposed, sequential vs pooled.
+
+    The workload is a constraint-set *sweep* on the ``scaling_classes``
+    grid: per log, the candidate phase runs once, then ``max_groups``
+    bounds are swept over the same candidate set — the access pattern
+    the selection-artifact cache is built for.  Two constraint bases
+    per log: ``BL1`` (typically one overlap component; the decomposed
+    win comes from presolve + the bnb portfolio) and a role-clustered
+    base (multiple components; adds Eq. 5 coordination, parallel
+    component solving, and cross-bound cache reuse).  Every decomposed
+    cell is cross-checked against the monolithic grouping.
+    """
+    from repro.service import ArtifactCache, PoolExecutor
+
+    sizes = (6, 10) if quick else (6, 8, 10, 12, 14)
+    bounds = (3, 4) if quick else (3, 4, 5, 6, 7)
+    grids = []
+    for num_classes in sizes:
+        log = _synthetic(num_classes, 40)
+        grids.append(
+            (
+                f"scaling_classes/{num_classes}/BL1",
+                log,
+                ConstraintSet([MaxGroupSize(8), MaxGroupSize(5)]),
+            )
+        )
+        grids.append(
+            (
+                f"scaling_classes/{num_classes}/role",
+                log,
+                ConstraintSet(
+                    [MaxGroupSize(8), MaxDistinctClassAttribute(ROLE_KEY, 1)]
+                ),
+            )
+        )
+
+    modes = {
+        "monolithic": None,
+        "decomposed_seq": {"backend": "scipy"},
+        "decomposed_auto": {"backend": "auto"},
+        "decomposed_pool": {"backend": "auto", "pooled": True},
+    }
+    totals = {mode: 0.0 for mode in modes}
+    cells = []
+    mismatched = []
+    pool = PoolExecutor(workers=workers)
+    caches = {mode: ArtifactCache() for mode in modes if mode != "monolithic"}
+    try:
+        for name, log, base in grids:
+            candidates, distance = _step2_problem(log, base)
+            cell = {
+                "name": name,
+                "num_candidates": len(candidates),
+                "bounds": list(bounds),
+                "modes": {},
+            }
+            reference = {}
+            for mode, options in modes.items():
+                elapsed = 0.0
+                components = None
+                for bound in bounds:
+                    started = time.perf_counter()
+                    if options is None:
+                        outcome = select_optimal_grouping(
+                            log, candidates, distance, max_groups=bound
+                        )
+                    else:
+                        outcome = select_decomposed(
+                            log,
+                            candidates,
+                            distance,
+                            max_groups=bound,
+                            backend=options["backend"],
+                            cache=caches[mode],
+                            executor=pool if options.get("pooled") else None,
+                        )
+                        components = outcome.stats.num_components
+                    elapsed += time.perf_counter() - started
+                    key = (name, bound)
+                    signature = (
+                        outcome.feasible,
+                        None
+                        if outcome.grouping is None
+                        else tuple(
+                            sorted(
+                                tuple(sorted(group))
+                                for group in outcome.grouping.groups
+                            )
+                        ),
+                    )
+                    if options is None:
+                        reference[key] = signature
+                    elif reference[key] != signature:
+                        mismatched.append(f"{name}/max{bound}/{mode}")
+                totals[mode] += elapsed
+                cell["modes"][mode] = {"seconds": elapsed}
+                if components is not None:
+                    cell["modes"][mode]["components"] = components
+            cells.append(cell)
+            print(
+                f"selection {name:32s} mono={cell['modes']['monolithic']['seconds'] * 1e3:7.1f}ms "
+                f"dec={cell['modes']['decomposed_seq']['seconds'] * 1e3:7.1f}ms "
+                f"auto={cell['modes']['decomposed_auto']['seconds'] * 1e3:7.1f}ms "
+                f"pool={cell['modes']['decomposed_pool']['seconds'] * 1e3:7.1f}ms "
+                f"components={cell['modes']['decomposed_auto'].get('components')}"
+            )
+    finally:
+        pool.shutdown()
+
+    def speedup(mode):
+        return totals["monolithic"] / totals[mode] if totals[mode] > 0 else None
+
+    return {
+        "workers_pooled": workers,
+        "bounds_sweep": list(bounds),
+        "cells": cells,
+        "totals_seconds": totals,
+        "speedup_decomposed_seq": speedup("decomposed_seq"),
+        "speedup_decomposed_auto": speedup("decomposed_auto"),
+        "speedup_decomposed_pool": speedup("decomposed_pool"),
+        "outputs_match": not mismatched,
+        "mismatched_cells": mismatched,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -332,6 +491,7 @@ def main(argv=None) -> int:
         )
 
     batch_record = run_batch_benchmark(args.quick)
+    selection_record = run_selection_benchmark(args.quick)
 
     scaling_speedups = [
         r["speedup_candidates"]
@@ -345,6 +505,7 @@ def main(argv=None) -> int:
         for name, run in batch_record["runs"].items()
         if not (run["byte_identical_cold"] and run["byte_identical_warm"])
     ]
+    mismatches += [f"selection/{cell}" for cell in selection_record["mismatched_cells"]]
     report = {
         "schema": "gecco-perf/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -352,6 +513,7 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "workloads": records,
         "batch": batch_record,
+        "selection": selection_record,
         "summary": {
             "median_speedup_candidates_scaling_classes": (
                 statistics.median(scaling_speedups) if scaling_speedups else None
@@ -363,6 +525,9 @@ def main(argv=None) -> int:
                 (run["warm_speedup"] or 0.0)
                 for run in batch_record["runs"].values()
             ),
+            "selection_speedup_decomposed_pool": selection_record[
+                "speedup_decomposed_pool"
+            ],
             "outputs_match": not mismatches,
             "mismatched_workloads": mismatches,
         },

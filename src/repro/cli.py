@@ -84,6 +84,8 @@ def _cmd_abstract(args: argparse.Namespace) -> int:
         beam_width=beam_width,
         abstraction_strategy=args.abstraction,
         solver=args.solver,
+        selection=args.selection,
+        selection_workers=args.selection_workers,
         candidate_timeout=args.timeout,
         engine=args.engine,
     )
@@ -272,7 +274,24 @@ def build_parser() -> argparse.ArgumentParser:
     abstract.add_argument(
         "--abstraction", choices=("complete", "start_complete"), default="complete"
     )
-    abstract.add_argument("--solver", choices=("scipy", "bnb"), default="scipy")
+    abstract.add_argument(
+        "--solver",
+        choices=("scipy", "bnb", "auto"),
+        default="scipy",
+        help="Step-2 backend ('auto' lets the portfolio pick per component)",
+    )
+    abstract.add_argument(
+        "--selection",
+        choices=("decomposed", "monolithic"),
+        default="decomposed",
+        help="Step-2 mode: decomposed overlap-graph pipeline or single MIP",
+    )
+    abstract.add_argument(
+        "--selection-workers",
+        type=int,
+        default=1,
+        help="worker processes for parallel Step-2 component solving",
+    )
     abstract.add_argument("--timeout", type=float, default=None)
     abstract.set_defaults(handler=_cmd_abstract)
 

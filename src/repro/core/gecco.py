@@ -59,7 +59,7 @@ from repro.core.distance import DistanceFunction
 from repro.core.exclusive import merge_exclusive_candidates
 from repro.core.grouping import Grouping
 from repro.core.instances import POLICIES, InstanceIndex
-from repro.core.selection import BACKENDS, select_optimal_grouping
+from repro.core.selection import SOLVER_CHOICES, select_optimal_grouping
 from repro.eventlog.dfg import compute_dfg
 from repro.eventlog.events import EventLog
 from repro.exceptions import ConstraintError, InfeasibleProblemError
@@ -69,6 +69,10 @@ STEP1_STRATEGIES = ("exhaustive", "dfg")
 
 #: Pipeline engines (see the module docstring).
 ENGINES = ("compiled", "python")
+
+#: Step-2 selection modes: the paper-literal single MIP, or the
+#: decomposed pipeline of :mod:`repro.selection2`.
+SELECTION_MODES = ("monolithic", "decomposed")
 
 
 @dataclass
@@ -91,7 +95,21 @@ class GeccoConfig:
     abstraction_strategy:
         ``"complete"`` or ``"start_complete"`` (Step 3).
     solver:
-        Step-2 backend, ``"scipy"`` (HiGHS) or ``"bnb"``.
+        Step-2 backend, ``"scipy"`` (HiGHS), ``"bnb"``, or ``"auto"``
+        (the size-based portfolio of :mod:`repro.selection2.portfolio`,
+        applied per component in decomposed mode).
+    selection:
+        Step-2 mode: ``"decomposed"`` (default — the
+        :mod:`repro.selection2` pipeline: overlap-graph decomposition,
+        certified presolve, per-component portfolio, Eq. 5 coordination)
+        or ``"monolithic"`` (the paper-literal single MIP).  Both return
+        byte-identical groupings (enforced by
+        ``tests/test_selection_decomposed.py``).
+    selection_workers:
+        Worker processes for parallel component solving in decomposed
+        mode (1 = in-process).  Values > 1 spin up a transient pool per
+        solve; long-running callers should instead pass an executor to
+        :func:`repro.selection2.select_decomposed` directly.
     candidate_timeout:
         Wall-clock budget (seconds) for Step 1; on expiry GECCO
         continues with the candidates found so far (paper §VI-A).
@@ -123,6 +141,8 @@ class GeccoConfig:
     instance_policy: str = "repeat"
     abstraction_strategy: str = "complete"
     solver: str = "scipy"
+    selection: str = "decomposed"
+    selection_workers: int = 1
     candidate_timeout: float | None = None
     solver_time_limit: float | None = None
     raise_on_infeasible: bool = False
@@ -148,9 +168,18 @@ class GeccoConfig:
                 f"unknown abstraction strategy {self.abstraction_strategy!r}; "
                 f"use one of {STRATEGIES}"
             )
-        if self.solver not in BACKENDS:
+        if self.solver not in SOLVER_CHOICES:
             raise ConstraintError(
-                f"unknown solver {self.solver!r}; use one of {BACKENDS}"
+                f"unknown solver {self.solver!r}; use one of {SOLVER_CHOICES}"
+            )
+        if self.selection not in SELECTION_MODES:
+            raise ConstraintError(
+                f"unknown selection mode {self.selection!r}; "
+                f"use one of {SELECTION_MODES}"
+            )
+        if self.selection_workers < 1:
+            raise ConstraintError(
+                f"selection_workers must be >= 1, got {self.selection_workers}"
             )
         if isinstance(self.beam_width, str) and self.beam_width != "auto":
             raise ConstraintError(
@@ -182,19 +211,22 @@ class GeccoConfig:
         return cls(strategy="dfg", beam_width="auto", **overrides)
 
 
-def resolve_engine(engine: str) -> str:
+def resolve_engine(engine: str, warn: bool = True) -> str:
     """The engine that will actually run for a requested ``engine``.
 
     Warns (``RuntimeWarning``) when the compiled engine is requested but
-    numpy is unavailable, instead of degrading silently.
+    numpy is unavailable, instead of degrading silently; ``warn=False``
+    suppresses the warning for purely informational probes (e.g. the
+    scheduler computing a job's cache prefix).
     """
     if engine == "compiled" and not encoding.HAVE_NUMPY:
-        warnings.warn(
-            "engine='compiled' requested but numpy is unavailable; "
-            "falling back to the pure-Python reference engine",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        if warn:
+            warnings.warn(
+                "engine='compiled' requested but numpy is unavailable; "
+                "falling back to the pure-Python reference engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return "python"
     return engine
 
@@ -270,6 +302,9 @@ class AbstractionResult:
     #: The engine that actually ran (``"compiled"`` or ``"python"``);
     #: differs from the requested one after a numpy fallback.
     engine: str | None = None
+    #: Step-2 solver accounting (:class:`repro.selection2.stats.SelectionStats`):
+    #: mode, backends, components, presolve reductions, nodes, cache hits.
+    selection_stats: object | None = None
 
     @property
     def size_reduction(self) -> float | None:
@@ -291,13 +326,19 @@ class Gecco:
     # -- pipeline -----------------------------------------------------------
 
     def abstract(
-        self, log: EventLog, artifacts: PipelineArtifacts | None = None
+        self,
+        log: EventLog,
+        artifacts: PipelineArtifacts | None = None,
+        selection_cache=None,
     ) -> AbstractionResult:
         """Run the full pipeline on ``log``.
 
         ``artifacts`` may carry prebuilt per-log artifacts (from
         :func:`prepare_artifacts`); they must match the configuration's
-        instance policy and effective engine.
+        instance policy and effective engine.  ``selection_cache`` is an
+        optional :class:`~repro.service.cache.ArtifactCache` whose
+        selection tier memoizes solved Step-2 components across jobs
+        (the service runtime passes its per-worker cache here).
         """
         config = self.config
         timings = StepTimings()
@@ -354,16 +395,32 @@ class Gecco:
 
         # Step 2: optimal grouping.
         started = time.perf_counter()
-        selection = select_optimal_grouping(
-            log,
-            candidates,
-            distance,
-            min_groups=self.constraints.min_groups,
-            max_groups=self.constraints.max_groups,
-            backend=config.solver,
-            time_limit=config.solver_time_limit,
-        )
+        if config.selection == "decomposed":
+            from repro.selection2 import select_decomposed
+
+            selection = select_decomposed(
+                log,
+                candidates,
+                distance,
+                min_groups=self.constraints.min_groups,
+                max_groups=self.constraints.max_groups,
+                backend=config.solver,
+                time_limit=config.solver_time_limit,
+                workers=config.selection_workers,
+                cache=selection_cache,
+            )
+        else:
+            selection = select_optimal_grouping(
+                log,
+                candidates,
+                distance,
+                min_groups=self.constraints.min_groups,
+                max_groups=self.constraints.max_groups,
+                backend=config.solver,
+                time_limit=config.solver_time_limit,
+            )
         timings.selection = time.perf_counter() - started
+        selection_stats = self._selection_stats(selection, len(candidates))
 
         if not selection.feasible:
             report = self.constraints.diagnose(
@@ -386,6 +443,7 @@ class Gecco:
                 infeasibility=report,
                 original_log=log,
                 engine=artifacts.engine,
+                selection_stats=selection_stats,
             )
 
         grouping = selection.grouping
@@ -412,9 +470,28 @@ class Gecco:
             candidate_stats=candidate_result.stats,
             original_log=log,
             engine=artifacts.engine,
+            selection_stats=selection_stats,
         )
 
     # -- helpers ------------------------------------------------------------
+
+    def _selection_stats(self, selection, num_candidates: int):
+        """The Step-2 stats record (built here for monolithic solves)."""
+        stats = getattr(selection, "stats", None)
+        if stats is not None:
+            return stats
+        from repro.selection2.stats import SelectionStats
+
+        return SelectionStats(
+            mode="monolithic",
+            backend=selection.backend or self.config.solver,
+            backends_used=[selection.backend] if selection.backend else [],
+            num_components=1,
+            num_candidates=num_candidates,
+            solves=1,
+            nodes=selection.nodes,
+            seconds=selection.seconds,
+        )
 
     def _compute_candidates(
         self, log, checker, distance, dfg, compiled=None

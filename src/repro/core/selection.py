@@ -31,13 +31,19 @@ from repro.core.distance import DistanceFunction
 from repro.core.grouping import Grouping
 from repro.eventlog.events import EventLog
 from repro.exceptions import SolverError
-from repro.mip.branch_and_bound import SetPartitionSolver
+from repro.mip.branch_and_bound import SetPartitionSolver, lexmin_optimal_selection
 from repro.mip.model import EQ, GE, LE, BinaryProgram
 from repro.mip.result import SolverStatus
 from repro.mip import scipy_backend
 
 #: Supported Step-2 backends.
 BACKENDS = ("scipy", "bnb")
+
+#: Accepted ``GeccoConfig.solver`` values: the exact backends plus
+#: ``"auto"``, which lets the portfolio of
+#: :mod:`repro.selection2.portfolio` pick per program (or per component
+#: in decomposed mode).
+SOLVER_CHOICES = BACKENDS + ("auto",)
 
 
 @dataclass
@@ -50,6 +56,11 @@ class SelectionResult:
     seconds: float = 0.0
     num_candidates: int = 0
     solver_message: str = ""
+    #: The backend that ran (``"scipy"`` or ``"bnb"``; the requested
+    #: name for decomposed solves, which may mix backends per component).
+    backend: str = ""
+    #: Branch-and-bound nodes explored (0 when HiGHS solved).
+    nodes: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -111,13 +122,24 @@ def select_optimal_grouping(
     backend: str = "scipy",
     time_limit: float | None = None,
 ) -> SelectionResult:
-    """Pick the distance-minimal exact cover among ``candidates``."""
-    if backend not in BACKENDS:
-        raise SolverError(f"unknown Step-2 backend {backend!r}; use one of {BACKENDS}")
+    """Pick the distance-minimal exact cover among ``candidates``.
+
+    ``backend="auto"`` defers the scipy-vs-bnb choice to the portfolio
+    heuristic of :mod:`repro.selection2.portfolio` based on the
+    program's size.
+    """
+    if backend not in SOLVER_CHOICES:
+        raise SolverError(
+            f"unknown Step-2 backend {backend!r}; use one of {SOLVER_CHOICES}"
+        )
     started = time.perf_counter()
     universe = log.classes
     ordered = sorted(candidates, key=lambda group: sorted(group))
     costs = [distance.group_distance(group) for group in ordered]
+    if backend == "auto":
+        from repro.selection2.portfolio import choose_backend
+
+        backend = choose_backend(len(universe), len(ordered))
 
     if backend == "bnb":
         solver = SetPartitionSolver(
@@ -141,13 +163,28 @@ def select_optimal_grouping(
             seconds=elapsed,
             num_candidates=len(ordered),
             solver_message=outcome.message,
+            backend=backend,
+            nodes=outcome.nodes_explored,
         )
 
-    selected = [
-        ordered[int(name[1:])]
-        for name in outcome.selected()
-        if name.startswith("g")
-    ]
+    positions = sorted(
+        int(name[1:]) for name in outcome.selected() if name.startswith("g")
+    )
+    # Canonical tie-break: equal-cost optima exist, and which one a
+    # backend returns depends on matrix layout — replace the backend's
+    # pick with the lexicographically-smallest optimal selection so
+    # scipy/bnb and monolithic/decomposed all agree byte-for-byte.
+    canonical = lexmin_optimal_selection(
+        sorted(universe),
+        ordered,
+        costs,
+        target=sum(costs[position] for position in positions),
+        min_count=min_groups,
+        max_count=max_groups,
+    )
+    if canonical is not None:
+        positions = canonical
+    selected = [ordered[position] for position in positions]
     grouping = Grouping(selected, universe)
     objective = sum(distance.group_distance(group) for group in selected)
     return SelectionResult(
@@ -157,4 +194,6 @@ def select_optimal_grouping(
         seconds=elapsed,
         num_candidates=len(ordered),
         solver_message=outcome.message,
+        backend=backend,
+        nodes=outcome.nodes_explored,
     )

@@ -133,8 +133,15 @@ def solve_problem(
     log_name: str = "log",
     candidate_timeout: float | None = 60.0,
     seed: int = 0,
+    config_overrides: dict | None = None,
 ) -> ProblemResult:
-    """Solve one abstraction problem and measure the outcome."""
+    """Solve one abstraction problem and measure the outcome.
+
+    ``config_overrides`` are extra :class:`GeccoConfig` fields applied
+    to the GECCO approaches (ignored by baselines) — e.g.
+    ``{"selection": "monolithic"}`` or ``{"solver": "auto"}`` to sweep
+    Step-2 configurations over the same problem grid.
+    """
     if approach not in APPROACHES:
         raise ReproError(f"unknown approach {approach!r}; use one of {APPROACHES}")
     constraints = constraint_set_for_log(constraint_set_name, log)
@@ -143,7 +150,11 @@ def solve_problem(
     error = ""
     try:
         if approach in ("Exh", "DFGinf", "DFGk"):
-            config = _gecco_config(approach, candidate_timeout=candidate_timeout)
+            config = _gecco_config(
+                approach,
+                candidate_timeout=candidate_timeout,
+                **(config_overrides or {}),
+            )
             result = Gecco(constraints, config).abstract(log)
         elif approach == "BLQ":
             result = abstract_with_graph_query(log, constraints)
@@ -167,6 +178,7 @@ def run_experiment(
     approaches: Iterable[str],
     candidate_timeout: float | None = 60.0,
     executor=None,
+    config_overrides: dict | None = None,
 ) -> ExperimentReport:
     """Cross product of logs × constraint sets × approaches.
 
@@ -184,6 +196,9 @@ def run_experiment(
     in-process.  Row order matches the sequential path; ``seconds`` of
     executor rows is the pipeline time measured inside the job
     (:attr:`~repro.core.gecco.StepTimings.total`), not parent wall time.
+
+    ``config_overrides`` apply extra :class:`GeccoConfig` fields to all
+    GECCO cells of the grid (see :func:`solve_problem`).
     """
     report = ExperimentReport()
     if executor is None:
@@ -199,6 +214,7 @@ def run_experiment(
                             approach,
                             log_name=log_name,
                             candidate_timeout=candidate_timeout,
+                            config_overrides=config_overrides,
                         )
                     )
         return report
@@ -218,7 +234,9 @@ def run_experiment(
                         log=refs[log_name],
                         constraints=constraint_set_for_log(set_name, log),
                         config=_gecco_config(
-                            approach, candidate_timeout=candidate_timeout
+                            approach,
+                            candidate_timeout=candidate_timeout,
+                            **(config_overrides or {}),
                         ),
                         job_id=f"{approach}/{set_name}/{log_name}",
                     )
@@ -234,6 +252,7 @@ def run_experiment(
                     approach,
                     log_name=log_name,
                     candidate_timeout=candidate_timeout,
+                    config_overrides=config_overrides,
                 )
             )
             continue

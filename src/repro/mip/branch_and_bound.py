@@ -27,10 +27,14 @@ Search strategy
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Sequence
 
 from repro.exceptions import SolverError
 from repro.mip.result import SolverResult, SolverStatus
+
+#: How often (in nodes) the search checks its wall-clock deadline.
+_TIME_CHECK_INTERVAL = 1024
 
 
 class SetPartitionSolver:
@@ -49,6 +53,17 @@ class SetPartitionSolver:
         Optional bounds on the number of selected candidates.
     node_limit:
         Safety valve on explored search nodes.
+    incumbent:
+        Optional warm start ``(positions, cost)`` — a known feasible
+        selection (e.g. a greedy cover) whose cost seeds the upper
+        bound, so the search starts pruning immediately.  The incumbent
+        is validated (disjoint, exactly covering, within the count
+        bounds); the search returns it unchanged only when nothing
+        strictly cheaper exists.
+    time_limit:
+        Optional wall-clock budget in seconds; exceeding it raises
+        :class:`SolverError` (the portfolio layer catches this and
+        falls back to another backend).
     """
 
     def __init__(
@@ -59,6 +74,8 @@ class SetPartitionSolver:
         min_count: int | None = None,
         max_count: int | None = None,
         node_limit: int = 2_000_000,
+        incumbent: "tuple[Sequence[int], float] | None" = None,
+        time_limit: float | None = None,
     ):
         if len(candidates) != len(costs):
             raise SolverError("candidates and costs must have equal length")
@@ -99,6 +116,32 @@ class SetPartitionSolver:
         self._best_cost = math.inf
         self._best_selection: list[int] | None = None
         self._nodes = 0
+        self._time_limit = time_limit
+        self._deadline: float | None = None
+        if incumbent is not None:
+            self._adopt_incumbent(incumbent)
+
+    def _adopt_incumbent(self, incumbent: "tuple[Sequence[int], float]") -> None:
+        """Validate a warm-start selection and seed the upper bound."""
+        positions = list(incumbent[0])
+        covered: set[str] = set()
+        cost = 0.0
+        for position in positions:
+            if not 0 <= position < len(self.candidates):
+                raise SolverError(f"incumbent references candidate {position}")
+            group = self.candidates[position]
+            if covered & group:
+                raise SolverError("incumbent selection is not disjoint")
+            covered |= group
+            cost += self.costs[position]
+        if covered != set(self.universe):
+            raise SolverError("incumbent selection does not cover the universe")
+        if self.min_count is not None and len(positions) < self.min_count:
+            raise SolverError("incumbent selection violates min_count")
+        if self.max_count is not None and len(positions) > self.max_count:
+            raise SolverError("incumbent selection violates max_count")
+        self._best_cost = cost
+        self._best_selection = positions
 
     # -- public API ----------------------------------------------------------
 
@@ -117,6 +160,8 @@ class SetPartitionSolver:
             return SolverResult(
                 SolverStatus.INFEASIBLE, message="empty universe cannot meet min_count"
             )
+        if self._time_limit is not None:
+            self._deadline = time.perf_counter() + self._time_limit
         self._search(frozenset(), [], 0.0)
         if self._best_selection is None:
             return SolverResult(
@@ -169,6 +214,14 @@ class SetPartitionSolver:
             raise SolverError(
                 f"branch-and-bound node limit ({self.node_limit}) exceeded"
             )
+        if (
+            self._deadline is not None
+            and self._nodes % _TIME_CHECK_INTERVAL == 0
+            and time.perf_counter() > self._deadline
+        ):
+            raise SolverError(
+                f"branch-and-bound time limit ({self._time_limit}s) exceeded"
+            )
         if len(covered) == len(self.universe):
             count = len(selection)
             if self.min_count is not None and count < self.min_count:
@@ -207,3 +260,113 @@ class SetPartitionSolver:
             selection.append(position)
             self._search(covered | candidate, selection, cost + self.costs[position])
             selection.pop()
+
+
+class _CanonicalAbort(Exception):
+    """Internal: the canonicalization search ran out of node budget."""
+
+
+def lexmin_optimal_selection(
+    universe: Sequence[str],
+    candidates: Sequence[frozenset[str]],
+    costs: Sequence[float],
+    target: float,
+    min_count: int | None = None,
+    max_count: int | None = None,
+    node_limit: int = 2_000_000,
+    tolerance: float = 1e-9,
+) -> list[int] | None:
+    """The lexicographically-smallest optimal selection of a solved program.
+
+    Given the proven optimal objective ``target`` of a weighted
+    set-partitioning program, find — among all selections of cost
+    ``<= target + tolerance`` that exactly cover ``universe`` within the
+    count bounds — the one whose sorted candidate positions are
+    lexicographically smallest.  This is the **canonical tie-break**
+    shared by the monolithic and decomposed Step-2 paths: equal-cost
+    optima exist in real programs, different solvers (or the same
+    solver on a permuted matrix) break them differently, and the
+    byte-identity contract between the paths needs one deterministic
+    winner.  Because the first difference between two unions of
+    disjoint-support selections lies inside their symmetric difference,
+    per-component lex-min selections compose to the global lex-min —
+    canonicalizing each overlap component independently yields exactly
+    this function's answer on the full program.
+
+    Depth-first over positions in ascending order, trying *include*
+    before *exclude*, pruned by the optimal-cost bound (only
+    optimal-cost paths survive), cost-share lower bounds, count
+    envelopes, and per-class coverage horizons.  Returns ``None`` when
+    the ``node_limit`` budget is exhausted (callers keep the solver's
+    own selection in that case).
+    """
+    ordered_classes = sorted(set(universe))
+    universe_set = frozenset(ordered_classes)
+    total = len(universe_set)
+    if not total:
+        return []
+    count = len(candidates)
+    min_share: dict[str, float] = {cls: math.inf for cls in ordered_classes}
+    last_position: dict[str, int] = {cls: -1 for cls in ordered_classes}
+    largest = 1
+    for position, candidate in enumerate(candidates):
+        largest = max(largest, len(candidate))
+        share = costs[position] / len(candidate)
+        for cls in candidate:
+            if share < min_share[cls]:
+                min_share[cls] = share
+            last_position[cls] = position
+    nodes = 0
+
+    def _search(position, covered, selected, cost, selection):
+        # The exclude branch iterates (recursing per skipped candidate
+        # would overflow the stack on large programs); only the include
+        # branch recurses, bounding the depth by the partition size.
+        nonlocal nodes
+        remaining = total - len(covered)
+        while True:
+            nodes += 1
+            if nodes > node_limit:
+                raise _CanonicalAbort
+            if remaining == 0:
+                if min_count is not None and selected < min_count:
+                    return None
+                if max_count is not None and selected > max_count:
+                    return None
+                return list(selection)
+            if position == count:
+                return None
+            bound = 0.0
+            for cls in ordered_classes:
+                if cls not in covered:
+                    if last_position[cls] < position:
+                        return None  # the class can no longer be covered
+                    bound += min_share[cls]
+            if cost + bound > target + tolerance:
+                return None
+            if (
+                max_count is not None
+                and selected + math.ceil(remaining / largest) > max_count
+            ):
+                return None
+            if min_count is not None and selected + remaining < min_count:
+                return None
+            candidate = candidates[position]
+            if not (candidate & covered) and cost + costs[position] <= target + tolerance:
+                selection.append(position)
+                found = _search(
+                    position + 1,
+                    covered | candidate,
+                    selected + 1,
+                    cost + costs[position],
+                    selection,
+                )
+                if found is not None:
+                    return found
+                selection.pop()
+            position += 1
+
+    try:
+        return _search(0, frozenset(), 0, 0.0, [])
+    except _CanonicalAbort:
+        return None

@@ -1,0 +1,173 @@
+"""Decomposer: split Step 2 by candidate-overlap connected components.
+
+Two candidate groups *overlap* when they share an event class; the
+transitive closure of that relation partitions the candidate set — and
+with it the class universe — into independent components.  An exact
+cover of the universe is exactly a union of exact covers of the
+components, so each component can be solved as its own (much smaller)
+set-partitioning program and the optima recombined (the coordination
+layer of :mod:`repro.selection2.coordinate` handles the global Eq. 5
+cardinality bounds that couple the components).
+
+The split is computed with a union-find over classes: every candidate
+unions its member classes, so two candidates sharing a class end up in
+the same class-partition block.  Classes no candidate covers are
+reported separately — they make the whole program infeasible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+def content_digest(value) -> str:
+    """SHA-256 of a JSON-able value's canonical (key-sorted) rendering.
+
+    Local equivalent of :mod:`repro.service.fingerprint` for plain data;
+    the selection layer cannot import the service package (the service
+    executor imports the pipeline, which imports this module).
+    """
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Component:
+    """One independent sub-program of the Step-2 selection.
+
+    Attributes
+    ----------
+    classes:
+        The component's event classes (sorted) — the sub-universe that
+        must be covered exactly once.
+    candidates:
+        The candidate groups living entirely inside ``classes``, in the
+        global candidate order (sorted by sorted member tuple).
+    costs:
+        Candidate costs, parallel to ``candidates``.
+    """
+
+    classes: tuple[str, ...]
+    candidates: tuple[frozenset[str], ...]
+    costs: tuple[float, ...]
+
+    @property
+    def num_classes(self) -> int:
+        """Size of the component's class universe."""
+        return len(self.classes)
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate groups in the component."""
+        return len(self.candidates)
+
+    def digest(self) -> str:
+        """Content digest of the component (classes, candidates, costs).
+
+        The selection-artifact cache keys component solutions by this
+        digest (plus bounds and backend), so two jobs whose Step-1
+        phases produced the same sub-program — typically a constraint
+        sweep over one log — share solved components.
+        """
+        return content_digest(
+            {
+                "classes": list(self.classes),
+                "candidates": [sorted(group) for group in self.candidates],
+                "costs": list(self.costs),
+            }
+        )
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items (path-halving, by size)."""
+
+    def __init__(self):
+        self._parent: dict = {}
+        self._size: dict = {}
+
+    def add(self, item) -> None:
+        """Register ``item`` as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item):
+        """Representative of ``item``'s set."""
+        parent = self._parent
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(self, left, right) -> None:
+        """Merge the sets containing ``left`` and ``right``."""
+        root_l, root_r = self.find(left), self.find(right)
+        if root_l == root_r:
+            return
+        if self._size[root_l] < self._size[root_r]:
+            root_l, root_r = root_r, root_l
+        self._parent[root_r] = root_l
+        self._size[root_l] += self._size[root_r]
+
+
+def decompose(
+    universe: Iterable[str],
+    candidates: Sequence[frozenset[str]],
+    costs: Sequence[float],
+) -> tuple[list[Component], list[str]]:
+    """Split a set-partitioning program into independent components.
+
+    Parameters
+    ----------
+    universe:
+        All event classes that must be covered.
+    candidates / costs:
+        Candidate groups (subsets of the universe) and their parallel
+        costs, in the global deterministic order.
+
+    Returns
+    -------
+    ``(components, uncovered)`` where ``components`` is sorted by first
+    class for determinism and ``uncovered`` lists classes no candidate
+    contains (non-empty ⇒ the program is infeasible).
+    """
+    finder = _UnionFind()
+    classes = sorted(universe)
+    for cls in classes:
+        finder.add(cls)
+    covered: set[str] = set()
+    for group in candidates:
+        members = sorted(group)
+        covered.update(members)
+        for other in members[1:]:
+            finder.union(members[0], other)
+
+    uncovered = [cls for cls in classes if cls not in covered]
+
+    blocks: dict[str, list[str]] = {}
+    for cls in classes:
+        if cls in covered:
+            blocks.setdefault(finder.find(cls), []).append(cls)
+
+    members_of: dict[str, tuple[list[frozenset[str]], list[float]]] = {
+        root: ([], []) for root in blocks
+    }
+    for group, cost in zip(candidates, costs):
+        root = finder.find(next(iter(sorted(group))))
+        bucket = members_of[root]
+        bucket[0].append(group)
+        bucket[1].append(cost)
+
+    components = [
+        Component(
+            classes=tuple(block),
+            candidates=tuple(members_of[root][0]),
+            costs=tuple(members_of[root][1]),
+        )
+        for root, block in blocks.items()
+    ]
+    components.sort(key=lambda component: component.classes[0])
+    return components, uncovered

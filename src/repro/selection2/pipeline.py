@@ -1,0 +1,406 @@
+"""The decomposed Step-2 pipeline: decompose → presolve → solve → recombine.
+
+:func:`select_decomposed` is the drop-in replacement for
+:func:`repro.core.selection.select_optimal_grouping` behind
+``GeccoConfig(selection="decomposed")``:
+
+1. **presolve** the full program (duplicate merge, forced singleton
+   fixing, dominated-group elimination — certified to preserve the
+   optimal set, see :mod:`repro.selection2.presolve`);
+2. **decompose** the residual into candidate-overlap components
+   (:mod:`repro.selection2.decompose`);
+3. **solve** each component with the backend portfolio
+   (:mod:`repro.selection2.portfolio`) — in parallel via a
+   :mod:`repro.service` executor when one is supplied (or ``workers >
+   1``), and against the selection-artifact cache tier when a
+   :class:`~repro.service.cache.ArtifactCache` is supplied, so repeated
+   constraint sweeps reuse solved components;
+4. **recombine** the component optima — with the coordination layer of
+   :mod:`repro.selection2.coordinate` when global Eq. 5 bounds couple
+   the components — into one optimal grouping.
+
+The recombined grouping is byte-identical to the monolithic solve on
+the same backend (enforced by ``tests/test_selection_decomposed.py``):
+explicit backends run cold and uncapped exactly like the monolithic
+path, the objective is re-summed in the monolithic order, and when the
+program is a single component with cardinality bounds it is handed to
+the backend as one bounded program rather than enumerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.distance import DistanceFunction
+from repro.core.grouping import Grouping
+from repro.core.selection import SelectionResult
+from repro.eventlog.events import EventLog
+from repro.exceptions import SolverError
+from repro.mip.result import SolverStatus
+from repro.selection2 import coordinate, portfolio
+from repro.selection2.decompose import Component, content_digest, decompose
+from repro.selection2.presolve import presolve
+from repro.selection2.stats import SelectionStats
+
+#: Backends accepted by the decomposed pipeline.
+DECOMPOSED_BACKENDS = ("scipy", "bnb", "auto")
+
+
+@dataclass
+class DecomposedSelectionResult(SelectionResult):
+    """A :class:`~repro.core.selection.SelectionResult` plus solver stats."""
+
+    stats: SelectionStats | None = field(default=None)
+
+
+def component_cache_key(
+    component: Component,
+    min_count: int | None,
+    max_count: int | None,
+    backend: str,
+) -> str:
+    """Selection-artifact cache key of one component solve cell."""
+    return content_digest(
+        {
+            "component": component.digest(),
+            "min": min_count,
+            "max": max_count,
+            "backend": backend,
+        }
+    )
+
+
+def solve_component_task(
+    component: Component,
+    min_count: int | None,
+    max_count: int | None,
+    backend: str,
+    time_limit: float | None,
+    cache=None,
+) -> "tuple[portfolio.ComponentSolution, bool]":
+    """Solve one component cell against a selection cache.
+
+    This is the unit of work dispatched through the service executors
+    (:meth:`~repro.service.executor.PoolExecutor.submit_call` passes the
+    worker-local cache as ``cache``).  Returns ``(solution, from_cache)``.
+    """
+    key = component_cache_key(component, min_count, max_count, backend)
+    if cache is not None:
+        hit = cache.get_selection(key)
+        if hit is not None:
+            return hit, True
+    solution = portfolio.solve_component(
+        component,
+        backend=backend,
+        min_count=min_count,
+        max_count=max_count,
+        time_limit=time_limit,
+    )
+    # Cache only proofs (optimality / infeasibility) — those hold for
+    # any time budget.  A timeout or solver error must not poison the
+    # long-lived selection tier: the key has no time-limit component.
+    if cache is not None and solution.status in (
+        SolverStatus.OPTIMAL.value,
+        SolverStatus.INFEASIBLE.value,
+    ):
+        cache.put_selection(key, solution)
+    return solution, False
+
+
+def _infeasible(
+    message: str, stats: SelectionStats, num_candidates: int, started: float
+) -> DecomposedSelectionResult:
+    stats.seconds = time.perf_counter() - started
+    return DecomposedSelectionResult(
+        grouping=None,
+        objective=None,
+        status=SolverStatus.INFEASIBLE,
+        seconds=stats.seconds,
+        num_candidates=num_candidates,
+        solver_message=message,
+        backend=stats.backend,
+        stats=stats,
+    )
+
+
+def _run_tasks(
+    tasks: "list[tuple[Component, int | None, int | None]]",
+    backend: str,
+    time_limit: float | None,
+    cache,
+    executor,
+    workers: int,
+    stats: SelectionStats,
+) -> "list[portfolio.ComponentSolution]":
+    """Solve all task cells, in parallel when an executor is available."""
+    solutions: list = [None] * len(tasks)
+    pending: list[int] = []
+    for position, (component, min_count, max_count) in enumerate(tasks):
+        if cache is not None:
+            key = component_cache_key(component, min_count, max_count, backend)
+            hit = cache.get_selection(key)
+            if hit is not None:
+                solutions[position] = hit
+                stats.cache_hits += 1
+                continue
+        pending.append(position)
+    stats.cache_misses += len(pending)
+
+    own_executor = False
+    if executor is None and workers > 1 and len(pending) > 1:
+        from repro.service.executor import PoolExecutor
+
+        executor = PoolExecutor(workers=min(workers, len(pending)))
+        own_executor = True
+    try:
+        if executor is not None and len(pending) > 1:
+            handles = [
+                (
+                    position,
+                    executor.submit_call(
+                        solve_component_task,
+                        tasks[position][0],
+                        tasks[position][1],
+                        tasks[position][2],
+                        backend,
+                        time_limit,
+                    ),
+                )
+                for position in pending
+            ]
+            for position, handle in handles:
+                solution, worker_hit = handle.result()
+                if worker_hit:
+                    stats.cache_hits += 1
+                    stats.cache_misses -= 1
+                else:
+                    stats.solves += 1
+                    stats.nodes += solution.nodes
+                solutions[position] = solution
+                if cache is not None and solution.status in (
+                    SolverStatus.OPTIMAL.value,
+                    SolverStatus.INFEASIBLE.value,
+                ):
+                    component, min_count, max_count = tasks[position]
+                    cache.put_selection(
+                        component_cache_key(component, min_count, max_count, backend),
+                        solution,
+                    )
+        else:
+            for position in pending:
+                component, min_count, max_count = tasks[position]
+                solution, _hit = solve_component_task(
+                    component, min_count, max_count, backend, time_limit, cache=cache
+                )
+                stats.solves += 1
+                stats.nodes += solution.nodes
+                solutions[position] = solution
+    finally:
+        if own_executor:
+            executor.shutdown()
+    for solution in solutions:
+        if solution is not None and solution.backend:
+            if solution.backend not in stats.backends_used:
+                stats.backends_used.append(solution.backend)
+    return solutions
+
+
+def select_decomposed(
+    log: EventLog,
+    candidates: "set[frozenset[str]]",
+    distance: DistanceFunction,
+    min_groups: int | None = None,
+    max_groups: int | None = None,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+    workers: int = 1,
+    cache=None,
+    executor=None,
+) -> DecomposedSelectionResult:
+    """Decomposed Step 2: pick the distance-minimal exact cover.
+
+    Drop-in equivalent of
+    :func:`repro.core.selection.select_optimal_grouping` (same optimum,
+    same grouping) built on the decompose → presolve → portfolio-solve →
+    recombine pipeline.
+
+    Parameters
+    ----------
+    backend:
+        ``"scipy"``, ``"bnb"``, or ``"auto"`` (the per-component
+        portfolio of :mod:`repro.selection2.portfolio`).
+    time_limit:
+        Per-component-solve budget in seconds, identical on the inline
+        and executor paths (the monolithic solver applies the same
+        value to its single solve).
+    workers:
+        When > 1 and no ``executor`` is given, component solves fan out
+        over a transient :class:`~repro.service.executor.PoolExecutor`.
+    cache:
+        Optional :class:`~repro.service.cache.ArtifactCache`; solved
+        components land in its selection tier keyed by content digest,
+        so constraint sweeps over one log reuse them.
+    executor:
+        Optional service executor whose ``submit_call`` dispatches the
+        component solves (its workers consult their own caches).
+    """
+    if backend not in DECOMPOSED_BACKENDS:
+        raise SolverError(
+            f"unknown Step-2 backend {backend!r}; use one of {DECOMPOSED_BACKENDS}"
+        )
+    started = time.perf_counter()
+    universe = log.classes
+    ordered = sorted(candidates, key=lambda group: sorted(group))
+    costs = [distance.group_distance(group) for group in ordered]
+    stats = SelectionStats(
+        mode="decomposed",
+        backend=backend,
+        num_candidates=len(ordered),
+        workers=workers,
+    )
+
+    pre = presolve(universe, ordered, costs, allow_domination=max_groups is None)
+    stats.presolve = pre.counts()
+    if pre.infeasible_reason is not None:
+        return _infeasible(pre.infeasible_reason, stats, len(ordered), started)
+
+    fixed_count = len(pre.fixed)
+    residual_min = None if min_groups is None else max(0, min_groups - fixed_count)
+    residual_max = None if max_groups is None else max_groups - fixed_count
+    if residual_max is not None and residual_max < 0:
+        return _infeasible(
+            f"{fixed_count} forced groups already exceed max_groups={max_groups}",
+            stats,
+            len(ordered),
+            started,
+        )
+
+    components, uncovered = decompose(pre.classes, pre.candidates, pre.costs)
+    if uncovered:
+        return _infeasible(
+            f"classes without covering candidate: {uncovered}",
+            stats,
+            len(ordered),
+            started,
+        )
+    stats.num_components = len(components)
+    stats.component_shape = [
+        [component.num_classes, component.num_candidates] for component in components
+    ]
+
+    if components:
+        envelopes = [portfolio.count_bounds(component) for component in components]
+        floor_total = sum(k_min for k_min, _ in envelopes)
+        ceiling_total = sum(k_max for _, k_max in envelopes)
+        if residual_min is not None and residual_min <= floor_total:
+            residual_min = None  # every exact cover already meets the bound
+        if residual_max is not None and residual_max >= ceiling_total:
+            residual_max = None
+    elif residual_min is not None and residual_min > 0:
+        return _infeasible(
+            f"all classes fixed by presolve but min_groups={min_groups} "
+            f"needs {residual_min} more groups",
+            stats,
+            len(ordered),
+            started,
+        )
+
+    bounded = residual_min is not None or residual_max is not None
+    selected: list[frozenset[str]] = list(pre.fixed)
+
+    if components and not bounded:
+        tasks = [(component, None, None) for component in components]
+        solutions = _run_tasks(
+            tasks, backend, time_limit, cache, executor, workers, stats
+        )
+        for component, solution in zip(components, solutions):
+            if not solution.is_optimal:
+                return _infeasible(
+                    f"component {component.classes[0]}…: {solution.message or solution.status}",
+                    stats,
+                    len(ordered),
+                    started,
+                )
+            selected.extend(frozenset(group) for group in solution.groups)
+    elif components and len(components) == 1:
+        # One bounded component: hand the bounds to the backend directly
+        # (structurally the monolithic program, minus presolve removals).
+        tasks = [(components[0], residual_min, residual_max)]
+        solutions = _run_tasks(
+            tasks, backend, time_limit, cache, executor, workers, stats
+        )
+        solution = solutions[0]
+        if not solution.is_optimal:
+            return _infeasible(
+                solution.message or f"bounded component {solution.status}",
+                stats,
+                len(ordered),
+                started,
+            )
+        selected.extend(frozenset(group) for group in solution.groups)
+    elif components:
+        # Eq. 5 coordination: per-component count enumeration, then a
+        # knapsack-style merge over the (objective, #groups) fronts.
+        tasks: list[tuple[Component, int | None, int | None]] = []
+        spans: list[tuple[int, int]] = []
+        for position, component in enumerate(components):
+            k_lo, k_hi = envelopes[position]
+            if residual_max is not None:
+                others_floor = floor_total - k_lo
+                k_hi = min(k_hi, residual_max - others_floor)
+            spans.append((k_lo, k_hi))
+            for count in range(k_lo, k_hi + 1):
+                tasks.append((component, count, count))
+        solutions = _run_tasks(
+            tasks, backend, time_limit, cache, executor, workers, stats
+        )
+        fronts: list[dict[int, portfolio.ComponentSolution]] = []
+        cursor = 0
+        for position, component in enumerate(components):
+            k_lo, k_hi = spans[position]
+            front = {}
+            for count in range(k_lo, k_hi + 1):
+                solution = solutions[cursor]
+                cursor += 1
+                if solution.is_optimal:
+                    front[count] = solution
+            fronts.append(front)
+        position_of = {group: position for position, group in enumerate(ordered)}
+
+        def order_key(solution):
+            return tuple(
+                sorted(position_of[frozenset(group)] for group in solution.groups)
+            )
+
+        chosen = coordinate.merge_fronts(
+            fronts, residual_min, residual_max, order_key=order_key
+        )
+        if chosen is None:
+            return _infeasible(
+                f"no per-component group counts meet "
+                f"min_groups={min_groups}, max_groups={max_groups}",
+                stats,
+                len(ordered),
+                started,
+            )
+        for front, count in zip(fronts, chosen):
+            selected.extend(frozenset(group) for group in front[count].groups)
+
+    # Recombine in the monolithic path's group order (ascending sorted
+    # member tuples): the grouping's rendered label order and the
+    # objective's float-summation order must both match byte-for-byte.
+    selected.sort(key=lambda group: sorted(group))
+    grouping = Grouping(selected, universe)
+    objective = sum(distance.group_distance(group) for group in selected)
+    stats.seconds = time.perf_counter() - started
+    return DecomposedSelectionResult(
+        grouping=grouping,
+        objective=objective,
+        status=SolverStatus.OPTIMAL,
+        seconds=stats.seconds,
+        num_candidates=len(ordered),
+        backend=backend,
+        nodes=stats.nodes,
+        stats=stats,
+    )

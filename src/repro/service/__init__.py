@@ -42,6 +42,7 @@ from repro.service.batch import (
 )
 from repro.service.cache import ArtifactCache, CacheStats, TierStats
 from repro.service.executor import (
+    CallHandle,
     JobHandle,
     PoolExecutor,
     SequentialExecutor,
@@ -69,6 +70,7 @@ __all__ = [
     "BatchReport",
     "BUILTIN_LOGS",
     "CacheStats",
+    "CallHandle",
     "JobFingerprint",
     "JobHandle",
     "LogRef",

@@ -73,6 +73,11 @@ def job_row(job: AbstractionJob, result, cached: bool, seconds: float,
         "num_candidates": result.num_candidates,
         "num_groups": len(result.grouping) if result.grouping is not None else None,
         "engine": result.engine,
+        "selection": (
+            result.selection_stats.as_dict()
+            if getattr(result, "selection_stats", None) is not None
+            else None
+        ),
         "groups": (
             sorted(sorted(group) for group in result.grouping)
             if result.grouping is not None

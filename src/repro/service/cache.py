@@ -1,7 +1,7 @@
-"""The artifact cache: per-log artifacts and finished results.
+"""The artifact cache: per-log artifacts, finished results, components.
 
-Two tiers, both content-addressed by components of the job fingerprint
-(:class:`~repro.service.jobs.JobFingerprint`):
+Three tiers, all content-addressed by components of the job fingerprint
+(:class:`~repro.service.jobs.JobFingerprint`) or by content digests:
 
 * **artifact tier** — keyed by the fingerprint's *log prefix*
   ``(log digest, instance policy, engine)``; holds the expensive
@@ -13,17 +13,30 @@ Two tiers, both content-addressed by components of the job fingerprint
   are served without recomputation.  Optionally backed by an on-disk
   store (JSON, via :mod:`repro.service.serialization` and the atomic
   writers of :mod:`repro.experiments.persistence`) that survives
-  process restarts and is shared between workers.
+  process restarts and is shared between workers;
+* **selection tier** — keyed by the content digest of one Step-2
+  component solve cell (:func:`repro.selection2.component_cache_key`);
+  holds solved :class:`~repro.selection2.portfolio.ComponentSolution`
+  objects so constraint-set sweeps over one log reuse Step-2 work
+  across jobs.
 
-Both tiers are bounded LRU maps; hit/miss/eviction counters are kept
-per tier and surface in batch reports and ``BENCH_pipeline.json``.
+The on-disk result store accepts optional **budgets**: a TTL (entries
+older than ``disk_ttl`` seconds since last use are expired on read and
+on enforcement sweeps) and size bounds (``disk_max_entries`` /
+``disk_max_bytes``) enforced by least-recently-used eviction (file
+mtimes, refreshed on every disk hit, are the recency clock).
+
+All memory tiers are bounded LRU maps; hit/miss/eviction counters are
+kept per tier and surface in batch reports and ``BENCH_pipeline.json``.
 All operations are thread-safe (the pool executor's completion
 callbacks run on a helper thread).
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,6 +72,7 @@ class CacheStats:
     artifacts: TierStats = field(default_factory=TierStats)
     results: TierStats = field(default_factory=TierStats)
     disk: TierStats = field(default_factory=TierStats)
+    selection: TierStats = field(default_factory=TierStats)
     #: Number of times per-log artifacts were actually *built* (cache
     #: misses that led to a :func:`~repro.core.gecco.prepare_artifacts`
     #: call); the acceptance check "artifacts computed exactly once per
@@ -71,6 +85,7 @@ class CacheStats:
             "artifacts": self.artifacts.as_dict(),
             "results": self.results.as_dict(),
             "disk": self.disk.as_dict(),
+            "selection": self.selection.as_dict(),
             "artifact_builds": self.artifact_builds,
         }
 
@@ -80,6 +95,7 @@ class CacheStats:
             (self.artifacts, other.artifacts),
             (self.results, other.results),
             (self.disk, other.disk),
+            (self.selection, other.selection),
         ):
             mine.hits += theirs.hits
             mine.misses += theirs.misses
@@ -99,25 +115,49 @@ class ArtifactCache:
         index grows with use — keep this small).
     max_results:
         Result-tier capacity.
+    max_selections:
+        Selection-tier capacity (solved Step-2 components; entries are
+        tiny — tuples of class names plus an objective).
     disk_dir:
         Optional directory for the persistent result store.  Results
         are written as ``<prefix>/<fingerprint>.json``; reads fall back
         to disk on a memory miss and repopulate the memory tier.
+    disk_ttl:
+        Optional time-to-live (seconds) for disk entries: entries idle
+        longer than this are expired (a disk hit refreshes the clock).
+    disk_max_entries / disk_max_bytes:
+        Optional size budgets for the disk store, enforced after every
+        disk write by least-recently-used eviction.
     """
 
     def __init__(
         self,
         max_artifacts: int = 8,
         max_results: int = 256,
+        max_selections: int = 2048,
         disk_dir: "str | Path | None" = None,
+        disk_ttl: float | None = None,
+        disk_max_entries: int | None = None,
+        disk_max_bytes: int | None = None,
     ):
-        if max_artifacts < 1 or max_results < 1:
+        if max_artifacts < 1 or max_results < 1 or max_selections < 1:
             raise ValueError("cache capacities must be >= 1")
+        if disk_ttl is not None and disk_ttl <= 0:
+            raise ValueError("disk_ttl must be positive")
+        if disk_max_entries is not None and disk_max_entries < 1:
+            raise ValueError("disk_max_entries must be >= 1")
+        if disk_max_bytes is not None and disk_max_bytes < 1:
+            raise ValueError("disk_max_bytes must be >= 1")
         self._artifacts: OrderedDict[tuple, object] = OrderedDict()
         self._results: OrderedDict[str, AbstractionResult] = OrderedDict()
+        self._selections: OrderedDict[str, object] = OrderedDict()
         self._max_artifacts = max_artifacts
         self._max_results = max_results
+        self._max_selections = max_selections
         self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._disk_ttl = disk_ttl
+        self._disk_max_entries = disk_max_entries
+        self._disk_max_bytes = disk_max_bytes
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -149,10 +189,43 @@ class ArtifactCache:
         with self._lock:
             self.stats.artifact_builds += 1
 
+    # -- selection tier (component-digest keyed) --------------------------
+
+    def get_selection(self, key: str):
+        """Look up a solved Step-2 component cell by content digest."""
+        with self._lock:
+            solution = self._selections.get(key)
+            if solution is None:
+                self.stats.selection.misses += 1
+                return None
+            self._selections.move_to_end(key)
+            self.stats.selection.hits += 1
+            return solution
+
+    def put_selection(self, key: str, solution) -> None:
+        """Store a solved Step-2 component cell."""
+        with self._lock:
+            self._selections[key] = solution
+            self._selections.move_to_end(key)
+            self.stats.selection.stores += 1
+            while len(self._selections) > self._max_selections:
+                self._selections.popitem(last=False)
+                self.stats.selection.evictions += 1
+
     # -- result tier (full-fingerprint keyed) -----------------------------
 
     def _disk_path(self, fingerprint: str) -> Path:
         return self._disk_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _expired(self, path: Path) -> bool:
+        """Whether a disk entry has outlived the TTL budget."""
+        if self._disk_ttl is None:
+            return False
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return True
+        return age > self._disk_ttl
 
     def get_result(self, fingerprint: str) -> AbstractionResult | None:
         """Look up a finished result; memory first, then disk."""
@@ -170,6 +243,15 @@ class ArtifactCache:
             with self._lock:
                 self.stats.disk.misses += 1
             return None
+        if self._expired(path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.disk.misses += 1
+                self.stats.disk.evictions += 1
+            return None
         try:
             result = result_from_dict(read_json(path))
         except Exception:
@@ -183,6 +265,10 @@ class ArtifactCache:
             with self._lock:
                 self.stats.disk.misses += 1
             return None
+        try:
+            os.utime(path)  # a hit refreshes the entry's LRU/TTL clock
+        except OSError:
+            pass
         with self._lock:
             self.stats.disk.hits += 1
             self._store_result_locked(fingerprint, result)
@@ -205,6 +291,55 @@ class ArtifactCache:
                     return
                 with self._lock:
                     self.stats.disk.stores += 1
+                self._enforce_disk_budget()
+
+    def _enforce_disk_budget(self) -> None:
+        """Expire TTL-dead entries and evict LRU ones past the budgets."""
+        if self._disk_dir is None:
+            return
+        if (
+            self._disk_ttl is None
+            and self._disk_max_entries is None
+            and self._disk_max_bytes is None
+        ):
+            return
+        entries = []
+        for path in self._disk_dir.glob("*/*.json"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+        entries.sort()  # oldest (least recently used) first
+        evicted = 0
+        now = time.time()
+        if self._disk_ttl is not None:
+            live = []
+            for mtime, size, path in entries:
+                if now - mtime > self._disk_ttl:
+                    try:
+                        path.unlink()
+                        evicted += 1
+                    except OSError:
+                        pass
+                else:
+                    live.append((mtime, size, path))
+            entries = live
+        total_bytes = sum(size for _, size, _ in entries)
+        while entries and (
+            (self._disk_max_entries is not None and len(entries) > self._disk_max_entries)
+            or (self._disk_max_bytes is not None and total_bytes > self._disk_max_bytes)
+        ):
+            _mtime, size, path = entries.pop(0)
+            try:
+                path.unlink()
+                evicted += 1
+            except OSError:
+                pass
+            total_bytes -= size
+        if evicted:
+            with self._lock:
+                self.stats.disk.evictions += evicted
 
     def _store_result_locked(self, fingerprint: str, result: AbstractionResult) -> None:
         self._results[fingerprint] = result
@@ -220,6 +355,7 @@ class ArtifactCache:
         with self._lock:
             self._artifacts.clear()
             self._results.clear()
+            self._selections.clear()
         if not memory_only and self._disk_dir is not None:
             for path in self._disk_dir.glob("*/*.json"):
                 path.unlink()
@@ -240,6 +376,7 @@ class ArtifactCache:
             data = self.stats.as_dict()
             data["resident_results"] = len(self._results)
             data["resident_artifacts"] = len(self._artifacts)
+            data["resident_selections"] = len(self._selections)
             compiled_bytes = 0
             for bundle in self._artifacts.values():
                 compiled = getattr(bundle, "compiled", None)

@@ -13,10 +13,27 @@ objects:
   are built at most once per (worker, log) and every further job on
   that log pays only the constraint-dependent work.
 
+The pool schedules **cache-aware**: each worker is its own
+single-process sub-pool, and jobs are routed by their fingerprint's log
+prefix — the first job on a log claims the least-loaded worker, every
+later job on that log goes to the same worker (waiting for it rather
+than rebuilding the log's artifacts elsewhere).  This caps artifact
+builds at one per *log* instead of one per (worker, log); the
+``scheduler`` block of :meth:`PoolExecutor.stats` counts the affinity
+routing, and ``affinity=False`` restores spread-to-any-free-worker
+routing.
+
+Both executors also accept generic work via ``submit_call``: the
+function runs with the executor's cache injected as a ``cache`` keyword
+(the worker-local cache in the pool), which is how
+:func:`repro.selection2.select_decomposed` fans component solves out
+over the same machinery.
+
 Both share :func:`run_job`, which implements the cache discipline: full
 fingerprint → finished result; log prefix → shared per-log artifacts;
-otherwise compute, then populate both tiers.  Handles returned by
-``submit`` are future-like (``done()`` to poll, ``result()`` to await).
+selection tier → solved Step-2 components; otherwise compute, then
+populate the tiers.  Handles returned by ``submit``/``submit_call`` are
+future-like (``done()`` to poll, ``result()`` to await).
 """
 
 from __future__ import annotations
@@ -27,6 +44,7 @@ import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 from repro.core.gecco import AbstractionResult, Gecco, prepare_artifacts, resolve_engine
 from repro.exceptions import ReproError
@@ -42,7 +60,9 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
     1. a full-fingerprint hit serves the finished result directly;
     2. otherwise the per-log artifacts are looked up under the
        fingerprint's log prefix and built (once) on a miss;
-    3. the freshly computed result is stored under the full fingerprint.
+    3. the pipeline consults the cache's selection tier for solved
+       Step-2 components (decomposed mode);
+    4. the freshly computed result is stored under the full fingerprint.
     """
     fingerprint = job.fingerprint()
     hit = cache.get_result(fingerprint.full)
@@ -62,7 +82,9 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
         # by construction (the prefix key contains the log digest), and
         # it keeps one set of warmed per-log caches per worker.
         log = artifacts.log
-    result = Gecco(job.constraints, config).abstract(log, artifacts)
+    result = Gecco(job.constraints, config).abstract(
+        log, artifacts, selection_cache=cache
+    )
     cache.put_result(fingerprint.full, result)
     return result, False
 
@@ -138,6 +160,39 @@ class JobHandle:
             follower._fail(error)
 
 
+class CallHandle:
+    """Future-like handle of one generic ``submit_call`` task."""
+
+    __slots__ = ("label", "_event", "_value", "_error")
+
+    def __init__(self, label: str = "call"):
+        self.label = label
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Poll: has the call finished (successfully or not)?"""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Await the call's return value, re-raising its failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"call {self.label} did not finish within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _complete(self, value, cached: bool = False) -> None:
+        del cached  # call results have no cache provenance
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
 def _fingerprinted_handle(job: AbstractionJob) -> JobHandle:
     """Build a job's handle, failing it when fingerprinting fails.
 
@@ -170,6 +225,23 @@ class SequentialExecutor:
             handle._fail(exc)
         else:
             handle._complete(result, cached)
+        return handle
+
+    def submit_call(self, fn, *args, priority: int | None = None, **kwargs) -> CallHandle:
+        """Run ``fn(*args, cache=self.cache, **kwargs)`` now.
+
+        The generic-task twin of :meth:`submit`: the executor's cache is
+        injected as the ``cache`` keyword, mirroring what pool workers
+        do with their worker-local caches.
+        """
+        del priority  # sequential: everything runs immediately
+        handle = CallHandle(getattr(fn, "__name__", "call"))
+        try:
+            value = fn(*args, cache=self.cache, **kwargs)
+        except Exception as exc:
+            handle._fail(exc)
+        else:
+            handle._complete(value)
         return handle
 
     def map(self, jobs) -> list[AbstractionResult]:
@@ -212,13 +284,37 @@ def _pool_worker_run(job: AbstractionJob):
     return result, cached, os.getpid(), cache.snapshot()
 
 
+def _pool_worker_call(fn, args, kwargs):
+    cache = _WORKER_CACHE
+    if cache is None:  # pragma: no cover - initializer always runs
+        raise ReproError("worker cache was not initialized")
+    value = fn(*args, cache=cache, **kwargs)
+    return value, os.getpid(), cache.snapshot()
+
+
+#: Queue-entry kinds.
+_KIND_JOB, _KIND_CALL = "job", "call"
+
+
+@dataclass
+class _QueueItem:
+    """One queued unit of work (a job or a generic call)."""
+
+    kind: str
+    payload: object
+    handle: object
+    prefix: "tuple | None" = None
+
+
 class PoolExecutor:
     """Multiprocessing executor: priorities, backpressure, worker caches.
 
     Parameters
     ----------
     workers:
-        Worker-process count (default: CPU count, at least 2).
+        Worker-process count (default: CPU count, at least 2).  Each
+        worker is its own single-process sub-pool, which is what makes
+        cache-aware routing possible.
     cache:
         Parent-side :class:`ArtifactCache` used to serve repeat
         submissions without touching a worker at all.
@@ -232,6 +328,11 @@ class PoolExecutor:
         ``multiprocessing`` start method.  Default: ``"fork"`` where
         available (cheap worker startup on Linux), else ``"spawn"``
         (Windows, macOS).
+    affinity:
+        Cache-aware scheduling (default on): jobs sharing a log-prefix
+        fingerprint are routed to the worker that first claimed the
+        prefix, maximizing per-worker artifact reuse.  ``False`` routes
+        every job to any free worker.
     """
 
     def __init__(
@@ -243,6 +344,7 @@ class PoolExecutor:
         mp_context: str | None = None,
         worker_max_artifacts: int = 8,
         worker_max_results: int = 64,
+        affinity: bool = True,
     ):
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -253,20 +355,31 @@ class PoolExecutor:
         if max_pending is not None and max_pending < 1:
             raise ReproError(f"max_pending must be >= 1, got {max_pending}")
         self.cache = cache if cache is not None else ArtifactCache(disk_dir=disk_dir)
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=multiprocessing.get_context(mp_context),
-            initializer=_pool_worker_init,
-            initargs=(
-                worker_max_artifacts,
-                worker_max_results,
-                str(disk_dir) if disk_dir is not None else None,
-            ),
+        self.affinity = affinity
+        context = multiprocessing.get_context(mp_context)
+        initargs = (
+            worker_max_artifacts,
+            worker_max_results,
+            str(disk_dir) if disk_dir is not None else None,
         )
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_pool_worker_init,
+                initargs=initargs,
+            )
+            for _ in range(self.workers)
+        ]
         self._lock = threading.Lock()
         self._space = threading.Condition(self._lock)
         self._heap: list[tuple] = []
         self._ticket = itertools.count()
+        self._busy = [False] * self.workers
+        self._claims = [0] * self.workers
+        self._prefix_owner: dict[tuple, int] = {}
+        self._affinity_hits = 0
+        self._prefix_claims = 0
         self._inflight = 0
         self._pending = 0
         self._max_pending = max_pending
@@ -276,6 +389,13 @@ class PoolExecutor:
         self._active: dict[str, JobHandle] = {}
 
     # -- submission --------------------------------------------------------
+
+    @staticmethod
+    def _job_prefix(job: AbstractionJob) -> tuple:
+        """The job's artifact-cache log prefix (the routing key)."""
+        config = job.config
+        engine = resolve_engine(config.engine, warn=False)
+        return job.fingerprint().artifact_key(config.instance_policy, engine)
 
     def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
         """Enqueue ``job``; higher ``priority`` dispatches first.
@@ -292,6 +412,9 @@ class PoolExecutor:
             handle._complete(hit, True)
             return handle
         rank = job.priority if priority is None else priority
+        item = _QueueItem(
+            kind=_KIND_JOB, payload=job, handle=handle, prefix=self._job_prefix(job)
+        )
         with self._space:
             if self._closed:
                 raise ReproError("executor is shut down")
@@ -313,61 +436,150 @@ class PoolExecutor:
                     return handle
             self._pending += 1
             self._active[handle.fingerprint] = handle
-            heapq.heappush(self._heap, (-rank, next(self._ticket), job, handle))
+            heapq.heappush(self._heap, (-rank, next(self._ticket), item))
         self._dispatch()
         return handle
 
-    def _dispatch(self) -> None:
-        """Feed queued jobs to free workers.
+    def submit_call(self, fn, *args, priority: int = 0, **kwargs) -> CallHandle:
+        """Enqueue a generic call; workers run it with their cache.
 
-        Pops and submits one job at a time, releasing the lock around
-        ``self._pool.submit``: ``add_done_callback`` may invoke
+        ``fn`` must be picklable (a module-level function) and accept a
+        ``cache`` keyword — the worker-local
+        :class:`~repro.service.cache.ArtifactCache` is injected, which
+        is how Step-2 component solves reuse each worker's selection
+        tier.  Calls share the priority queue and the backpressure
+        bound with jobs but have no routing prefix (any free worker).
+        """
+        handle = CallHandle(getattr(fn, "__name__", "call"))
+        item = _QueueItem(kind=_KIND_CALL, payload=(fn, args, kwargs), handle=handle)
+        with self._space:
+            if self._closed:
+                raise ReproError("executor is shut down")
+            while (
+                self._max_pending is not None and self._pending >= self._max_pending
+            ):
+                self._space.wait()
+                if self._closed:
+                    raise ReproError("executor is shut down")
+            self._pending += 1
+            heapq.heappush(self._heap, (-priority, next(self._ticket), item))
+        self._dispatch()
+        return handle
+
+    # -- scheduling --------------------------------------------------------
+
+    def _pick_locked(self) -> "tuple[_QueueItem, int] | None":
+        """Choose the next dispatchable queue item and its worker.
+
+        Scans the queue in priority order.  Items whose prefix is owned
+        by a busy worker are kept queued (waiting for their warm worker
+        beats rebuilding the log's artifacts on a cold one); unowned
+        prefixes claim the least-loaded free worker.
+        """
+        free = [index for index, busy in enumerate(self._busy) if not busy]
+        if not free or not self._heap:
+            return None
+        deferred: list[tuple] = []
+        chosen: "tuple[_QueueItem, int] | None" = None
+        while self._heap:
+            rank, ticket, item = heapq.heappop(self._heap)
+            prefix = item.prefix if self.affinity else None
+            if prefix is None:
+                worker = min(free, key=lambda index: (self._claims[index], index))
+            else:
+                owner = self._prefix_owner.get(prefix)
+                if owner is None:
+                    worker = min(free, key=lambda index: (self._claims[index], index))
+                    self._prefix_owner[prefix] = worker
+                    self._claims[worker] += 1
+                    self._prefix_claims += 1
+                elif self._busy[owner]:
+                    deferred.append((rank, ticket, item))
+                    continue
+                else:
+                    worker = owner
+                    self._affinity_hits += 1
+            chosen = (item, worker)
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return chosen
+
+    def _dispatch(self) -> None:
+        """Feed queued work to free workers.
+
+        Pops and submits one item at a time, releasing the lock around
+        the sub-pool ``submit``: ``add_done_callback`` may invoke
         ``_on_done`` inline (already-failed future on a broken pool),
         and ``_on_done`` re-acquires the non-reentrant lock.
         """
         while True:
             with self._space:
-                if self._inflight >= self.workers or not self._heap:
+                picked = self._pick_locked()
+                if picked is None:
                     return
-                _rank, _ticket, job, handle = heapq.heappop(self._heap)
+                item, worker = picked
+                self._busy[worker] = True
                 self._inflight += 1
             try:
-                future = self._pool.submit(_pool_worker_run, job)
+                if item.kind == _KIND_JOB:
+                    future = self._pools[worker].submit(_pool_worker_run, item.payload)
+                else:
+                    fn, args, kwargs = item.payload
+                    future = self._pools[worker].submit(
+                        _pool_worker_call, fn, args, kwargs
+                    )
             except Exception as exc:
                 with self._space:
+                    self._busy[worker] = False
                     self._inflight -= 1
                     self._pending -= 1
-                    self._active.pop(handle.fingerprint, None)
+                    if item.kind == _KIND_JOB:
+                        self._active.pop(item.handle.fingerprint, None)
                     self._space.notify_all()
-                handle._fail(exc)
+                item.handle._fail(exc)
                 continue
             future.add_done_callback(
-                lambda future, handle=handle: self._on_done(handle, future)
+                lambda future, item=item, worker=worker: self._on_done(
+                    item, worker, future
+                )
             )
 
-    def _on_done(self, handle: JobHandle, future) -> None:
+    def _on_done(self, item: _QueueItem, worker: int, future) -> None:
         with self._space:
+            self._busy[worker] = False
             self._inflight -= 1
             self._pending -= 1
-            self._active.pop(handle.fingerprint, None)
+            if item.kind == _KIND_JOB:
+                self._active.pop(item.handle.fingerprint, None)
             self._space.notify_all()
         self._dispatch()
         try:
-            result, cached, pid, worker_snapshot = future.result()
+            payload = future.result()
         except BaseException as exc:  # noqa: BLE001 - relayed to the awaiter
-            handle._fail(exc)
+            item.handle._fail(exc)
             return
-        try:
-            with self._lock:
-                self._worker_stats[pid] = worker_snapshot
-            self.cache.put_result(handle.fingerprint, result)
-        except Exception:
-            # Bookkeeping is best-effort: the computed result must reach
-            # the awaiter even if parent-side caching fails — an
-            # exception here would otherwise be swallowed by the
-            # done-callback machinery and strand handle.result() forever.
-            pass
-        handle._complete(result, cached)
+        if item.kind == _KIND_JOB:
+            result, cached, pid, worker_snapshot = payload
+            try:
+                with self._lock:
+                    self._worker_stats[pid] = worker_snapshot
+                self.cache.put_result(item.handle.fingerprint, result)
+            except Exception:
+                # Bookkeeping is best-effort: the computed result must
+                # reach the awaiter even if parent-side caching fails —
+                # an exception here would otherwise be swallowed by the
+                # done-callback machinery and strand result() forever.
+                pass
+            item.handle._complete(result, cached)
+        else:
+            value, pid, worker_snapshot = payload
+            try:
+                with self._lock:
+                    self._worker_stats[pid] = worker_snapshot
+            except Exception:
+                pass
+            item.handle._complete(value)
 
     def map(self, jobs) -> list[AbstractionResult]:
         """Submit all jobs, await all results (submission order)."""
@@ -380,20 +592,34 @@ class PoolExecutor:
         """Parent cache counters plus the latest per-worker snapshots."""
         with self._lock:
             workers = {str(pid): dict(snap) for pid, snap in self._worker_stats.items()}
+            scheduler = {
+                "affinity": self.affinity,
+                "prefix_claims": self._prefix_claims,
+                "affinity_hits": self._affinity_hits,
+            }
         totals = {
             "artifact_builds": sum(s["artifact_builds"] for s in workers.values()),
             "result_hits": sum(s["results"]["hits"] for s in workers.values()),
             "result_misses": sum(s["results"]["misses"] for s in workers.values()),
             "artifact_hits": sum(s["artifacts"]["hits"] for s in workers.values()),
+            "selection_hits": sum(
+                s.get("selection", {}).get("hits", 0) for s in workers.values()
+            ),
         }
-        return {"parent": self.cache.snapshot(), "workers": workers, "workers_total": totals}
+        return {
+            "parent": self.cache.snapshot(),
+            "workers": workers,
+            "workers_total": totals,
+            "scheduler": scheduler,
+        }
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs and shut the pool down."""
         with self._space:
             self._closed = True
             self._space.notify_all()
-        self._pool.shutdown(wait=wait)
+        for pool in self._pools:
+            pool.shutdown(wait=wait)
 
     def __enter__(self) -> "PoolExecutor":
         return self

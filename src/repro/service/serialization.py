@@ -27,6 +27,7 @@ from repro.core.gecco import AbstractionResult, StepTimings
 from repro.core.grouping import Grouping
 from repro.eventlog.events import Event, EventLog, Trace
 from repro.exceptions import ReproError
+from repro.selection2.stats import SelectionStats
 
 #: Schema tag written into serialized results.
 RESULT_SCHEMA = "gecco-result/1"
@@ -185,6 +186,11 @@ def result_to_dict(result: AbstractionResult, include_logs: bool = True) -> dict
         ),
         "timings": asdict(result.timings),
         "candidate_stats": _stats_to_dict(result.candidate_stats),
+        "selection_stats": (
+            result.selection_stats.as_dict()
+            if isinstance(result.selection_stats, SelectionStats)
+            else None
+        ),
         "infeasibility": (
             infeasibility_to_dict(result.infeasibility)
             if result.infeasibility is not None
@@ -223,6 +229,11 @@ def result_from_dict(data: dict) -> AbstractionResult:
             if data.get("candidate_stats") is not None
             else None
         ),
+        selection_stats=(
+            SelectionStats.from_dict(data["selection_stats"])
+            if data.get("selection_stats") is not None
+            else None
+        ),
         infeasibility=(
             infeasibility_from_dict(data["infeasibility"])
             if data.get("infeasibility") is not None
@@ -246,4 +257,5 @@ def result_signature(result: AbstractionResult) -> str:
     data = result_to_dict(result, include_logs=True)
     data.pop("timings", None)
     data.pop("candidate_stats", None)
+    data.pop("selection_stats", None)  # solver accounting, not output
     return json.dumps(data, sort_keys=True, separators=(",", ":"))

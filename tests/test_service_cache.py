@@ -1,6 +1,8 @@
 """Artifact-cache behavior: hit/miss accounting, LRU, disk store."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -131,3 +133,104 @@ class TestDiskStore:
         assert snap["artifact_builds"] == 1
         assert snap["resident_results"] == 1
         assert {"hits", "misses", "stores", "evictions"} <= set(snap["results"])
+        assert {"hits", "misses", "stores", "evictions"} <= set(snap["selection"])
+
+
+class TestSelectionTier:
+    def test_miss_store_hit(self):
+        cache = ArtifactCache()
+        assert cache.get_selection("k1") is None
+        cache.put_selection("k1", "solution")
+        assert cache.get_selection("k1") == "solution"
+        assert cache.stats.selection.misses == 1
+        assert cache.stats.selection.hits == 1
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_selections=2)
+        cache.put_selection("a", 1)
+        cache.put_selection("b", 2)
+        cache.get_selection("a")  # refresh: b becomes the LRU victim
+        cache.put_selection("c", 3)
+        assert cache.stats.selection.evictions == 1
+        assert cache.get_selection("b") is None
+        assert cache.get_selection("a") == 1
+
+    def test_populated_by_decomposed_jobs(self):
+        cache = ArtifactCache()
+        run_job(job_for(4), cache)
+        assert cache.stats.selection.stores > 0
+        assert cache.snapshot()["resident_selections"] > 0
+
+
+def _age_disk_entries(store, seconds):
+    """Backdate every disk entry's LRU/TTL clock by ``seconds``."""
+    stamp = time.time() - seconds
+    for path in store.glob("*/*.json"):
+        os.utime(path, (stamp, stamp))
+
+
+class TestDiskBudgets:
+    def test_ttl_expires_idle_entries(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store, disk_ttl=60.0)
+        job = job_for(5)
+        run_job(job, cache)
+        fingerprint = job.fingerprint().full
+        _age_disk_entries(store, 120.0)
+
+        fresh = ArtifactCache(disk_dir=store, disk_ttl=60.0)
+        assert fresh.get_result(fingerprint) is None
+        assert fresh.stats.disk.misses == 1
+        assert fresh.stats.disk.evictions == 1
+        assert not list(store.glob("*/*.json"))
+
+    def test_disk_hit_refreshes_ttl_clock(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store, disk_ttl=3600.0)
+        job = job_for(5)
+        run_job(job, cache)
+        _age_disk_entries(store, 1800.0)
+
+        fresh = ArtifactCache(disk_dir=store, disk_ttl=3600.0)
+        assert fresh.get_result(job.fingerprint().full) is not None
+        path = next(store.glob("*/*.json"))
+        assert time.time() - path.stat().st_mtime < 60.0  # clock refreshed
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store, disk_max_entries=2)
+        jobs = [job_for(bound) for bound in (3, 4, 5)]
+        for position, job in enumerate(jobs):
+            run_job(job, cache)
+            # Strictly order the entries' recency clocks.
+            path = cache._disk_path(job.fingerprint().full)
+            if path.exists():
+                stamp = time.time() - (100 - position)
+                os.utime(path, (stamp, stamp))
+        assert len(list(store.glob("*/*.json"))) == 2
+        assert cache.stats.disk.evictions >= 1
+        # The oldest entry (bound=3) was the victim.
+        fresh = ArtifactCache(disk_dir=store)
+        assert fresh.get_result(jobs[0].fingerprint().full) is None
+        assert fresh.get_result(jobs[2].fingerprint().full) is not None
+
+    def test_max_bytes_budget(self, tmp_path):
+        store = tmp_path / "store"
+        unbounded = ArtifactCache(disk_dir=store)
+        run_job(job_for(5), unbounded)
+        entry_size = next(store.glob("*/*.json")).stat().st_size
+        unbounded.clear(memory_only=False)
+
+        cache = ArtifactCache(disk_dir=store, disk_max_bytes=int(entry_size * 1.5))
+        for bound in (3, 4, 5):
+            run_job(job_for(bound), cache)
+        assert len(list(store.glob("*/*.json"))) == 1
+        assert cache.stats.disk.evictions == 2
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(disk_ttl=0)
+        with pytest.raises(ValueError):
+            ArtifactCache(disk_max_entries=0)
+        with pytest.raises(ValueError):
+            ArtifactCache(max_selections=0)

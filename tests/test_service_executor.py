@@ -143,6 +143,73 @@ class TestPoolExecutor:
         with pytest.raises(ReproError):
             pool.submit(jobs_grid()[0])
 
+    def test_affinity_routes_log_to_one_worker(self):
+        """Cache-aware scheduling: one artifact build per log, not per
+        (worker, log) — jobs sharing a log-prefix fingerprint all land
+        on the worker that claimed the prefix."""
+        jobs = jobs_grid()  # 3 running-example jobs + 2 loan jobs
+        num_logs = 2
+        with PoolExecutor(workers=2) as pool:
+            for handle in [pool.submit(job) for job in jobs]:
+                handle.result(timeout=300)
+            stats = pool.stats()
+        assert stats["scheduler"]["affinity"] is True
+        assert stats["scheduler"]["prefix_claims"] == num_logs
+        # The acceptance counter: without affinity the bound is
+        # workers × logs (= 4) builds; with it, exactly one per log.
+        assert stats["workers_total"]["artifact_builds"] == num_logs
+        assert stats["scheduler"]["affinity_hits"] == len(jobs) - num_logs
+
+    def test_affinity_can_be_disabled(self):
+        jobs = jobs_grid()
+        with PoolExecutor(workers=2, affinity=False) as pool:
+            results = pool.map(jobs)
+            stats = pool.stats()
+        assert len(results) == len(jobs)
+        assert stats["scheduler"]["affinity"] is False
+        # Spread routing may rebuild per worker, never more than that.
+        assert stats["workers_total"]["artifact_builds"] <= 2 * 2
+
+    def test_submit_call_runs_on_workers_with_cache(self):
+        from repro.selection2 import Component, solve_component_task
+
+        component = Component(
+            classes=("x", "y"),
+            candidates=(frozenset({"x"}), frozenset({"y"}), frozenset({"x", "y"})),
+            costs=(1.0, 1.0, 0.5),
+        )
+        with PoolExecutor(workers=1) as pool:
+            first = pool.submit_call(
+                solve_component_task, component, None, None, "bnb", None
+            )
+            solution, cached = first.result(timeout=300)
+            assert not cached
+            assert solution.groups == ((("x", "y"),))
+            # Same cell again: served from the worker's selection tier.
+            repeat = pool.submit_call(
+                solve_component_task, component, None, None, "bnb", None
+            )
+            _solution, cached = repeat.result(timeout=300)
+            assert cached
+            assert pool.stats()["workers_total"]["selection_hits"] >= 1
+
+    def test_submit_call_sequential_uses_own_cache(self):
+        from repro.selection2 import Component, solve_component_task
+
+        component = Component(
+            classes=("x",), candidates=(frozenset({"x"}),), costs=(1.0,)
+        )
+        executor = SequentialExecutor()
+        _, cached = executor.submit_call(
+            solve_component_task, component, None, None, "bnb", None
+        ).result()
+        assert not cached
+        _, cached = executor.submit_call(
+            solve_component_task, component, None, None, "bnb", None
+        ).result()
+        assert cached
+        assert executor.cache.stats.selection.hits == 1
+
     def test_map_preserves_submission_order(self):
         jobs = jobs_grid()
         with PoolExecutor(workers=2) as pool:
