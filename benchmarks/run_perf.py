@@ -306,6 +306,152 @@ def run_batch_benchmark(quick: bool) -> dict:
     return record
 
 
+def run_attribute_benchmark(quick: bool) -> dict:
+    """Instance-constraint checking: columnar kernels vs event walks.
+
+    The workload is the access pattern of Step 1 under the paper's
+    instance-based sets (A = role-distinct, M/N = duration aggregates,
+    C2 = all three): every group of a DFGk-like population is checked
+    against the set, python engine vs compiled columns.  Verdicts must
+    match exactly; the record tracks the checking-time speedup.
+    """
+    import itertools
+
+    from repro.core.encoding import CompiledInstanceIndex
+    from repro.core.instances import InstanceIndex
+
+    sizes = (50,) if quick else (100, 200)
+    set_names = ("A", "M") if quick else ("A", "M", "N", "C2")
+    cells = []
+    mismatched = []
+    for num_traces in sizes:
+        log = _synthetic(10, num_traces)
+        classes = sorted(log.classes)
+        groups = [
+            frozenset(combo)
+            for size in (1, 2, 3)
+            for combo in itertools.combinations(classes, size)
+        ]
+        for set_name in set_names:
+            constraints = constraint_set_for_log(set_name, log)
+            timings = {}
+            verdicts = {}
+            for engine in ENGINES:
+                if engine == "compiled":
+                    index = CompiledInstanceIndex(log)
+                    index.prime(groups)  # pipeline state: spans pre-extracted
+                else:
+                    index = InstanceIndex(log)
+                checker = GroupChecker(log, constraints, index)
+                started = time.perf_counter()
+                verdicts[engine] = [checker.holds(group) for group in groups]
+                timings[engine] = time.perf_counter() - started
+            if verdicts["python"] != verdicts["compiled"]:
+                mismatched.append(f"traces{num_traces}/{set_name}")
+            cell = {
+                "name": f"scaling_traces/{num_traces}/{set_name}",
+                "num_groups": len(groups),
+                "python_seconds": timings["python"],
+                "compiled_seconds": timings["compiled"],
+                "speedup": (
+                    timings["python"] / timings["compiled"]
+                    if timings["compiled"] > 0
+                    else None
+                ),
+            }
+            cells.append(cell)
+            rendered = (
+                f"{cell['speedup']:5.2f}x" if cell["speedup"] is not None else "  n/a"
+            )
+            print(
+                f"attributes {cell['name']:28s} python={timings['python'] * 1e3:8.2f}ms "
+                f"compiled={timings['compiled'] * 1e3:8.2f}ms "
+                f"speedup={rendered}"
+            )
+    speedups = [cell["speedup"] for cell in cells if cell["speedup"]]
+    return {
+        "cells": cells,
+        "median_speedup": statistics.median(speedups) if speedups else None,
+        "outputs_match": not mismatched,
+        "mismatched_cells": mismatched,
+    }
+
+
+def run_abstraction_benchmark(quick: bool) -> dict:
+    """Step-3 abstraction: compiled instance spans vs the reference walk.
+
+    Abstracts the largest scaling workload under both strategies with a
+    warm instance index (the pipeline state after Step 1), python vs
+    compiled, asserting byte-identical abstracted logs.
+    """
+    from repro.core.abstraction import STRATEGIES, abstract_log
+    from repro.core.encoding import CompiledInstanceIndex
+    from repro.core.instances import InstanceIndex
+
+    num_traces = 50 if quick else 200
+    log = _synthetic(10, num_traces)
+    constraints = constraint_set_for_log("BL1", log)
+    grouping = Gecco(constraints, GeccoConfig(beam_width="auto")).abstract(log).grouping
+    repeats = 1 if quick else 5
+    cells = []
+    mismatched = []
+    for strategy in STRATEGIES:
+        timings = {}
+        outputs = {}
+        for engine in ENGINES:
+            index = (
+                CompiledInstanceIndex(log)
+                if engine == "compiled"
+                else InstanceIndex(log)
+            )
+            abstract_log(log, grouping, index, strategy=strategy)  # warm
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                outputs[engine] = abstract_log(
+                    log, grouping, index, strategy=strategy
+                )
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+            timings[engine] = best
+        identical = all(
+            ref_trace.attributes == com_trace.attributes
+            and list(ref_trace) == list(com_trace)
+            for ref_trace, com_trace in zip(
+                outputs["python"], outputs["compiled"]
+            )
+        )
+        if not identical:
+            mismatched.append(strategy)
+        cell = {
+            "name": f"scaling_traces/{num_traces}/{strategy}",
+            "python_seconds": timings["python"],
+            "compiled_seconds": timings["compiled"],
+            "speedup": (
+                timings["python"] / timings["compiled"]
+                if timings["compiled"] > 0
+                else None
+            ),
+        }
+        cells.append(cell)
+        rendered = (
+            f"{cell['speedup']:5.2f}x" if cell["speedup"] is not None else "  n/a"
+        )
+        print(
+            f"abstraction {cell['name']:32s} python={timings['python'] * 1e3:7.2f}ms "
+            f"compiled={timings['compiled'] * 1e3:7.2f}ms "
+            f"speedup={rendered} identical={identical}"
+        )
+    speedups = [cell["speedup"] for cell in cells if cell["speedup"]]
+    return {
+        "largest_workload": f"scaling_traces/{num_traces}",
+        "cells": cells,
+        "median_speedup": statistics.median(speedups) if speedups else None,
+        "outputs_match": not mismatched,
+        "mismatched_cells": mismatched,
+    }
+
+
 def _step2_problem(log, constraints):
     """Build one Step-2 instance: the candidate set and distance of a log."""
     config = GeccoConfig(strategy="dfg", beam_width="auto")
@@ -490,6 +636,8 @@ def main(argv=None) -> int:
             f"({elapsed:.1f}s)"
         )
 
+    attribute_record = run_attribute_benchmark(args.quick)
+    abstraction_record = run_abstraction_benchmark(args.quick)
     batch_record = run_batch_benchmark(args.quick)
     selection_record = run_selection_benchmark(args.quick)
 
@@ -506,12 +654,18 @@ def main(argv=None) -> int:
         if not (run["byte_identical_cold"] and run["byte_identical_warm"])
     ]
     mismatches += [f"selection/{cell}" for cell in selection_record["mismatched_cells"]]
+    mismatches += [f"attributes/{cell}" for cell in attribute_record["mismatched_cells"]]
+    mismatches += [
+        f"abstraction/{cell}" for cell in abstraction_record["mismatched_cells"]
+    ]
     report = {
         "schema": "gecco-perf/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": args.quick,
         "repeats": repeats,
         "workloads": records,
+        "attributes": attribute_record,
+        "abstraction": abstraction_record,
         "batch": batch_record,
         "selection": selection_record,
         "summary": {
@@ -520,6 +674,30 @@ def main(argv=None) -> int:
             ),
             "median_speedup_candidates_all": (
                 statistics.median(all_speedups) if all_speedups else None
+            ),
+            "median_speedup_attribute_checking": attribute_record[
+                "median_speedup"
+            ],
+            "median_speedup_abstraction": abstraction_record["median_speedup"],
+            "median_speedup_total_scaling_traces": (
+                statistics.median(
+                    r["speedup_total"]
+                    for r in records
+                    if r["family"] == "scaling_traces" and r["speedup_total"]
+                )
+                if any(r["family"] == "scaling_traces" for r in records)
+                else None
+            ),
+            # The scaling claim: end-to-end ratio on the largest
+            # scaling_traces workload (constraint set A), where the
+            # engine-independent Step-2 share is smallest.
+            "speedup_total_scaling_traces_largest": max(
+                (
+                    r["speedup_total"]
+                    for r in records
+                    if r["family"] == "scaling_traces" and r["speedup_total"]
+                ),
+                default=None,
             ),
             "batch_warm_speedup": max(
                 (run["warm_speedup"] or 0.0)

@@ -6,17 +6,19 @@ installs fail and ``pip install -e .`` must fall back to
 ``setup.py develop``.
 
 ``numpy`` backs the integer-encoded pipeline engine
-(:mod:`repro.core.encoding`, the default ``GeccoConfig(engine="compiled")``).
-``scipy`` provides the default MIP solver backend (HiGHS); both are
-hard requirements because importing :mod:`repro` pulls in
-``repro.mip.scipy_backend`` (and numpy through it) unconditionally.
+(:mod:`repro.core.encoding` + :mod:`repro.core.columns`, the default
+``GeccoConfig(engine="compiled")``) and ``scipy`` the HiGHS MIP
+backend.  Both are declared as requirements because they are the
+production fast path, but both are import-gated: without them the
+pipeline degrades to the pure-Python engine and the dependency-free
+branch-and-bound solver (see the ``numpy-absent-smoke`` CI job).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="gecco-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of GECCO: constraint-driven abstraction of "
         "low-level event logs (ICDE 2022)"

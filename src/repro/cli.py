@@ -277,8 +277,8 @@ def build_parser() -> argparse.ArgumentParser:
     abstract.add_argument(
         "--solver",
         choices=("scipy", "bnb", "auto"),
-        default="scipy",
-        help="Step-2 backend ('auto' lets the portfolio pick per component)",
+        default="auto",
+        help="Step-2 backend ('auto', the default, lets the portfolio pick per component)",
     )
     abstract.add_argument(
         "--selection",

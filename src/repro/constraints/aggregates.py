@@ -9,6 +9,19 @@ All aggregates skip events that lack the attribute; an instance with no
 carrier of the attribute yields ``None`` (the constraint then decides —
 by default such instances are treated as satisfying, mirroring the
 paper's vacuous-satisfaction convention).
+
+Extraction is memoized per ``(instance, key)``: constraint sets that
+bound several aggregates of the same attribute (e.g. the evaluation's
+``M`` + ``N`` both over ``duration``) scan each instance's events once
+per key instead of once per constraint.  The memo is identity-keyed —
+entries hold a reference to the instance, so a cache hit is guaranteed
+to be the same (unmutated-by-convention) event list — and resets when
+it reaches its size bound (the idiom of the repo's other unbounded-
+workload caches; entry-wise LRU would thrash to a 0% hit rate on the
+cyclic access pattern of re-scanning a huge group).  Entries pin their
+instance lists alive, so long-lived processes that retire whole logs
+(the service workers) call :func:`clear_extraction_cache` at job
+boundaries.
 """
 
 from __future__ import annotations
@@ -20,21 +33,63 @@ from typing import Any
 
 from repro.eventlog.events import TIMESTAMP_KEY, Event
 
+#: Memoized extractions before the cache resets (covers the M+N reuse
+#: pattern for groups of up to ~16k instances across a few keys).
+_EXTRACTION_CACHE_LIMIT = 1 << 15
+
+#: ``(id(instance), key) -> (instance, values)``; the stored instance
+#: reference pins the id (no stale-id collisions) and is compared by
+#: identity on lookup.
+_extraction_cache: "dict[tuple, tuple[Any, list]]" = {}
+
+
+def clear_extraction_cache() -> None:
+    """Drop all memoized extractions (releases the pinned instances).
+
+    Called at service-job boundaries so retired logs' event lists do
+    not outlive their job in long-running workers.
+    """
+    _extraction_cache.clear()
+
+
+def _memoized(instance, key, extract):
+    token = (id(instance), key)
+    hit = _extraction_cache.get(token)
+    if hit is not None and hit[0] is instance:
+        return hit[1]
+    values = extract()
+    if len(_extraction_cache) >= _EXTRACTION_CACHE_LIMIT:
+        _extraction_cache.clear()
+    _extraction_cache[token] = (instance, values)
+    return values
+
 
 def attribute_values(instance: Sequence[Event], key: str) -> list[Any]:
     """All values of attribute ``key`` over the instance's events, in order."""
-    return [event.attributes[key] for event in instance if key in event.attributes]
+    return _memoized(
+        instance,
+        key,
+        lambda: [
+            event.attributes[key]
+            for event in instance
+            if key in event.attributes
+        ],
+    )
 
 
 def numeric_values(instance: Sequence[Event], key: str) -> list[float]:
     """Numeric values of ``key`` over the instance (non-numerics skipped)."""
-    values = []
-    for value in attribute_values(instance, key):
-        if isinstance(value, bool):
-            continue
-        if isinstance(value, (int, float)):
-            values.append(float(value))
-    return values
+
+    def extract():
+        values = []
+        for value in attribute_values(instance, key):
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+        return values
+
+    return _memoized(instance, ("numeric", key), extract)
 
 
 def aggregate(instance: Sequence[Event], key: str, how: str) -> float | None:
@@ -74,17 +129,26 @@ def distinct_values(instance: Sequence[Event], key: str) -> set:
     return values
 
 
+def _timestamps(instance: Sequence[Event]) -> list[datetime]:
+    """The instance's ``datetime`` stamps in order (memoized)."""
+    return _memoized(
+        instance,
+        ("timestamps", TIMESTAMP_KEY),
+        lambda: [
+            event.timestamp
+            for event in instance
+            if isinstance(event.attributes.get(TIMESTAMP_KEY), datetime)
+        ],
+    )
+
+
 def instance_duration_seconds(instance: Sequence[Event]) -> float | None:
     """Wall-clock span of an instance: last minus first timestamp, seconds.
 
     ``None`` when fewer than one event carries a timestamp; 0.0 for a
     single timestamped event.
     """
-    stamps = [
-        event.timestamp
-        for event in instance
-        if isinstance(event.attributes.get(TIMESTAMP_KEY), datetime)
-    ]
+    stamps = _timestamps(instance)
     if not stamps:
         return None
     return (max(stamps) - min(stamps)).total_seconds()
@@ -97,11 +161,7 @@ def max_gap_seconds(instance: Sequence[Event]) -> float | None:
     instance must be at most 10 minutes"*.  ``None`` when fewer than two
     events carry timestamps.
     """
-    stamps = [
-        event.timestamp
-        for event in instance
-        if isinstance(event.attributes.get(TIMESTAMP_KEY), datetime)
-    ]
+    stamps = _timestamps(instance)
     if len(stamps) < 2:
         return None
     return max(

@@ -18,6 +18,17 @@ Abstracted events carry provenance attributes: the member classes of
 their group (``gecco:group``), the number of low-level events in the
 instance (``gecco:instance_size``), and — when the low-level events are
 timestamped — the instance's first/last timestamps.
+
+Two implementations share this module.  The reference path rewrites one
+trace at a time from materialized instance positions.  When the
+instance index is a :class:`~repro.core.encoding.CompiledInstanceIndex`,
+:func:`abstract_log` instead builds the abstracted traces from the
+compiled engine's instance span arrays: per group, the first/last
+positions and event counts come straight from vectorized detection, and
+the provenance timestamps are located by exact integer-microsecond
+segment reductions over the log's timestamp column
+(:mod:`repro.core.columns`) — the emitted events are byte-for-byte
+identical, only the per-event scans are gone.
 """
 
 from __future__ import annotations
@@ -99,16 +110,137 @@ def abstract_log(
     strategy: str = "complete",
 ) -> EventLog:
     """Abstract every trace of ``log`` according to ``grouping`` (Step 3)."""
+    if strategy not in STRATEGIES:
+        raise GroupingError(
+            f"unknown abstraction strategy {strategy!r}; use one of {STRATEGIES}"
+        )
     if grouping.universe != log.classes:
         raise GroupingError(
             "grouping does not cover this log's event classes "
             f"(grouping universe {sorted(grouping.universe)}, log classes {sorted(log.classes)})"
         )
     index = instance_index or InstanceIndex(log)
-    traces = [
-        abstract_trace(trace, grouping, index, trace_index, strategy=strategy)
-        for trace_index, trace in enumerate(log)
-    ]
+    traces = _abstract_traces_compiled(log, grouping, index, strategy)
+    if traces is None:
+        traces = [
+            abstract_trace(trace, grouping, index, trace_index, strategy=strategy)
+            for trace_index, trace in enumerate(log)
+        ]
     attributes = dict(log.attributes)
     attributes["gecco:abstraction_strategy"] = strategy
     return EventLog(traces, attributes)
+
+
+def _abstract_traces_compiled(log, grouping, index, strategy):
+    """Step 3 from compiled instance spans (``None`` = use the reference).
+
+    Per group, the instance spans (owning trace, first/last position,
+    event count) come from the compiled index's vectorized detection;
+    the provenance timestamps are found by integer-microsecond argmin /
+    argmax over the timestamp column, then the *original* ``datetime``
+    objects are emitted — so every attribute, including tie-breaks
+    between equal stamps, matches the reference byte-for-byte.  The
+    per-trace ``(position, order)`` sort key is total (a grouping
+    partitions the classes, so no two emitted events share a position
+    and order), which makes the output independent of emission order.
+    """
+    from repro.core import encoding
+
+    if not encoding.HAVE_NUMPY or not isinstance(
+        index, encoding.CompiledInstanceIndex
+    ):
+        return None
+    compiled = index.compiled
+    column = compiled.columns().timestamps()
+    if column is None or column.has_foreign_stamps:
+        # Mixed naive/aware timestamps have no common timeline, and
+        # non-datetime stamp values pass the reference's weaker
+        # ``timestamp is not None`` provenance test; the reference path
+        # reproduces the exact semantics (including its errors) there.
+        return None
+    import numpy as np
+
+    emitted: list[list[tuple[int, int, Event]]] = [[] for _ in range(len(log))]
+    big = np.iinfo(np.int64).max
+    for group in grouping:
+        label = grouping.label_of(group)
+        group_attr = ",".join(sorted(group))
+        stats = index.stats(group)
+        num_instances = len(stats)
+        if not num_instances:
+            continue
+        starts, counts = stats.segments()
+        hits = stats.hit_ids
+        flags = column.mask[hits]
+        if flags.any():
+            us = column.us[hits]
+            seg_ids = np.repeat(
+                np.arange(num_instances, dtype=np.int64), counts
+            )
+            order = np.arange(hits.size, dtype=np.int64)
+            highs = np.maximum.reduceat(
+                np.where(flags, us, np.iinfo(np.int64).min), starts
+            )
+            lows = np.minimum.reduceat(np.where(flags, us, big), starts)
+            # First hit attaining the extreme — ``max``/``min`` on the
+            # reference's stamp list keep the first of equals.
+            last_at = np.minimum.reduceat(
+                np.where(flags & (us == highs[seg_ids]), order, big), starts
+            )
+            first_at = np.minimum.reduceat(
+                np.where(flags & (us == lows[seg_ids]), order, big), starts
+            )
+            stamped = (
+                np.add.reduceat(flags.astype(np.int64), starts) > 0
+            ).tolist()
+            hit_list = hits.tolist()
+            last_at = last_at.tolist()
+            first_at = first_at.tolist()
+        else:
+            stamped = [False] * num_instances
+            hit_list = first_at = last_at = None
+        objects = column.objects
+        rows = zip(
+            stats.trace_ids, stats.firsts, stats.lasts, stats.counts, stamped
+        )
+        for position, (owner, first, last, count, has_stamp) in enumerate(rows):
+            attributes = {
+                GROUP_ATTRIBUTE: group_attr,
+                SIZE_ATTRIBUTE: count,
+            }
+            if has_stamp:
+                attributes[TIMESTAMP_KEY] = objects[hit_list[last_at[position]]]
+                attributes["gecco:start_timestamp"] = objects[
+                    hit_list[first_at[position]]
+                ]
+            bucket = emitted[owner]
+            if strategy == "complete" or count == 1:
+                event = Event(
+                    label, {**attributes, LIFECYCLE_ATTRIBUTE: "complete"}
+                )
+                bucket.append((last, 1, event))
+            else:
+                start_attributes = dict(attributes)
+                start_attributes[LIFECYCLE_ATTRIBUTE] = "start"
+                if "gecco:start_timestamp" in start_attributes:
+                    start_attributes[TIMESTAMP_KEY] = start_attributes[
+                        "gecco:start_timestamp"
+                    ]
+                bucket.append((first, 0, Event(f"{label}_s", start_attributes)))
+                bucket.append(
+                    (
+                        last,
+                        1,
+                        Event(
+                            f"{label}_c",
+                            {**attributes, LIFECYCLE_ATTRIBUTE: "complete"},
+                        ),
+                    )
+                )
+    traces = []
+    for trace, bucket in zip(log, emitted):
+        bucket.sort(key=lambda item: (item[0], item[1]))
+        traces.append(
+            Trace([event for _, _, event in bucket], dict(trace.attributes))
+        )
+    return traces

@@ -21,6 +21,16 @@ cut the search space:
 The worst case remains exponential in ``|C_L|`` (paper §V-B); a
 wall-clock ``timeout`` mirrors the paper's 5-hour cap, after which the
 candidates found so far are returned (``stats.timed_out`` is set).
+
+Two implementations share this module: the pure-Python reference and a
+bitmask frontier over :class:`~repro.core.encoding.CompiledLog` (pass
+``compiled=``).  The compiled variant represents every frontier group
+as an interned class-ID bitmask, answers ``occurs`` by extending the
+parent's cached trace bitset with one posting-list intersection, runs
+the monotonic subset prune on integer masks, and batch-primes each
+level's instance extraction in one vectorized sweep (feeding the
+columnar constraint kernels of :mod:`repro.core.columns`).  Both
+return identical candidate sets and search statistics.
 """
 
 from __future__ import annotations
@@ -93,6 +103,7 @@ def exhaustive_candidates(
     constraints: ConstraintSet,
     checker: GroupChecker | None = None,
     timeout: float | None = None,
+    compiled=None,
 ) -> CandidateResult:
     """Compute the complete constraint-satisfying candidate set (Alg. 1).
 
@@ -104,7 +115,16 @@ def exhaustive_candidates(
     timeout:
         Wall-clock budget in seconds; on expiry the candidates found so
         far are returned with ``stats.timed_out = True``.
+    compiled:
+        Optional :class:`~repro.core.encoding.CompiledLog` built over
+        ``log``; when given, the frontier walk runs on interned class-ID
+        bitmasks (same candidates, same statistics, several times
+        faster).
     """
+    if compiled is not None:
+        return _exhaustive_candidates_compiled(
+            log, constraints, checker, timeout, compiled
+        )
     started = time.perf_counter()
     checker = checker or GroupChecker(log, constraints)
     mode = constraints.checking_mode
@@ -141,6 +161,93 @@ def exhaustive_candidates(
         expanded = _expand_groups(expansion_base, classes)
         stats.groups_expanded += len(expanded)
         to_check = {group for group in expanded if log.occurs(group)}
+
+    stats.seconds = time.perf_counter() - started
+    return CandidateResult(candidates, stats)
+
+
+def _has_mask_subset(mask: int, candidate_masks: set[int]) -> bool:
+    """Bitmask form of :func:`_has_candidate_subset`: check the |g| parents."""
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        if (mask ^ low) in candidate_masks:
+            return True
+        remaining ^= low
+    return False
+
+
+def _exhaustive_candidates_compiled(
+    log: EventLog,
+    constraints: ConstraintSet,
+    checker: GroupChecker | None,
+    timeout: float | None,
+    compiled,
+) -> CandidateResult:
+    """Algorithm 1 on the integer-encoded engine (same outputs as above).
+
+    Level-wise expansion over class-ID bitmasks: ``occurs`` extends the
+    parent's cached trace bitset by one posting-list intersection, the
+    monotonic subset prune runs on masks, and — when the constraint set
+    needs instances — each level's groups are extracted in one
+    vectorized sweep before checking, so the columnar kernels find
+    their instance spans already cached.
+    """
+    from repro.core.encoding import CompiledInstanceIndex
+
+    started = time.perf_counter()
+    if checker is None:
+        checker = GroupChecker(
+            log, constraints, CompiledInstanceIndex(log, compiled)
+        )
+    mode = constraints.checking_mode
+    stats = CandidateStats()
+
+    can_prime = constraints.needs_instances and isinstance(
+        checker.instances, CompiledInstanceIndex
+    )
+    all_bits = [1 << class_id for class_id in range(compiled.num_classes)]
+    candidates: set[frozenset[str]] = set()
+    candidate_masks: set[int] = set()
+    to_check: list[int] = list(all_bits)
+
+    while to_check:
+        stats.iterations += 1
+        level = {mask: compiled.group_of(mask) for mask in to_check}
+        if can_prime:
+            checker.instances.prime(list(level.values()))
+        new_candidates: set[frozenset[str]] = set()
+        new_masks: set[int] = set()
+        for mask, group in level.items():
+            if timeout is not None and time.perf_counter() - started > timeout:
+                stats.timed_out = True
+                stats.seconds = time.perf_counter() - started
+                return CandidateResult(candidates | new_candidates, stats)
+            if mode is CheckingMode.MONOTONIC and _has_mask_subset(
+                mask, candidate_masks
+            ):
+                stats.subset_prunes += 1
+                if checker.holds_given_satisfying_subset(group):
+                    new_candidates.add(group)
+                    new_masks.add(mask)
+                continue
+            stats.groups_checked += 1
+            if checker.holds(group):
+                new_candidates.add(group)
+                new_masks.add(mask)
+        candidates |= new_candidates
+        candidate_masks |= new_masks
+
+        expansion_base = new_masks if mode is CheckingMode.ANTI_MONOTONIC else level
+        expanded: set[int] = set()
+        for mask in expansion_base:
+            for bit in all_bits:
+                if not mask & bit:
+                    expanded.add(mask | bit)
+        stats.groups_expanded += len(expanded)
+        to_check = [
+            mask for mask in expanded if compiled.cooccurring_traces(mask)
+        ]
 
     stats.seconds = time.perf_counter() - started
     return CandidateResult(candidates, stats)

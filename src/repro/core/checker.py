@@ -7,6 +7,15 @@ class-attribute view, shares an :class:`~repro.core.instances.InstanceIndex`
 with the distance function, evaluates class-based constraints before
 instance-based ones (the paper's cost ordering), and memoizes verdicts
 per group.
+
+On the compiled engine (a
+:class:`~repro.core.encoding.CompiledInstanceIndex`) instance-based
+constraints are evaluated by the vectorized kernels of
+:mod:`repro.core.columns` — segment reductions over the instance spans
+and the log's attribute columns, no :class:`~repro.eventlog.events.Event`
+materialization — with an automatic per-constraint fallback to the
+reference path when a constraint type has no kernel or a column cannot
+represent the attribute faithfully.  Verdicts are identical either way.
 """
 
 from __future__ import annotations
@@ -63,6 +72,50 @@ class GroupChecker:
         self.class_attributes = _LazyClassAttributeView(log)
         self._cache: dict[frozenset[str], bool] = {}
         self.checks_performed = 0
+        #: ``[(constraint, kernel | None), ...]`` on the compiled
+        #: engine; ``None`` when instance checks run on the reference
+        #: event-materialized path.
+        self._instance_plan = None
+        #: Constraint checks answered by a columnar kernel vs. by
+        #: materialized events (introspection/tests).
+        self.kernel_checks = 0
+        self.fallback_checks = 0
+        if constraints.instance_based:
+            from repro.core import encoding
+
+            if isinstance(self.instances, encoding.CompiledInstanceIndex):
+                from repro.core.columns import compile_instance_kernels
+
+                self._instance_plan = compile_instance_kernels(
+                    constraints.instance_based, self.instances.compiled
+                )
+
+    def _instance_constraints_hold(self, group: frozenset[str]) -> bool:
+        """All instance-based constraints, kernels first.
+
+        Constraints are evaluated in set order with the same
+        short-circuiting as the reference conjunction; each one uses
+        its columnar kernel when available and falls back to the
+        materialized-event path otherwise (identical verdicts).
+        """
+        if self._instance_plan is None:
+            return self.constraints.check_instance_constraints(
+                group, self.instances.events(group)
+            )
+        stats = self.instances.stats(group)
+        events = None
+        for constraint, kernel in self._instance_plan:
+            verdict = kernel(stats, group) if kernel is not None else None
+            if verdict is None:
+                if events is None:
+                    events = self.instances.events(group)
+                self.fallback_checks += 1
+                verdict = constraint.check_instances(events, group)
+            else:
+                self.kernel_checks += 1
+            if not verdict:
+                return False
+        return True
 
     def holds(self, group: Iterable[str]) -> bool:
         """Whether ``group`` satisfies all per-group constraints."""
@@ -71,9 +124,11 @@ class GroupChecker:
         if cached is not None:
             return cached
         self.checks_performed += 1
-        verdict = self.constraints.holds_for_group(
-            group, self.class_attributes, self.instances.events
+        verdict = self.constraints.check_class_constraints(
+            group, self.class_attributes
         )
+        if verdict and self.constraints.instance_based:
+            verdict = self._instance_constraints_hold(group)
         self._cache[group] = verdict
         return verdict
 
@@ -98,9 +153,7 @@ class GroupChecker:
             return cached
         if self.constraints.instance_based:
             self.checks_performed += 1
-            verdict = self.constraints.check_instance_constraints(
-                group, self.instances.events(group)
-            )
+            verdict = self._instance_constraints_hold(group)
         else:
             verdict = True
         # Identical to full holds(): the skipped class-based monotonic

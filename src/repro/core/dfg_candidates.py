@@ -39,7 +39,12 @@ from dataclasses import dataclass, field
 
 from repro.constraints.base import CheckingMode
 from repro.constraints.sets import ConstraintSet
-from repro.core.candidates import CandidateResult, CandidateStats, _has_candidate_subset
+from repro.core.candidates import (
+    CandidateResult,
+    CandidateStats,
+    _has_candidate_subset,
+    _has_mask_subset,
+)
 from repro.core.checker import GroupChecker
 from repro.core.distance import DistanceFunction
 from repro.eventlog.dfg import DirectlyFollowsGraph, compute_dfg
@@ -153,17 +158,6 @@ def dfg_candidates(
 
     stats.seconds = time.perf_counter() - started
     return CandidateResult(candidates, stats)
-
-
-def _has_mask_subset(mask: int, candidate_masks: set[int]) -> bool:
-    """Bitmask form of :func:`_has_candidate_subset`: check the |g| parents."""
-    remaining = mask
-    while remaining:
-        low = remaining & -remaining
-        if (mask ^ low) in candidate_masks:
-            return True
-        remaining ^= low
-    return False
 
 
 def _dfg_candidates_compiled(

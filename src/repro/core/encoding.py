@@ -101,11 +101,21 @@ class GroupInstances:
         "distincts",
         "cohesion",
         "positions",
+        "hit_ids",
         "_pairs",
+        "_segments",
     )
 
     def __init__(
-        self, trace_ids, firsts, lasts, counts, distincts, cohesion, positions
+        self,
+        trace_ids,
+        firsts,
+        lasts,
+        counts,
+        distincts,
+        cohesion,
+        positions,
+        hit_ids=None,
     ):
         self.trace_ids: list[int] = trace_ids
         self.firsts: list[int] = firsts
@@ -116,10 +126,30 @@ class GroupInstances:
         #: precomputed vectorized during detection.
         self.cohesion: list[float] = cohesion
         self.positions: list[int] = positions
+        #: Global event indexes (into ``CompiledLog.all_ids``) of the
+        #: group's hits, parallel to ``positions``; the attribute-column
+        #: kernels gather column values through them.  ``None`` on the
+        #: pure-Python path (no compiled log).
+        self.hit_ids = hit_ids
         self._pairs: list[tuple[int, list[int]]] | None = None
+        self._segments = None
 
     def __len__(self) -> int:
         return len(self.counts)
+
+    def segments(self):
+        """Instance segmentation over the flat hit list (cached).
+
+        Returns ``(starts, counts)`` as int64 arrays: hits
+        ``starts[i] : starts[i] + counts[i]`` of :attr:`hit_ids` are
+        instance ``i``.  Requires numpy (compiled path only).
+        """
+        if self._segments is None:
+            counts = np.asarray(self.counts, dtype=np.int64)
+            starts = np.zeros(counts.size, dtype=np.int64)
+            np.cumsum(counts[:-1], out=starts[1:])
+            self._segments = (starts, counts)
+        return self._segments
 
     def pairs(self) -> list[tuple[int, list[int]]]:
         """The instances as ``(trace index, positions)``, reference format."""
@@ -208,6 +238,21 @@ class CompiledLog:
             1 << class_id: bits for class_id, bits in enumerate(class_trace_bits)
         }
         self._mask_cache: dict[frozenset[str], int] = {}
+        self._columns = None
+
+    def columns(self):
+        """The log's per-event attribute columns (lazily built, cached).
+
+        See :class:`repro.core.columns.AttributeColumns`: one array per
+        attribute key, aligned to the CSR event buffer, powering the
+        vectorized instance-constraint kernels and the compiled Step-3
+        abstraction.
+        """
+        if self._columns is None:
+            from repro.core.columns import AttributeColumns
+
+            self._columns = AttributeColumns(self)
+        return self._columns
 
     # -- group <-> bitmask conversions -----------------------------------
 
@@ -487,6 +532,7 @@ class CompiledLog:
                     distincts_list[i0:i1],
                     cohesion[i0:i1],
                     positions[h0:h1],
+                    hit_ids=event_idx[h0:h1],
                 )
 
     def _repeat_boundaries(

@@ -95,9 +95,11 @@ class GeccoConfig:
     abstraction_strategy:
         ``"complete"`` or ``"start_complete"`` (Step 3).
     solver:
-        Step-2 backend, ``"scipy"`` (HiGHS), ``"bnb"``, or ``"auto"``
-        (the size-based portfolio of :mod:`repro.selection2.portfolio`,
-        applied per component in decomposed mode).
+        Step-2 backend: ``"auto"`` (default — the size-based portfolio
+        of :mod:`repro.selection2.portfolio`, applied per component in
+        decomposed mode; picks warm-started branch-and-bound for small
+        components and HiGHS for large ones, identical groupings
+        either way), ``"scipy"`` (always HiGHS), or ``"bnb"``.
     selection:
         Step-2 mode: ``"decomposed"`` (default — the
         :mod:`repro.selection2` pipeline: overlap-graph decomposition,
@@ -140,7 +142,7 @@ class GeccoConfig:
     exclusive_merging: bool = True
     instance_policy: str = "repeat"
     abstraction_strategy: str = "complete"
-    solver: str = "scipy"
+    solver: str = "auto"
     selection: str = "decomposed"
     selection_workers: int = 1
     candidate_timeout: float | None = None
@@ -498,14 +500,12 @@ class Gecco:
     ) -> CandidateResult:
         config = self.config
         if config.strategy == "exhaustive":
-            # The exhaustive search has no compiled traversal, but still
-            # profits from the shared compiled instance index (via the
-            # checker/distance) and the log's cached ``occurs``.
             return exhaustive_candidates(
                 log,
                 self.constraints,
                 checker=checker,
                 timeout=config.candidate_timeout,
+                compiled=compiled,
             )
         beam_width = config.beam_width
         if beam_width == "auto":

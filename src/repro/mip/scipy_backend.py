@@ -4,16 +4,28 @@ This plays the role Gurobi plays in the paper's implementation: a
 general MIP solver the Step-2 formulation is handed to.  HiGHS is exact
 for the problem sizes GECCO produces (one binary variable per candidate
 group) and returns provably optimal solutions.
+
+``scipy`` (and its ``numpy`` dependency) is optional at import time:
+:data:`HAVE_SCIPY` reports availability, the ``auto`` portfolio routes
+every component to the dependency-free branch-and-bound solver when it
+is missing, and an *explicit* ``backend="scipy"`` request then raises a
+clear :class:`~repro.exceptions.SolverError`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from scipy.optimize import Bounds, LinearConstraint as SciPyLinearConstraint, milp
-
 from repro.exceptions import SolverError
 from repro.mip.model import EQ, GE, LE, BinaryProgram
 from repro.mip.result import SolverResult, SolverStatus
+
+try:  # pragma: no cover - exercised by the numpy-absent CI smoke
+    import numpy as np
+    from scipy.optimize import Bounds, LinearConstraint as SciPyLinearConstraint, milp
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAVE_SCIPY = False
 
 
 def solve(program: BinaryProgram, time_limit: float | None = None) -> SolverResult:
@@ -24,6 +36,11 @@ def solve(program: BinaryProgram, time_limit: float | None = None) -> SolverResu
     time_limit:
         Optional wall-clock limit in seconds handed to HiGHS.
     """
+    if not HAVE_SCIPY:
+        raise SolverError(
+            "the scipy backend requires scipy; install it or select "
+            "solver='bnb' (or 'auto', which degrades to bnb)"
+        )
     variables = program.variables
     if not variables:
         return SolverResult(SolverStatus.OPTIMAL, objective=0.0, values={})

@@ -65,8 +65,15 @@ class ComponentSolution:
 
 
 def choose_backend(num_classes: int, num_candidates: int) -> str:
-    """``auto``-mode heuristic: branch-and-bound for small components."""
+    """``auto``-mode heuristic: branch-and-bound for small components.
+
+    Without scipy every component goes to the dependency-free
+    branch-and-bound solver (slower on large dense components, but the
+    pipeline stays fully functional).
+    """
     del num_classes  # the candidate count dominates the bnb frontier
+    if not scipy_backend.HAVE_SCIPY:
+        return "bnb"
     return "bnb" if num_candidates <= AUTO_BNB_MAX_CANDIDATES else "scipy"
 
 
@@ -231,7 +238,7 @@ def solve_component(
                 component,
                 min_count,
                 max_count,
-                node_limit=AUTO_BNB_NODE_LIMIT,
+                node_limit=AUTO_BNB_NODE_LIMIT if scipy_backend.HAVE_SCIPY else None,
                 time_limit=time_limit,
                 warm_start=True,
             )

@@ -18,13 +18,20 @@ Three tiers, all content-addressed by components of the job fingerprint
   component solve cell (:func:`repro.selection2.component_cache_key`);
   holds solved :class:`~repro.selection2.portfolio.ComponentSolution`
   objects so constraint-set sweeps over one log reuse Step-2 work
-  across jobs.
+  across jobs.  When a disk store is configured, *proved* cells
+  (optimal / infeasible — never timeouts or solver errors, which must
+  not poison a persistent tier) are also written under
+  ``selection/<digest>.json`` and survive restarts.
 
-The on-disk result store accepts optional **budgets**: a TTL (entries
-older than ``disk_ttl`` seconds since last use are expired on read and
-on enforcement sweeps) and size bounds (``disk_max_entries`` /
+The on-disk store accepts optional **budgets**: a TTL (entries older
+than ``disk_ttl`` seconds since last use are expired on read and on
+enforcement sweeps) and size bounds (``disk_max_entries`` /
 ``disk_max_bytes``) enforced by least-recently-used eviction (file
-mtimes, refreshed on every disk hit, are the recency clock).
+mtimes, refreshed on every disk hit, are the recency clock).  The TTL
+covers every entry; the size bounds apply **per tier** — results and
+selection cells each honor the configured limits independently (total
+disk use is bounded by twice the byte budget), so a burst of tiny
+selection cells can never evict expensive finished results.
 
 All memory tiers are bounded LRU maps; hit/miss/eviction counters are
 kept per tier and surface in batch reports and ``BENCH_pipeline.json``.
@@ -44,6 +51,45 @@ from pathlib import Path
 from repro.core.gecco import AbstractionResult
 from repro.experiments.persistence import read_json, write_json_atomic
 from repro.service.serialization import result_from_dict, result_to_dict
+
+#: Component-solve outcomes that may enter the persistent selection
+#: store: proofs hold for any time budget, timeouts/errors do not.
+_PERSISTABLE_SELECTION_STATUSES = ("optimal", "infeasible")
+
+
+def _selection_to_dict(solution) -> dict | None:
+    """JSON form of a proved ComponentSolution; ``None`` if not persistable."""
+    from repro.selection2.portfolio import ComponentSolution
+
+    if not isinstance(solution, ComponentSolution):
+        return None
+    if solution.status not in _PERSISTABLE_SELECTION_STATUSES:
+        return None
+    return {
+        "schema": "gecco-selection/1",
+        "status": solution.status,
+        "groups": [list(group) for group in solution.groups],
+        "objective": solution.objective,
+        "nodes": solution.nodes,
+        "backend": solution.backend,
+        "message": solution.message,
+    }
+
+
+def _selection_from_dict(payload: dict):
+    """Rebuild a ComponentSolution from its JSON form (raises if foreign)."""
+    from repro.selection2.portfolio import ComponentSolution
+
+    if payload.get("schema") != "gecco-selection/1":
+        raise ValueError(f"unknown selection entry schema: {payload.get('schema')!r}")
+    return ComponentSolution(
+        status=payload["status"],
+        groups=tuple(tuple(group) for group in payload["groups"]),
+        objective=payload["objective"],
+        nodes=int(payload["nodes"]),
+        backend=payload["backend"],
+        message=payload.get("message", ""),
+    )
 
 
 @dataclass
@@ -126,8 +172,11 @@ class ArtifactCache:
         Optional time-to-live (seconds) for disk entries: entries idle
         longer than this are expired (a disk hit refreshes the clock).
     disk_max_entries / disk_max_bytes:
-        Optional size budgets for the disk store, enforced after every
-        disk write by least-recently-used eviction.
+        Optional size budgets for the disk store, enforced by
+        least-recently-used eviction.  Each limit applies **per tier**:
+        the results tier and the selection tier independently honor
+        the configured bound, so total disk use can reach twice the
+        byte budget — size the volume accordingly.
     """
 
     def __init__(
@@ -158,6 +207,14 @@ class ArtifactCache:
         self._disk_ttl = disk_ttl
         self._disk_max_entries = disk_max_entries
         self._disk_max_bytes = disk_max_bytes
+        # In-process footprint estimate of the selection tier,
+        # ``(entries, bytes)``; ``None`` until the first enforcement
+        # sweep seeds it from disk.  Lets a decomposed run that stores
+        # many tiny proved cells skip the glob+stat sweep while clearly
+        # under budget (best-effort across processes: each process
+        # sweeps once its own estimate crosses the configured bounds).
+        self._selection_footprint: tuple[int, int] | None = None
+        self._last_selection_ttl_sweep = 0.0
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -191,26 +248,126 @@ class ArtifactCache:
 
     # -- selection tier (component-digest keyed) --------------------------
 
+    def _selection_disk_path(self, key: str) -> Path:
+        return self._disk_dir / "selection" / key[:2] / f"{key}.json"
+
     def get_selection(self, key: str):
-        """Look up a solved Step-2 component cell by content digest."""
+        """Look up a solved Step-2 component cell; memory first, then disk."""
         with self._lock:
             solution = self._selections.get(key)
-            if solution is None:
-                self.stats.selection.misses += 1
-                return None
-            self._selections.move_to_end(key)
-            self.stats.selection.hits += 1
-            return solution
+            if solution is not None:
+                self._selections.move_to_end(key)
+                self.stats.selection.hits += 1
+                return solution
+            self.stats.selection.misses += 1
+        if self._disk_dir is None:
+            return None
+        path = self._selection_disk_path(key)
+        if not path.exists():
+            with self._lock:
+                self.stats.disk.misses += 1
+            return None
+        if self._expired(path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.disk.misses += 1
+                self.stats.disk.evictions += 1
+            return None
+        try:
+            solution = _selection_from_dict(read_json(path))
+        except Exception:
+            # Corrupt or old-schema entry: treat as a miss and drop the
+            # file so the next put repairs it (same as the result tier).
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.disk.misses += 1
+            return None
+        try:
+            os.utime(path)  # a hit refreshes the entry's LRU/TTL clock
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.disk.hits += 1
+            self._store_selection_locked(key, solution)
+        return solution
 
     def put_selection(self, key: str, solution) -> None:
-        """Store a solved Step-2 component cell."""
+        """Store a solved Step-2 component cell (memory, and disk for proofs)."""
         with self._lock:
-            self._selections[key] = solution
-            self._selections.move_to_end(key)
+            self._store_selection_locked(key, solution)
             self.stats.selection.stores += 1
-            while len(self._selections) > self._max_selections:
-                self._selections.popitem(last=False)
-                self.stats.selection.evictions += 1
+        if self._disk_dir is None:
+            return
+        payload = _selection_to_dict(solution)
+        if payload is None:
+            # Not a persistable proof (e.g. a timeout, or a foreign
+            # object placed in the memory tier) — never write it.
+            return
+        path = self._selection_disk_path(key)
+        if not path.exists():
+            try:
+                write_json_atomic(payload, path)
+            except Exception:
+                return  # best-effort tier, same as results
+            try:
+                written = path.stat().st_size
+            except OSError:
+                written = 0
+            with self._lock:
+                self.stats.disk.stores += 1
+                if self._selection_footprint is not None:
+                    entries_est, bytes_est = self._selection_footprint
+                    self._selection_footprint = (
+                        entries_est + 1,
+                        bytes_est + written,
+                    )
+            if self._selection_sweep_needed():
+                self._enforce_disk_budget("selection")
+
+    def _selection_sweep_needed(self) -> bool:
+        """Whether a selection put must pay the glob+stat sweep.
+
+        Decomposed runs persist many tiny proved cells; sweeping on
+        every put would make a k-component job quadratic in filesystem
+        stats.  The in-process footprint estimate skips sweeps while
+        clearly under the size budgets; TTL hygiene runs at most every
+        half-TTL (read-side expiry stays exact regardless).
+        """
+        if (
+            self._disk_ttl is None
+            and self._disk_max_entries is None
+            and self._disk_max_bytes is None
+        ):
+            return False
+        with self._lock:
+            footprint = self._selection_footprint
+            last_ttl_sweep = self._last_selection_ttl_sweep
+        if footprint is None:
+            return True  # seed the estimate with one real sweep
+        entries_est, bytes_est = footprint
+        if (
+            self._disk_max_entries is not None
+            and entries_est > self._disk_max_entries
+        ):
+            return True
+        if self._disk_max_bytes is not None and bytes_est > self._disk_max_bytes:
+            return True
+        if self._disk_ttl is not None:
+            return time.time() - last_ttl_sweep >= self._disk_ttl / 2
+        return False
+
+    def _store_selection_locked(self, key: str, solution) -> None:
+        self._selections[key] = solution
+        self._selections.move_to_end(key)
+        while len(self._selections) > self._max_selections:
+            self._selections.popitem(last=False)
+            self.stats.selection.evictions += 1
 
     # -- result tier (full-fingerprint keyed) -----------------------------
 
@@ -291,10 +448,19 @@ class ArtifactCache:
                     return
                 with self._lock:
                     self.stats.disk.stores += 1
-                self._enforce_disk_budget()
+                self._enforce_disk_budget("results")
 
-    def _enforce_disk_budget(self) -> None:
-        """Expire TTL-dead entries and evict LRU ones past the budgets."""
+    def _enforce_disk_budget(self, tier: str | None = None) -> None:
+        """Expire TTL-dead entries and evict LRU ones past the budgets.
+
+        The TTL covers every persisted entry; the entry/byte budgets
+        are enforced per tier (results and selection cells each honor
+        the configured limits independently), so a burst of tiny
+        selection cells can never evict expensive finished results.
+        ``tier`` limits the sweep to ``"results"`` or ``"selection"``
+        — each put only re-scans the tier it wrote to, keeping a
+        many-component decomposed run linear in filesystem stats.
+        """
         if self._disk_dir is None:
             return
         if (
@@ -303,43 +469,60 @@ class ArtifactCache:
             and self._disk_max_bytes is None
         ):
             return
-        entries = []
-        for path in self._disk_dir.glob("*/*.json"):
-            try:
-                status = path.stat()
-            except OSError:
-                continue
-            entries.append((status.st_mtime, status.st_size, path))
-        entries.sort()  # oldest (least recently used) first
+        swept = ("results", "selection") if tier is None else (tier,)
+        tiers: dict[str, list] = {name: [] for name in swept}
+        for name in swept:
+            for path in self._disk_entries(name):
+                try:
+                    status = path.stat()
+                except OSError:
+                    continue
+                tiers[name].append((status.st_mtime, status.st_size, path))
         evicted = 0
         now = time.time()
-        if self._disk_ttl is not None:
-            live = []
-            for mtime, size, path in entries:
-                if now - mtime > self._disk_ttl:
-                    try:
-                        path.unlink()
-                        evicted += 1
-                    except OSError:
-                        pass
-                else:
-                    live.append((mtime, size, path))
-            entries = live
-        total_bytes = sum(size for _, size, _ in entries)
-        while entries and (
-            (self._disk_max_entries is not None and len(entries) > self._disk_max_entries)
-            or (self._disk_max_bytes is not None and total_bytes > self._disk_max_bytes)
-        ):
-            _mtime, size, path = entries.pop(0)
-            try:
-                path.unlink()
-                evicted += 1
-            except OSError:
-                pass
-            total_bytes -= size
-        if evicted:
-            with self._lock:
+        for entries in tiers.values():
+            entries.sort()  # oldest (least recently used) first
+            if self._disk_ttl is not None:
+                live = []
+                for mtime, size, path in entries:
+                    if now - mtime > self._disk_ttl:
+                        try:
+                            path.unlink()
+                            evicted += 1
+                        except OSError:
+                            pass
+                    else:
+                        live.append((mtime, size, path))
+                entries[:] = live
+            total_bytes = sum(size for _, size, _ in entries)
+            while entries and (
+                (
+                    self._disk_max_entries is not None
+                    and len(entries) > self._disk_max_entries
+                )
+                or (
+                    self._disk_max_bytes is not None
+                    and total_bytes > self._disk_max_bytes
+                )
+            ):
+                _mtime, size, path = entries.pop(0)
+                try:
+                    path.unlink()
+                    evicted += 1
+                except OSError:
+                    pass
+                total_bytes -= size
+        with self._lock:
+            if evicted:
                 self.stats.disk.evictions += evicted
+            survivors = tiers.get("selection")
+            if survivors is not None:
+                self._selection_footprint = (
+                    len(survivors),
+                    sum(size for _, size, _ in survivors),
+                )
+                if self._disk_ttl is not None:
+                    self._last_selection_ttl_sweep = now
 
     def _store_result_locked(self, fingerprint: str, result: AbstractionResult) -> None:
         self._results[fingerprint] = result
@@ -350,6 +533,19 @@ class ArtifactCache:
 
     # -- maintenance -------------------------------------------------------
 
+    def _disk_entries(self, tier: str | None = None):
+        """Persisted entries of ``tier`` (``None`` = both tiers).
+
+        Result entries live at ``<2ch>/<fingerprint>.json``, selection
+        entries at ``selection/<2ch>/<digest>.json``; the two-level
+        glob cannot match the three-level selection layout, so the
+        patterns partition the store.
+        """
+        if tier in (None, "results"):
+            yield from self._disk_dir.glob("*/*.json")
+        if tier in (None, "selection"):
+            yield from self._disk_dir.glob("selection/*/*.json")
+
     def clear(self, memory_only: bool = True) -> None:
         """Drop cached entries (the disk store survives by default)."""
         with self._lock:
@@ -357,7 +553,7 @@ class ArtifactCache:
             self._results.clear()
             self._selections.clear()
         if not memory_only and self._disk_dir is not None:
-            for path in self._disk_dir.glob("*/*.json"):
+            for path in self._disk_entries():
                 path.unlink()
 
     def __len__(self) -> int:

@@ -46,6 +46,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro.constraints.aggregates import clear_extraction_cache
 from repro.core.gecco import AbstractionResult, Gecco, prepare_artifacts, resolve_engine
 from repro.exceptions import ReproError
 from repro.service.cache import ArtifactCache
@@ -82,10 +83,16 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
         # by construction (the prefix key contains the log digest), and
         # it keeps one set of warmed per-log caches per worker.
         log = artifacts.log
-    result = Gecco(job.constraints, config).abstract(
-        log, artifacts, selection_cache=cache
-    )
-    cache.put_result(fingerprint.full, result)
+    try:
+        result = Gecco(job.constraints, config).abstract(
+            log, artifacts, selection_cache=cache
+        )
+        cache.put_result(fingerprint.full, result)
+    finally:
+        # The python-engine aggregate memo pins instance event lists;
+        # drop them at the job boundary — failed jobs included — so
+        # retired logs don't accumulate in long-lived workers.
+        clear_extraction_cache()
     return result, False
 
 

@@ -162,11 +162,110 @@ class TestSelectionTier:
         assert cache.snapshot()["resident_selections"] > 0
 
 
+class TestSelectionDiskStore:
+    @staticmethod
+    def _solution(objective=1.5, status="optimal"):
+        from repro.selection2.portfolio import ComponentSolution
+
+        return ComponentSolution(
+            status=status,
+            groups=(("a", "b"), ("c",)),
+            objective=objective,
+            nodes=3,
+            backend="bnb",
+        )
+
+    def test_proved_cells_survive_restart(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        cache.put_selection("ab12", self._solution())
+        assert (store / "selection" / "ab" / "ab12.json").exists()
+
+        revived = ArtifactCache(disk_dir=store)
+        assert revived.get_selection("ab12") == self._solution()
+        assert revived.stats.disk.hits == 1
+        # Now resident in memory: a second read never touches disk.
+        assert revived.get_selection("ab12") == self._solution()
+        assert revived.stats.selection.hits == 1
+
+    def test_timeouts_and_foreign_objects_never_persist(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        cache.put_selection("t1ab", self._solution(status="error"))
+        cache.put_selection("t2ab", "not-a-solution")
+        assert not list(store.glob("selection/*/*.json"))
+        # ... but both still served from the memory tier.
+        assert cache.get_selection("t1ab") is not None
+        assert cache.get_selection("t2ab") == "not-a-solution"
+
+    def test_ttl_and_corruption_handling(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store, disk_ttl=60.0)
+        cache.put_selection("ab12", self._solution())
+        _age_disk_entries(store, 120.0)
+        revived = ArtifactCache(disk_dir=store, disk_ttl=60.0)
+        assert revived.get_selection("ab12") is None
+        assert not (store / "selection" / "ab" / "ab12.json").exists()
+
+        cache.put_selection("cd34", self._solution(objective=2.0))
+        path = store / "selection" / "cd" / "cd34.json"
+        path.write_text("{broken", encoding="utf-8")
+        fresh = ArtifactCache(disk_dir=store)
+        assert fresh.get_selection("cd34") is None
+        assert not path.exists()
+
+    def test_budgets_cover_selection_entries(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store, disk_max_entries=2)
+        for index in range(5):
+            cache.put_selection(f"k{index}ab", self._solution(float(index)))
+        assert len(list(store.glob("selection/*/*.json"))) == 2
+        assert cache.stats.disk.evictions == 3
+
+    def test_under_budget_puts_skip_the_enforcement_sweep(self, tmp_path):
+        # Decomposed runs store many tiny proved cells; while clearly
+        # under budget only the estimate-seeding sweep may glob+stat.
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store, disk_max_entries=1000)
+        sweeps = 0
+        original = cache._disk_entries
+
+        def counting(tier=None):
+            nonlocal sweeps
+            sweeps += 1
+            yield from original(tier)
+
+        cache._disk_entries = counting
+        for index in range(50):
+            cache.put_selection(f"k{index:03d}", self._solution(float(index)))
+        assert len(list(store.glob("selection/*/*.json"))) == 50
+        assert sweeps == 1
+
+    def test_clear_disk_drops_selection_entries(self, tmp_path):
+        store = tmp_path / "store"
+        cache = ArtifactCache(disk_dir=store)
+        cache.put_selection("ab12", self._solution())
+        cache.clear(memory_only=False)
+        assert not list(store.glob("selection/*/*.json"))
+
+    def test_sweeps_reuse_persisted_cells_across_restarts(self, tmp_path):
+        store = tmp_path / "store"
+        first = ArtifactCache(disk_dir=store)
+        run_job(job_for(4), first)
+        persisted = len(list(store.glob("selection/*/*.json")))
+        assert persisted > 0
+
+        revived = ArtifactCache(disk_dir=store)
+        run_job(job_for(4), revived)
+        assert revived.stats.disk.hits >= 1
+
+
 def _age_disk_entries(store, seconds):
     """Backdate every disk entry's LRU/TTL clock by ``seconds``."""
     stamp = time.time() - seconds
-    for path in store.glob("*/*.json"):
-        os.utime(path, (stamp, stamp))
+    for pattern in ("*/*.json", "selection/*/*.json"):
+        for path in store.glob(pattern):
+            os.utime(path, (stamp, stamp))
 
 
 class TestDiskBudgets:
