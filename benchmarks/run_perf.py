@@ -306,6 +306,103 @@ def run_batch_benchmark(quick: bool) -> dict:
     return record
 
 
+def run_dist_benchmark(quick: bool) -> dict:
+    """The distributed backend: broker fleets vs the sequential reference.
+
+    Three runs per worker count over a filesystem broker — **cold**
+    (fresh fleet, empty store), **warm** (same executor, parent cache),
+    and **store-warm** (fresh executor + fresh broker on the same disk
+    store, zero workers: everything must come from the fleet's shared
+    result tier).  Every run is checked byte-identical to a sequential
+    reference, and the cold fleet must converge to at most one artifact
+    build per log (affinity routing).
+    """
+    import tempfile
+
+    rows = batch_manifest_rows(quick)
+    jobs = share_log_refs([AbstractionJob.from_dict(row) for row in rows])
+    num_logs = len({job.log.digest() for job in jobs})
+
+    started = time.perf_counter()
+    reference = [
+        result_signature(Gecco(job.constraints, job.config).abstract(job.log.resolve()))
+        for job in jobs
+    ]
+    sequential_seconds = time.perf_counter() - started
+
+    record = {
+        "broker": "fs",
+        "num_jobs": len(jobs),
+        "num_logs": num_logs,
+        "sequential_reference_seconds": sequential_seconds,
+        "runs": {},
+    }
+    worker_counts = (1, 2) if quick else (1, 4)
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="gecco-dist-bench-") as tmp:
+            store = Path(tmp) / "store"
+            executor = make_executor(
+                workers=workers, broker=f"fs://{tmp}/queue", disk_dir=store
+            )
+            try:
+                cold_started = time.perf_counter()
+                cold_results = executor.map(jobs)
+                cold_seconds = time.perf_counter() - cold_started
+
+                warm_started = time.perf_counter()
+                warm_results = executor.map(jobs)
+                warm_seconds = time.perf_counter() - warm_started
+                stats = executor.stats()
+            finally:
+                executor.shutdown()
+
+            store_warm = make_executor(
+                workers=0, broker=f"fs://{tmp}/queue2", disk_dir=store
+            )
+            try:
+                store_started = time.perf_counter()
+                store_results = store_warm.map(jobs)
+                store_seconds = time.perf_counter() - store_started
+            finally:
+                store_warm.shutdown()
+
+        builds = stats.get("workers_total", {}).get("artifact_builds", 0)
+        run = {
+            "cold_seconds": cold_seconds,
+            "cold_jobs_per_second": len(jobs) / cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_jobs_per_second": len(jobs) / warm_seconds,
+            "store_warm_seconds": store_seconds,
+            "byte_identical_cold": [result_signature(r) for r in cold_results]
+            == reference,
+            "byte_identical_warm": [result_signature(r) for r in warm_results]
+            == reference,
+            "byte_identical_store_warm": [
+                result_signature(r) for r in store_results
+            ]
+            == reference,
+            "fleet_artifact_builds": builds,
+            # Affinity routing: one artifact build per log across the
+            # whole fleet, regardless of worker count.
+            "one_build_per_log": builds == num_logs,
+            "requeues": stats.get("scheduler", {}).get("requeues", 0),
+            "cache": stats,
+        }
+        record["runs"][f"workers_{workers}"] = run
+        identical = (
+            run["byte_identical_cold"]
+            and run["byte_identical_warm"]
+            and run["byte_identical_store_warm"]
+        )
+        print(
+            f"dist workers={workers}: cold={cold_seconds:6.2f}s "
+            f"({run['cold_jobs_per_second']:6.2f} jobs/s) "
+            f"warm={warm_seconds:6.3f}s store_warm={store_seconds:6.3f}s "
+            f"identical={identical} builds={builds}/{num_logs} logs"
+        )
+    return record
+
+
 def run_attribute_benchmark(quick: bool) -> dict:
     """Instance-constraint checking: columnar kernels vs event walks.
 
@@ -639,6 +736,7 @@ def main(argv=None) -> int:
     attribute_record = run_attribute_benchmark(args.quick)
     abstraction_record = run_abstraction_benchmark(args.quick)
     batch_record = run_batch_benchmark(args.quick)
+    dist_record = run_dist_benchmark(args.quick)
     selection_record = run_selection_benchmark(args.quick)
 
     scaling_speedups = [
@@ -652,6 +750,15 @@ def main(argv=None) -> int:
         f"batch/{name}"
         for name, run in batch_record["runs"].items()
         if not (run["byte_identical_cold"] and run["byte_identical_warm"])
+    ]
+    mismatches += [
+        f"dist/{name}"
+        for name, run in dist_record["runs"].items()
+        if not (
+            run["byte_identical_cold"]
+            and run["byte_identical_warm"]
+            and run["byte_identical_store_warm"]
+        )
     ]
     mismatches += [f"selection/{cell}" for cell in selection_record["mismatched_cells"]]
     mismatches += [f"attributes/{cell}" for cell in attribute_record["mismatched_cells"]]
@@ -667,6 +774,7 @@ def main(argv=None) -> int:
         "attributes": attribute_record,
         "abstraction": abstraction_record,
         "batch": batch_record,
+        "dist": dist_record,
         "selection": selection_record,
         "summary": {
             "median_speedup_candidates_scaling_classes": (
@@ -702,6 +810,9 @@ def main(argv=None) -> int:
             "batch_warm_speedup": max(
                 (run["warm_speedup"] or 0.0)
                 for run in batch_record["runs"].values()
+            ),
+            "dist_one_build_per_log": all(
+                run["one_build_per_log"] for run in dist_record["runs"].values()
             ),
             "selection_speedup_decomposed_pool": selection_record[
                 "speedup_decomposed_pool"

@@ -1,0 +1,144 @@
+"""Documentation hygiene checker (the CI ``docs-check`` job).
+
+Three checks over ``docs/*.md`` and ``README.md``:
+
+1. **dead links** — every relative markdown link (``[text](target)``)
+   must point at an existing file (anchors are stripped; absolute
+   ``http(s)://`` and ``mailto:`` links are not checked);
+2. **runnable examples** — every fenced ```` ```python ```` block that
+   contains doctest prompts (``>>>``) is executed through
+   :mod:`doctest`; a drifting example fails the build;
+3. **generated-page freshness** — ``docs/api.md`` must match what
+   ``docs/generate_api.py`` renders from the live docstrings.
+
+Usage::
+
+    PYTHONPATH=src python docs/check.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+#: ``[text](target)`` — good enough for our hand-written pages; code
+#: spans are stripped first so ``dict[str, int](...)`` in API text
+#: cannot masquerade as a link.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def checked_files() -> list[Path]:
+    """The markdown files under the checker's remit."""
+    return sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+
+
+def _strip_fences(text: str) -> str:
+    """Remove fenced code blocks (links inside code are not links)."""
+    lines, keep, in_fence = text.splitlines(), [], False
+    for line in lines:
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            keep.append(line)
+    return "\n".join(keep)
+
+
+def check_links(paths: "list[Path] | None" = None) -> list[str]:
+    """Return one error per dead relative link across ``paths``."""
+    errors = []
+    for path in paths or checked_files():
+        text = _CODE_SPAN.sub("", _strip_fences(path.read_text(encoding="utf-8")))
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: dead link -> {target}")
+    return errors
+
+
+def python_examples(path: Path) -> list[tuple[int, str]]:
+    """Extract ``(first_line, source)`` of doctest-style python fences."""
+    blocks, current, language, start = [], None, None, 0
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        fence = _FENCE.match(line.strip())
+        if fence:
+            if current is None:
+                language, current, start = fence.group(1).lower(), [], number + 1
+            else:
+                source = "\n".join(current)
+                if language in ("python", "pycon", "py") and ">>>" in source:
+                    blocks.append((start, source))
+                current, language = None, None
+            continue
+        if current is not None:
+            current.append(line)
+    return blocks
+
+
+def check_examples(paths: "list[Path] | None" = None) -> list[str]:
+    """Run every doctest-style fenced python example; return failures."""
+    errors = []
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+    parser = doctest.DocTestParser()
+    for path in paths or checked_files():
+        for first_line, source in python_examples(path):
+            name = f"{path.name}:{first_line}"
+            test = parser.get_doctest(source, {}, name, str(path), first_line)
+            output: list[str] = []
+            runner.run(test, out=output.append)
+            if runner.failures:
+                errors.append(f"{name}: doctest failed\n{''.join(output)}")
+                runner = doctest.DocTestRunner(
+                    verbose=False, optionflags=doctest.ELLIPSIS
+                )
+    return errors
+
+
+def check_api_freshness() -> list[str]:
+    """``docs/api.md`` must match a fresh render from the docstrings."""
+    sys.path.insert(0, str(DOCS_DIR))
+    try:
+        from generate_api import render_api_page
+    finally:
+        sys.path.pop(0)
+    target = DOCS_DIR / "api.md"
+    current = target.read_text(encoding="utf-8") if target.exists() else ""
+    if current != render_api_page():
+        return [
+            "docs/api.md is stale; regenerate with "
+            "`PYTHONPATH=src python docs/generate_api.py`"
+        ]
+    return []
+
+
+def main() -> int:
+    """Run all checks; print a report; exit non-zero on any failure."""
+    errors = check_links() + check_examples() + check_api_freshness()
+    files = checked_files()
+    examples = sum(len(python_examples(path)) for path in files)
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        return 1
+    print(
+        f"docs ok: {len(files)} pages, links intact, "
+        f"{examples} runnable examples pass, api.md fresh"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

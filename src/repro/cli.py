@@ -30,6 +30,16 @@ Subcommands
 ``serve``
     Long-lived line-JSON request/response loop (stdin/stdout, or a TCP
     socket with ``--port``) over a warm artifact cache.
+
+``worker``
+    Join a distributed fleet: claim and run jobs from a broker queue
+    until stopped (see ``docs/operations.md``)::
+
+        gecco worker --broker fs:///shared/queue --cache-dir /shared/cache
+
+    ``batch`` and ``serve`` accept the same ``--broker URL`` to
+    dispatch through the distributed executor instead of the
+    in-process pool.
 """
 
 from __future__ import annotations
@@ -210,6 +220,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         output=args.output,
         include_log=args.include_log,
         disk_dir=args.cache_dir,
+        broker=args.broker,
     )
     if args.output is None:
         for row in report.rows:
@@ -229,7 +240,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import make_executor, serve_loop, serve_socket
 
-    executor = make_executor(workers=args.workers, disk_dir=args.cache_dir)
+    executor = make_executor(
+        workers=args.workers, disk_dir=args.cache_dir, broker=args.broker
+    )
     try:
         if args.port is not None:
             print(
@@ -244,6 +257,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         executor.shutdown()
     print(f"served {served} requests", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.dist.worker import worker_loop
+
+    print(
+        f"worker joining broker {args.broker} "
+        f"(lease={args.lease}s, cache_dir={args.cache_dir})",
+        file=sys.stderr,
+    )
+    stats = worker_loop(
+        args.broker,
+        cache_dir=args.cache_dir,
+        worker_id=args.worker_id,
+        lease=args.lease,
+        poll_interval=args.poll_interval,
+        max_tasks=args.max_tasks,
+        idle_exit=args.idle_exit,
+        max_attempts=args.max_attempts,
+    )
+    print(
+        f"worker {stats.worker} exiting: {stats.completed} completed, "
+        f"{stats.failed} failed, {stats.quarantined} quarantined, "
+        f"{stats.requeued} requeued for the fleet",
+        file=sys.stderr,
+    )
+    print(json.dumps(stats.as_dict()))
     return 0
 
 
@@ -355,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed the abstracted log in each result row",
     )
+    batch.add_argument(
+        "--broker",
+        help="dispatch through a distributed broker (fs://, sqlite://, "
+        "redis:// URL); --workers then counts local fleet workers "
+        "(0 = external workers only)",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     serve = sub.add_parser(
@@ -369,7 +416,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-requests", type=int, default=None, help="stop after N requests (TCP)"
     )
+    serve.add_argument(
+        "--broker",
+        help="dispatch through a distributed broker (fs://, sqlite://, "
+        "redis:// URL) instead of the in-process pool",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="join a distributed fleet: run jobs from a broker queue"
+    )
+    worker.add_argument(
+        "--broker", required=True,
+        help="broker URL: fs:///shared/dir, sqlite:///path.db, or redis://host/0",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        help="shared on-disk result store (point the whole fleet at one)",
+    )
+    worker.add_argument("--worker-id", help="fleet-unique name (default host-pid)")
+    worker.add_argument(
+        "--lease", type=float, default=60.0,
+        help="claim visibility timeout in seconds (heartbeats renew it)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="idle seconds between claim attempts",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, help="exit after N completed tasks"
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="exit after this many seconds without work",
+    )
+    worker.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="deliveries before an undeliverable task is quarantined",
+    )
+    worker.set_defaults(handler=_cmd_worker)
     return parser
 
 

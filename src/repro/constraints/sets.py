@@ -68,7 +68,30 @@ def class_attribute_view(log: EventLog) -> ClassAttributeView:
 
 
 class ConstraintSet:
-    """The user's constraint set ``R``, split by category."""
+    """The user's constraint set ``R``, split by category.
+
+    Constraints are partitioned on construction into class-based,
+    instance-based, and grouping constraints (the categories of the
+    paper's Table II); the cheap class-based checks always run before
+    the instance-based ones, which need a pass over the log.  The set
+    also carries the runtime's canonical serialization:
+    :meth:`to_json` is order- and whitespace-stable, so equal sets —
+    built in any order, in any process — digest to the same content
+    fingerprint.
+
+    Parameters
+    ----------
+    constraints:
+        An iterable of :class:`~repro.constraints.base.Constraint`
+        objects (e.g. :class:`~repro.constraints.grouping.MaxGroupSize`,
+        parsed specs from :func:`repro.constraints.parser.parse_constraints`).
+
+    Example
+    -------
+    >>> from repro.constraints import ConstraintSet, MaxGroupSize
+    >>> len(ConstraintSet([MaxGroupSize(3)]))
+    1
+    """
 
     def __init__(self, constraints: Iterable[Constraint] = ()):
         self.constraints: list[Constraint] = list(constraints)

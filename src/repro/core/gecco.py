@@ -317,7 +317,33 @@ class AbstractionResult:
 
 
 class Gecco:
-    """The GECCO approach (Fig. 4): candidates → selection → abstraction."""
+    """The GECCO approach (Fig. 4): candidates → selection → abstraction.
+
+    The paper's three-step pipeline as one reusable object: Step 1
+    computes constraint-satisfying candidate groups of event classes
+    (``strategy="dfg"`` beam search or ``"exhaustive"``), Step 2 selects
+    the distance-minimal exact cover by MIP, Step 3 rewrites the log at
+    the higher abstraction level.
+
+    Parameters
+    ----------
+    constraints:
+        The user's :class:`~repro.constraints.sets.ConstraintSet` ``R``
+        (a plain iterable of constraints is wrapped automatically).
+    config:
+        Optional :class:`GeccoConfig`; defaults cover the paper's DFG
+        configuration on the compiled engine.
+
+    Example
+    -------
+    >>> from repro import Gecco, GeccoConfig
+    >>> from repro.constraints import ConstraintSet, MaxGroupSize
+    >>> from repro.datasets import running_example_log
+    >>> result = Gecco(ConstraintSet([MaxGroupSize(3)])).abstract(
+    ...     running_example_log())
+    >>> result.feasible
+    True
+    """
 
     def __init__(self, constraints: ConstraintSet, config: GeccoConfig | None = None):
         if not isinstance(constraints, ConstraintSet):

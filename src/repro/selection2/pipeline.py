@@ -243,7 +243,13 @@ def select_decomposed(
         so constraint sweeps over one log reuse them.
     executor:
         Optional service executor whose ``submit_call`` dispatches the
-        component solves (its workers consult their own caches).
+        component solves (its workers consult their own caches).  Any
+        executor honoring the protocol works: the in-process
+        :class:`~repro.service.executor.PoolExecutor` or a broker-backed
+        :class:`~repro.service.dist.executor.DistributedExecutor`, which
+        fans component solves out over a multi-host fleet whose workers
+        memoize cells in their own selection tiers (shared on disk when
+        the fleet points at one ``--cache-dir``).
     """
     if backend not in DECOMPOSED_BACKENDS:
         raise SolverError(

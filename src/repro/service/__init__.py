@@ -13,6 +13,10 @@ amortizes work across requests:
 * :mod:`~repro.service.executor` — :class:`PoolExecutor`
   (multiprocessing, priorities, backpressure, per-worker artifact
   reuse) and the deterministic :class:`SequentialExecutor`;
+* :mod:`~repro.service.dist` — :class:`DistributedExecutor`: the same
+  executor protocol over a broker queue (filesystem / SQLite /
+  optional Redis), scaling the fleet across processes and hosts with
+  leases, heartbeats, and dead-worker requeue;
 * :mod:`~repro.service.batch` — ``repro batch`` / ``repro serve``
   entry-point machinery (JSONL manifests, line-JSON serve loop);
 * :mod:`~repro.service.serialization` — lossless pickle/JSON
@@ -41,6 +45,7 @@ from repro.service.batch import (
     serve_socket,
 )
 from repro.service.cache import ArtifactCache, CacheStats, TierStats
+from repro.service.dist import DistributedExecutor, connect_broker, worker_loop
 from repro.service.executor import (
     CallHandle,
     JobHandle,
@@ -71,6 +76,8 @@ __all__ = [
     "BUILTIN_LOGS",
     "CacheStats",
     "CallHandle",
+    "DistributedExecutor",
+    "connect_broker",
     "JobFingerprint",
     "JobHandle",
     "LogRef",
@@ -90,4 +97,5 @@ __all__ = [
     "run_job",
     "serve_loop",
     "serve_socket",
+    "worker_loop",
 ]

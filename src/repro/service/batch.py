@@ -125,8 +125,28 @@ def make_executor(
     cache=None,
     disk_dir=None,
     max_pending: int | None = None,
+    broker: str | None = None,
 ):
-    """Build the executor the CLI flags describe (1 worker = sequential)."""
+    """Build the executor the CLI flags describe.
+
+    Without a ``broker``: 1 worker means the deterministic
+    :class:`SequentialExecutor`, more means a :class:`PoolExecutor`.
+    With a broker URL (``fs://``, ``sqlite://``, ``redis://``): a
+    :class:`~repro.service.dist.executor.DistributedExecutor` that
+    spawns ``workers`` local worker processes against the broker
+    (``workers=0`` relies entirely on external ``repro worker``
+    processes joined to the same URL).
+    """
+    if broker is not None:
+        from repro.service.dist.executor import DistributedExecutor
+
+        return DistributedExecutor(
+            broker,
+            workers=workers,
+            cache=cache,
+            disk_dir=disk_dir,
+            max_pending=max_pending,
+        )
     if workers <= 1:
         from repro.service.cache import ArtifactCache
 
@@ -143,16 +163,19 @@ def run_batch(
     output: "str | Path | IO | None" = None,
     include_log: bool = False,
     disk_dir=None,
+    broker: str | None = None,
 ) -> BatchReport:
     """Run a list of jobs and collect (optionally write) result rows.
 
     Rows are emitted in manifest order regardless of completion order,
-    so batch output is reproducible.  The executor is shut down only
-    when it was created here.
+    so batch output is reproducible — whichever executor ran them
+    (sequential, pool, or a broker-backed distributed fleet when
+    ``broker`` is given).  The executor is shut down only when it was
+    created here.
     """
     owns_executor = executor is None
     if executor is None:
-        executor = make_executor(workers=workers, disk_dir=disk_dir)
+        executor = make_executor(workers=workers, disk_dir=disk_dir, broker=broker)
     report = BatchReport()
     started = time.perf_counter()
     try:

@@ -1,0 +1,407 @@
+"""``DistributedExecutor``: the executor protocol over a broker queue.
+
+Same contract as :class:`~repro.service.executor.PoolExecutor` and
+:class:`~repro.service.executor.SequentialExecutor` — ``submit`` /
+``submit_call`` / ``map`` / ``stats`` / ``shutdown``, future-like
+handles, priorities, bounded-queue backpressure, in-flight request
+coalescing — but the workers are **processes anywhere**: local children
+spawned by the executor (``workers=N``), and/or remote ``repro worker
+--broker URL`` loops on other hosts, all draining one
+:class:`~repro.service.dist.broker.Broker`.
+
+The parent side never blocks a thread per task: ``submit`` pickles the
+job into the broker, a single poller thread watches for result
+envelopes and completes the handles, and the shared on-disk
+:class:`~repro.service.cache.ArtifactCache` store (``disk_dir``) gives
+the whole fleet one persistent result tier.  Affinity keys (the job's
+artifact log prefix, digested) ride on every envelope so brokers route
+all jobs on one log to the worker that first claimed it — one artifact
+build per log across the fleet, exactly like the in-process pool's
+cache-aware scheduling.
+
+Fault tolerance is inherited from the broker contract: a worker that
+dies mid-job stops heartbeating, the poller's periodic
+``requeue_expired`` sweep redelivers the task to a surviving worker,
+and a task that keeps killing workers is quarantined with an error
+result after ``max_attempts`` deliveries (the awaiting handle raises
+instead of hanging).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+from repro.core.gecco import resolve_engine
+from repro.exceptions import ReproError
+from repro.service import fingerprint as fp
+from repro.service.cache import ArtifactCache
+from repro.service.dist.broker import (
+    DEFAULT_MAX_ATTEMPTS,
+    Broker,
+    TaskEnvelope,
+    connect_broker,
+    decode_result,
+    new_task_id,
+)
+from repro.service.dist.worker import spawn_worker_process
+from repro.service.executor import CallHandle, JobHandle, _fingerprinted_handle
+from repro.service.jobs import AbstractionJob
+
+
+def job_affinity_key(job: AbstractionJob) -> str:
+    """Digest the job's artifact log prefix into a broker affinity key.
+
+    Jobs sharing a key share their expensive per-log artifacts; brokers
+    route them to one worker so the fleet builds each log's artifacts
+    at most once (the distributed twin of the pool's prefix routing).
+    """
+    config = job.config
+    engine = resolve_engine(config.engine, warn=False)
+    prefix = job.fingerprint().artifact_key(config.instance_policy, engine)
+    return fp.digest_text("|".join(str(part) for part in prefix))[:16]
+
+
+class _InflightItem:
+    """Executor-side record of one task awaiting a broker result."""
+
+    __slots__ = ("kind", "handle", "fingerprint")
+
+    def __init__(self, kind: str, handle, fingerprint: str | None = None):
+        self.kind = kind
+        self.handle = handle
+        self.fingerprint = fingerprint
+
+
+class DistributedExecutor:
+    """Executor over a broker-backed, possibly multi-host worker fleet.
+
+    Parameters
+    ----------
+    broker:
+        A broker URL (``fs:///shared/dir``, ``sqlite:///path.db``,
+        ``redis://host:port/0``) or a connected
+        :class:`~repro.service.dist.broker.Broker` instance.
+    workers:
+        Local worker processes to spawn against the broker (0 = rely
+        on external ``repro worker`` processes entirely).
+    cache:
+        Parent-side :class:`ArtifactCache`; repeat submissions are
+        served from it without touching the broker.
+    disk_dir:
+        Shared on-disk store directory — the fleet's persistent result
+        tier.  Pass the same directory to every worker (``repro worker
+        --cache-dir``); locally spawned workers inherit it.
+    lease:
+        Visibility timeout for claims; workers heartbeat at a third of
+        it, and tasks of dead workers are requeued once it lapses.
+    poll_interval:
+        Parent-side result polling cadence (also the spawned workers'
+        idle claim cadence).
+    max_pending:
+        Bound on queued-plus-running tasks; ``submit`` blocks once the
+        bound is reached (backpressure towards producers).
+    max_attempts:
+        Delivery budget per task before it is quarantined.
+    """
+
+    def __init__(
+        self,
+        broker: "Broker | str",
+        workers: int = 0,
+        cache: ArtifactCache | None = None,
+        disk_dir=None,
+        lease: float = 60.0,
+        poll_interval: float = 0.05,
+        max_pending: int | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        if workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ReproError(f"max_pending must be >= 1, got {max_pending}")
+        self._owns_broker = isinstance(broker, str)
+        self.broker = connect_broker(broker) if isinstance(broker, str) else broker
+        self.cache = cache if cache is not None else ArtifactCache(disk_dir=disk_dir)
+        self.lease = lease
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self._max_pending = max_pending
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._inflight: dict[str, _InflightItem] = {}
+        #: fingerprint -> primary in-flight job handle (coalescing).
+        self._active: dict[str, JobHandle] = {}
+        self._worker_stats: dict[str, dict] = {}
+        self._closed = False
+        self._last_requeue = 0.0
+        self._requeues = 0
+        self._processes = []
+        if workers:
+            if not self.broker.url:
+                raise ReproError(
+                    "spawning local workers needs a broker with a URL "
+                    "(construct the executor from a broker URL)"
+                )
+            self.broker.clear_stop()
+            self._processes = [
+                spawn_worker_process(
+                    self.broker.url,
+                    cache_dir=disk_dir,
+                    lease=lease,
+                    poll_interval=poll_interval,
+                )
+                for _ in range(workers)
+            ]
+        self._poller = threading.Thread(target=self._poll_loop, daemon=True)
+        self._poller.start()
+
+    # -- submission --------------------------------------------------------
+
+    def _enqueue(self, item: _InflightItem, envelope: TaskEnvelope) -> None:
+        """Register the in-flight item, then hand the envelope to the broker."""
+        with self._space:
+            if self._closed:
+                raise ReproError("executor is shut down")
+            if item.fingerprint is not None:
+                primary = self._active.get(item.fingerprint)
+                if primary is not None and primary is not item.handle:
+                    primary._attach(item.handle)
+                    return
+            while (
+                self._max_pending is not None
+                and len(self._inflight) >= self._max_pending
+            ):
+                self._space.wait()
+                if self._closed:
+                    raise ReproError("executor is shut down")
+                if item.fingerprint is not None:
+                    primary = self._active.get(item.fingerprint)
+                    if primary is not None and primary is not item.handle:
+                        primary._attach(item.handle)
+                        return
+            self._inflight[envelope.task_id] = item
+            if item.fingerprint is not None:
+                self._active[item.fingerprint] = item.handle
+        try:
+            self.broker.put(envelope)
+        except Exception:
+            with self._space:
+                self._inflight.pop(envelope.task_id, None)
+                if item.fingerprint is not None:
+                    self._active.pop(item.fingerprint, None)
+                self._space.notify_all()
+            raise
+
+    def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
+        """Enqueue a job on the broker; higher ``priority`` claims first.
+
+        A parent cache hit completes the handle immediately; an
+        identical in-flight job coalesces (one computation, many
+        awaiters).  Blocks while ``max_pending`` tasks are in flight.
+        """
+        handle = _fingerprinted_handle(job)
+        if handle.done():  # fingerprinting failed (e.g. unreadable log)
+            return handle
+        hit = self.cache.get_result(handle.fingerprint)
+        if hit is not None:
+            handle._complete(hit, True)
+            return handle
+        with self._space:
+            if self._closed:
+                raise ReproError("executor is shut down")
+            primary = self._active.get(handle.fingerprint)
+            if primary is not None:
+                primary._attach(handle)
+                return handle
+        envelope = TaskEnvelope(
+            task_id=new_task_id(),
+            kind="job",
+            payload=pickle.dumps(job),
+            priority=job.priority if priority is None else priority,
+            affinity=job_affinity_key(job),
+        )
+        item = _InflightItem("job", handle, fingerprint=handle.fingerprint)
+        self._enqueue(item, envelope)
+        return handle
+
+    def submit_call(self, fn, *args, priority: int = 0, **kwargs) -> CallHandle:
+        """Enqueue a generic call; a worker runs it with its cache injected.
+
+        ``fn`` must be picklable (a module-level function) and accept a
+        ``cache`` keyword — identical to the pool's ``submit_call``
+        contract, which is how Step-2 component solves fan out over a
+        distributed fleet.
+        """
+        handle = CallHandle(getattr(fn, "__name__", "call"))
+        envelope = TaskEnvelope(
+            task_id=new_task_id(),
+            kind="call",
+            payload=pickle.dumps((fn, args, kwargs)),
+            priority=priority,
+        )
+        self._enqueue(_InflightItem("call", handle), envelope)
+        return handle
+
+    def map(self, jobs) -> list:
+        """Submit all jobs, await all results (submission order)."""
+        handles = [self.submit(job) for job in jobs]
+        return [handle.result() for handle in handles]
+
+    # -- result polling ----------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                pending = list(self._inflight.items())
+            progressed = False
+            for task_id, item in pending:
+                try:
+                    payload = self.broker.get_result(task_id)
+                except Exception:
+                    continue
+                if payload is None:
+                    continue
+                progressed = True
+                try:
+                    self.broker.forget_result(task_id)
+                except Exception:
+                    pass
+                with self._space:
+                    self._inflight.pop(task_id, None)
+                    if item.fingerprint is not None:
+                        self._active.pop(item.fingerprint, None)
+                    self._space.notify_all()
+                self._deliver(item, payload)
+            now = time.time()
+            if now - self._last_requeue >= max(self.lease / 2.0, 0.05):
+                self._last_requeue = now
+                try:
+                    self._requeues += self.broker.requeue_expired(
+                        max_attempts=self.max_attempts
+                    )
+                except Exception:
+                    pass
+            if not progressed:
+                time.sleep(self.poll_interval)
+
+    def _deliver(self, item: _InflightItem, payload: bytes) -> None:
+        """Turn one result envelope into a handle completion/failure."""
+        try:
+            record = decode_result(payload)
+        except Exception as exc:
+            item.handle._fail(
+                ReproError(f"broker returned an undecodable result: {exc}")
+            )
+            return
+        worker = record.get("worker") or "?"
+        stats = record.get("worker_stats")
+        if stats:
+            with self._lock:
+                self._worker_stats[worker] = dict(stats)
+        if record["ok"]:
+            if item.kind == "job":
+                try:
+                    self.cache.put_result(item.handle.fingerprint, record["value"])
+                except Exception:
+                    pass  # best-effort, like the pool's completion path
+                item.handle._complete(record["value"], bool(record.get("cached")))
+            else:
+                item.handle._complete(record["value"])
+        else:
+            error = record.get("exception")
+            if error is None:
+                error = ReproError(str(record.get("error") or "task failed"))
+            item.handle._fail(error)
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def stats(self) -> dict:
+        """Parent cache + broker depth + latest per-worker snapshots."""
+        with self._lock:
+            workers = {
+                worker: dict(snap) for worker, snap in self._worker_stats.items()
+            }
+            inflight = len(self._inflight)
+            requeues = self._requeues
+        totals = {
+            "artifact_builds": sum(
+                s.get("artifact_builds", 0) for s in workers.values()
+            ),
+            "result_hits": sum(
+                s.get("results", {}).get("hits", 0) for s in workers.values()
+            ),
+            "result_misses": sum(
+                s.get("results", {}).get("misses", 0) for s in workers.values()
+            ),
+            "artifact_hits": sum(
+                s.get("artifacts", {}).get("hits", 0) for s in workers.values()
+            ),
+            "selection_hits": sum(
+                s.get("selection", {}).get("hits", 0) for s in workers.values()
+            ),
+        }
+        try:
+            broker_stats = self.broker.stats()
+        except Exception:
+            broker_stats = {}
+        return {
+            "parent": self.cache.snapshot(),
+            "workers": workers,
+            "workers_total": totals,
+            "broker": broker_stats,
+            "scheduler": {
+                "inflight": inflight,
+                "requeues": requeues,
+                "local_workers": len(self._processes),
+            },
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; stop spawned workers; fail leftovers.
+
+        Locally spawned workers are stopped via the broker's
+        cooperative stop flag (briefly visible to external workers on
+        the same broker) and terminated if they do not exit in time.
+        Handles still in flight fail with a shutdown error rather than
+        hanging forever.
+        """
+        with self._space:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+            self._active.clear()
+            self._space.notify_all()
+        if self._processes:
+            try:
+                self.broker.request_stop()
+            except Exception:
+                pass
+            deadline = time.time() + (10.0 if wait else 0.5)
+            for process in self._processes:
+                process.join(timeout=max(0.0, deadline - time.time()))
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+            try:
+                self.broker.clear_stop()
+            except Exception:
+                pass
+        if wait:
+            self._poller.join(timeout=5.0)
+        for item in leftovers:
+            item.handle._fail(ReproError("executor is shut down"))
+        if self._owns_broker:
+            self.broker.close()
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

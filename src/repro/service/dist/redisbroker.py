@@ -1,0 +1,285 @@
+"""The optional Redis broker (import-gated, like numpy/scipy elsewhere).
+
+When the ``redis`` package is installed, ``redis://host:port/db`` broker
+URLs map the same contract as the zero-dependency brokers onto Redis
+primitives:
+
+* the queue is a sorted set (``<ns>:queue``) scored by
+  ``(-priority, enqueue sequence)`` so ``ZRANGE`` yields
+  highest-priority-first FIFO order, and claiming is an exclusive
+  ``ZREM`` (exactly one claimant removes a member);
+* task bodies, leases, results, quarantine records, and affinity
+  ownership live in per-task keys / hashes under the same namespace;
+* the stop flag is one key the worker loops poll.
+
+Without the package, :data:`HAVE_REDIS` is ``False`` and
+:func:`~repro.service.dist.broker.connect_broker` raises a
+:class:`~repro.exceptions.ReproError` with an install hint; nothing in
+the distributed runtime imports this module unless a ``redis://`` URL
+is used.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.dist.broker import (
+    DEFAULT_MAX_ATTEMPTS,
+    Broker,
+    Claim,
+    TaskEnvelope,
+    encode_result,
+)
+
+try:  # pragma: no cover - exercised only with redis installed
+    import redis as _redis
+
+    HAVE_REDIS = True
+except ImportError:  # pragma: no cover
+    _redis = None
+    HAVE_REDIS = False
+
+#: See :data:`repro.service.dist.fsbroker._AFFINITY_LEASE_FACTOR`.
+_AFFINITY_LEASE_FACTOR = 5.0
+
+#: Priority scores: score = -priority * _SEQ_SPAN + seq keeps FIFO
+#: order within a priority band for up to ``_SEQ_SPAN`` enqueues.
+_SEQ_SPAN = 1e12
+
+
+class RedisBroker(Broker):  # pragma: no cover - needs a redis server
+    """Task queue on a Redis server (see the module docstring)."""
+
+    def __init__(self, url: str, namespace: str = "gecco",
+                 result_ttl: float = 3600.0):
+        if not HAVE_REDIS:
+            raise RuntimeError("redis package is not installed")
+        self.url = url
+        self._ns = namespace
+        #: Orphaned duplicate results (at-least-once delivery) expire
+        #: via the key TTL instead of a sweep.
+        self.result_ttl = result_ttl
+        self._db = _redis.Redis.from_url(url)
+
+    def _key(self, *parts: str) -> str:
+        return ":".join((self._ns,) + parts)
+
+    # -- Broker API --------------------------------------------------------
+
+    def put(self, envelope: TaskEnvelope) -> None:
+        """Enqueue a task: body hash + scored queue member."""
+        seq = self._db.incr(self._key("seq"))
+        self._db.hset(
+            self._key("task", envelope.task_id),
+            mapping={
+                "kind": envelope.kind,
+                "payload": envelope.payload,
+                "priority": envelope.priority,
+                "affinity": envelope.affinity or "",
+                "attempts": envelope.attempts,
+            },
+        )
+        score = -float(envelope.priority) * _SEQ_SPAN + float(seq)
+        self._db.zadd(self._key("queue"), {envelope.task_id: score})
+
+    def _affinity_free(self, key: str, worker: str, now: float) -> bool:
+        record = self._db.hgetall(self._key("affinity", key))
+        if not record:
+            return True
+        owner = record.get(b"worker", b"").decode("utf-8")
+        deadline = float(record.get(b"deadline", b"0") or 0)
+        return owner == worker or deadline <= now
+
+    def _acquire_affinity(self, key: str, worker: str, lease: float) -> None:
+        deadline = time.time() + max(lease * _AFFINITY_LEASE_FACTOR, 10.0)
+        self._db.hset(
+            self._key("affinity", key),
+            mapping={"worker": worker, "deadline": deadline},
+        )
+
+    def _queued_ids(self):
+        """Every queued task id, best first (paged ``ZRANGE``)."""
+        offset, page = 0, 100
+        while True:
+            members = self._db.zrange(self._key("queue"), offset, offset + page - 1)
+            if not members:
+                return
+            yield from members
+            offset += page
+
+    def claim(self, worker: str, lease: float) -> Claim | None:
+        """Claim the best queued task (exclusive ``ZREM`` wins the race)."""
+        now = time.time()
+        for task_id_raw in self._queued_ids():
+            task_id = task_id_raw.decode("utf-8")
+            if self._db.exists(self._key("result", task_id)):
+                self._db.zrem(self._key("queue"), task_id)
+                continue
+            body = self._db.hgetall(self._key("task", task_id))
+            if not body:
+                self._db.zrem(self._key("queue"), task_id)
+                continue
+            affinity = body.get(b"affinity", b"").decode("utf-8") or None
+            if affinity is not None and not self._affinity_free(
+                affinity, worker, now
+            ):
+                continue
+            # Lease *before* ZREM: dying between the two leaves a
+            # queued task with an expired lease (recovered by
+            # requeue_expired), never a task in neither structure.
+            deadline = now + lease
+            self._db.hset(
+                self._key("lease", task_id),
+                mapping={"worker": worker, "deadline": deadline},
+            )
+            if not self._db.zrem(self._key("queue"), task_id):
+                # Another claimant won; drop our lease only if it is
+                # still ours (the winner re-asserts its own).
+                record = self._db.hgetall(self._key("lease", task_id))
+                if record.get(b"worker", b"").decode("utf-8") == worker:
+                    self._db.delete(self._key("lease", task_id))
+                continue
+            if affinity is not None:
+                self._acquire_affinity(affinity, worker, lease)
+            self._db.hset(
+                self._key("lease", task_id),
+                mapping={"worker": worker, "deadline": deadline},
+            )
+            envelope = TaskEnvelope(
+                task_id=task_id,
+                kind=body[b"kind"].decode("utf-8"),
+                payload=bytes(body[b"payload"]),
+                priority=int(body.get(b"priority", 0)),
+                affinity=affinity,
+                attempts=int(body.get(b"attempts", 0)),
+            )
+            return Claim(envelope=envelope, worker=worker, deadline=deadline)
+        return None
+
+    def heartbeat(self, claim: Claim, lease: float) -> bool:
+        """Extend the lease hash while we still own it."""
+        key = self._key("lease", claim.envelope.task_id)
+        record = self._db.hgetall(key)
+        if not record or record.get(b"worker", b"").decode("utf-8") != claim.worker:
+            return False
+        deadline = time.time() + lease
+        self._db.hset(key, mapping={"worker": claim.worker, "deadline": deadline})
+        if claim.envelope.affinity is not None:
+            self._acquire_affinity(claim.envelope.affinity, claim.worker, lease)
+        claim.deadline = deadline
+        return True
+
+    def complete(self, claim: Claim, payload: bytes) -> bool:
+        """Record the result; clean up body + lease when still ours."""
+        task_id = claim.envelope.task_id
+        self._db.set(self._key("result", task_id), payload,
+                     ex=int(self.result_ttl) if self.result_ttl else None)
+        record = self._db.hgetall(self._key("lease", task_id))
+        fresh = bool(record) and (
+            record.get(b"worker", b"").decode("utf-8") == claim.worker
+        )
+        if fresh:
+            self._db.delete(self._key("lease", task_id), self._key("task", task_id))
+        return fresh
+
+    def quarantine(self, claim: Claim, reason: str) -> None:
+        """Park a poisonous task; record an error result."""
+        task_id = claim.envelope.task_id
+        self._db.hset(self._key("quarantine"), task_id, reason)
+        self._db.set(
+            self._key("result", task_id),
+            encode_result(error=f"task quarantined: {reason}", worker=claim.worker),
+            ex=int(self.result_ttl) if self.result_ttl else None,
+        )
+        self._db.delete(self._key("lease", task_id), self._key("task", task_id))
+
+    def requeue_expired(self, max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> int:
+        """Requeue tasks whose lease hash has expired."""
+        now = time.time()
+        moved = 0
+        for key_raw in self._db.keys(self._key("lease", "*")):
+            task_id = key_raw.decode("utf-8").rsplit(":", 1)[-1]
+            record = self._db.hgetall(key_raw)
+            if not record:
+                continue
+            if float(record.get(b"deadline", b"0") or 0) > now:
+                continue
+            if not self._db.delete(key_raw):
+                continue  # another requeuer won
+            body = self._db.hgetall(self._key("task", task_id))
+            if not body:
+                continue
+            affinity = body.get(b"affinity", b"").decode("utf-8")
+            dead_worker = record.get(b"worker", b"").decode("utf-8")
+            if affinity:
+                # Release the dead claimant's affinity hold.
+                owned = self._db.hgetall(self._key("affinity", affinity))
+                if owned.get(b"worker", b"").decode("utf-8") == dead_worker:
+                    self._db.delete(self._key("affinity", affinity))
+            attempts = int(body.get(b"attempts", 0)) + 1
+            if attempts >= max_attempts:
+                self._db.hset(
+                    self._key("quarantine"), task_id,
+                    f"delivery attempts exhausted ({attempts})",
+                )
+                self._db.set(
+                    self._key("result", task_id),
+                    encode_result(
+                        error=(
+                            f"task {task_id} exceeded {max_attempts} "
+                            "delivery attempts (worker crash loop?)"
+                        )
+                    ),
+                    ex=int(self.result_ttl) if self.result_ttl else None,
+                )
+                self._db.delete(self._key("task", task_id))
+            else:
+                self._db.hset(self._key("task", task_id), "attempts", attempts)
+                seq = self._db.incr(self._key("seq"))
+                priority = int(body.get(b"priority", 0))
+                score = -float(priority) * _SEQ_SPAN + float(seq)
+                self._db.zadd(self._key("queue"), {task_id: score})
+            moved += 1
+        return moved
+
+    def release_affinities(self, worker: str) -> None:
+        """Release every affinity key ``worker`` owns (clean exit)."""
+        for key_raw in self._db.keys(self._key("affinity", "*")):
+            record = self._db.hgetall(key_raw)
+            if record.get(b"worker", b"").decode("utf-8") == worker:
+                self._db.delete(key_raw)
+
+    def get_result(self, task_id: str) -> bytes | None:
+        """Fetch a finished task's result envelope."""
+        value = self._db.get(self._key("result", task_id))
+        return None if value is None else bytes(value)
+
+    def forget_result(self, task_id: str) -> None:
+        """Delete a consumed result key."""
+        self._db.delete(self._key("result", task_id))
+
+    def request_stop(self) -> None:
+        """Raise the cooperative stop flag."""
+        self._db.set(self._key("stop"), "1")
+
+    def clear_stop(self) -> None:
+        """Lower the stop flag."""
+        self._db.delete(self._key("stop"))
+
+    def stop_requested(self) -> bool:
+        """Whether the stop flag is raised."""
+        return bool(self._db.exists(self._key("stop")))
+
+    def stats(self) -> dict:
+        """Key-space counters."""
+        return {
+            "backend": "redis",
+            "queued": int(self._db.zcard(self._key("queue"))),
+            "claimed": len(self._db.keys(self._key("lease", "*"))),
+            "results": len(self._db.keys(self._key("result", "*"))),
+            "quarantined": int(self._db.hlen(self._key("quarantine"))),
+        }
+
+    def close(self) -> None:
+        """Close the connection pool."""
+        self._db.close()

@@ -1,0 +1,316 @@
+"""The distributed worker loop behind ``repro worker --broker URL``.
+
+A worker is one process anywhere in the fleet: it connects to the
+broker, claims tasks under a lease, heartbeats from a helper thread
+while computing (so long jobs survive their visibility timeout), runs
+the task against a worker-local
+:class:`~repro.service.cache.ArtifactCache`, and completes the task
+with a pickled result envelope.  Pointing every worker's cache at the
+same ``--cache-dir`` turns the on-disk store into the fleet's shared
+result tier: a cold fleet converges to one computation per distinct
+job and (with affinity routing, which brokers apply by default) one
+artifact build per log.
+
+Failure semantics:
+
+* a task whose payload does not deserialize is **quarantined** (error
+  result recorded, task parked for inspection) — one bad manifest row
+  cannot crash-loop the fleet;
+* a task whose computation raises completes with an **error envelope**
+  — the submitting executor re-raises it from ``handle.result()``;
+* a worker that dies mid-task stops heartbeating, its lease expires,
+  and any party's :meth:`~repro.service.dist.broker.Broker.requeue_expired`
+  sweep redelivers the task (bounded by ``max_attempts``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.cache import ArtifactCache
+from repro.service.dist.broker import (
+    DEFAULT_MAX_ATTEMPTS,
+    Broker,
+    Claim,
+    connect_broker,
+    encode_result_flagged,
+)
+
+
+def default_worker_id() -> str:
+    """A fleet-unique worker name: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerStats:
+    """Counters of one worker loop's lifetime."""
+
+    worker: str = ""
+    completed: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    stale_completions: int = 0
+    requeued: int = 0
+    broker_errors: int = 0
+    cache: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering for logs and tests."""
+        return {
+            "worker": self.worker,
+            "completed": self.completed,
+            "failed": self.failed,
+            "quarantined": self.quarantined,
+            "stale_completions": self.stale_completions,
+            "requeued": self.requeued,
+            "broker_errors": self.broker_errors,
+            "cache": dict(self.cache),
+        }
+
+
+class _Heartbeat:
+    """Renews a claim's lease from a helper thread while a task runs."""
+
+    def __init__(self, broker: Broker, claim: Claim, lease: float):
+        self._broker = broker
+        self._claim = claim
+        self._lease = lease
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.lost = False
+
+    def _run(self) -> None:
+        interval = max(self._lease / 3.0, 0.02)
+        while not self._stop.wait(interval):
+            try:
+                if not self._broker.heartbeat(self._claim, self._lease):
+                    self.lost = True
+                    return
+            except Exception:
+                # A transient broker hiccup must not kill the task; the
+                # next beat retries, and a truly lost lease is absorbed
+                # by the at-least-once completion semantics.
+                continue
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_claimed_task(
+    claim: Claim, cache: ArtifactCache, worker: str
+) -> tuple[bytes, bool]:
+    """Execute one claimed task; return ``(result envelope, ok)``.
+
+    ``job`` payloads run through :func:`repro.service.executor.run_job`
+    (full cache discipline: result tier, shared artifacts, selection
+    tier); ``call`` payloads run ``fn(*args, cache=cache, **kwargs)``
+    exactly like pool workers do for ``submit_call``.  Exceptions are
+    captured into an error envelope (``ok=False``), never raised — the
+    flag spares callers re-deserializing the (potentially large)
+    envelope just to learn the outcome.
+    """
+    try:
+        work = pickle.loads(claim.envelope.payload)
+    except Exception as exc:
+        # Deserialization failures are the *caller's* signal to
+        # quarantine; encode them distinctly so it can tell.
+        raise _PoisonPayload(f"payload does not deserialize: {exc!r}") from exc
+    try:
+        if claim.envelope.kind == "job":
+            from repro.service.executor import run_job
+
+            result, cached = run_job(work, cache)
+            return encode_result_flagged(
+                value=result, cached=cached, worker=worker,
+                worker_stats=cache.snapshot(),
+            )
+        fn, args, kwargs = work
+        value = fn(*args, cache=cache, **kwargs)
+        return encode_result_flagged(
+            value=value, worker=worker, worker_stats=cache.snapshot()
+        )
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+            picklable: "BaseException | None" = exc
+        except Exception:
+            picklable = None
+        record = {
+            "ok": False,
+            "value": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "exception": picklable,
+            "cached": False,
+            "worker": worker,
+            "worker_stats": cache.snapshot(),
+        }
+        return pickle.dumps(record), False
+
+
+class _PoisonPayload(Exception):
+    """A claimed payload that cannot even be deserialized."""
+
+
+def worker_loop(
+    broker: "Broker | str",
+    cache: ArtifactCache | None = None,
+    cache_dir=None,
+    worker_id: str | None = None,
+    lease: float = 60.0,
+    poll_interval: float = 0.2,
+    max_tasks: int | None = None,
+    idle_exit: float | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> WorkerStats:
+    """Claim-and-run tasks until stopped; return lifetime counters.
+
+    Parameters
+    ----------
+    broker:
+        A broker instance or URL (``fs://``, ``sqlite://``, ``redis://``).
+    cache / cache_dir:
+        The worker-local artifact cache, or the shared on-disk store
+        directory to back a fresh one with (the fleet's result tier).
+    worker_id:
+        Fleet-unique name; default ``<hostname>-<pid>``.
+    lease:
+        Visibility timeout per claim; a heartbeat thread renews it at
+        ``lease/3`` while a task runs.
+    poll_interval:
+        Idle sleep between empty claim attempts.
+    max_tasks:
+        Stop after this many completed tasks (``None`` = unbounded).
+    idle_exit:
+        Stop after this many seconds without work (``None`` = never).
+    max_attempts:
+        Delivery budget before an undeliverable task is quarantined.
+
+    The loop exits on: broker stop flag, ``max_tasks``, ``idle_exit``,
+    or ``KeyboardInterrupt``.
+    """
+    owns_broker = isinstance(broker, str)
+    if owns_broker:
+        broker = connect_broker(broker)
+    if cache is None:
+        cache = ArtifactCache(disk_dir=cache_dir)
+    stats = WorkerStats(worker=worker_id or default_worker_id())
+    idle_since = time.time()
+    try:
+        while True:
+            if broker.stop_requested():
+                break
+            try:
+                stats.requeued += broker.requeue_expired(max_attempts=max_attempts)
+            except Exception:
+                pass  # hygiene sweep only; claiming is the loop's job
+            try:
+                claim = broker.claim(stats.worker, lease)
+            except Exception:
+                # A transient broker hiccup (NFS stall, sqlite busy
+                # timeout, brief disk-full) must not kill the worker:
+                # back off one poll interval and retry, same as the
+                # heartbeat thread does.
+                stats.broker_errors += 1
+                time.sleep(poll_interval)
+                continue
+            if claim is None:
+                if idle_exit is not None and time.time() - idle_since >= idle_exit:
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle_since = time.time()
+            with _Heartbeat(broker, claim, lease):
+                try:
+                    payload, ok = run_claimed_task(claim, cache, stats.worker)
+                except _PoisonPayload as poison:
+                    try:
+                        broker.quarantine(claim, str(poison))
+                    except Exception:
+                        stats.broker_errors += 1
+                    stats.quarantined += 1
+                    continue
+            try:
+                fresh = broker.complete(claim, payload)
+            except Exception:
+                # Retry once before giving up: a computed result is too
+                # expensive to discard over one failed write.  If the
+                # retry fails too, the lease lapses and the task is
+                # redelivered to another worker.
+                stats.broker_errors += 1
+                time.sleep(poll_interval)
+                try:
+                    fresh = broker.complete(claim, payload)
+                except Exception:
+                    stats.broker_errors += 1
+                    continue
+            if not fresh:
+                stats.stale_completions += 1
+            if ok:
+                stats.completed += 1
+            else:
+                stats.failed += 1
+            if max_tasks is not None and stats.completed >= max_tasks:
+                break
+            idle_since = time.time()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # Hand owned logs back so queued same-log tasks are not stalled
+        # until the (long) affinity ownership lease expires.
+        try:
+            broker.release_affinities(stats.worker)
+        except Exception:
+            pass
+        stats.cache = cache.snapshot()
+        if owns_broker:
+            broker.close()
+    return stats
+
+
+def spawn_worker_process(
+    broker_url: str,
+    cache_dir=None,
+    lease: float = 60.0,
+    poll_interval: float = 0.05,
+    mp_context: str | None = None,
+):
+    """Start a local :func:`worker_loop` in a child process.
+
+    The executor uses this to make ``repro batch --broker URL`` /
+    ``DistributedExecutor(workers=N)`` self-contained; remote hosts
+    join the same broker with ``repro worker --broker URL`` instead.
+    Returns the started :class:`multiprocessing.Process`.
+    """
+    import multiprocessing
+
+    if mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        mp_context = "fork" if "fork" in methods else "spawn"
+    context = multiprocessing.get_context(mp_context)
+    process = context.Process(
+        target=_worker_process_main,
+        args=(broker_url, str(cache_dir) if cache_dir is not None else None,
+              lease, poll_interval),
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def _worker_process_main(
+    broker_url: str, cache_dir: str | None, lease: float, poll_interval: float
+) -> None:
+    worker_loop(
+        broker_url, cache_dir=cache_dir, lease=lease, poll_interval=poll_interval
+    )

@@ -1,0 +1,368 @@
+"""Broker contract tests: the same suite over both zero-dep brokers.
+
+The distributed runtime's correctness rests on three broker
+guarantees exercised here per implementation:
+
+* **exclusive claims** — two workers never both hold a live lease;
+* **exactly-once requeue** — a lease-expired task is redelivered once,
+  however many concurrent ``requeue_expired`` sweeps observe it, and a
+  task that exhausts its delivery budget is quarantined with an error
+  result instead of crash-looping;
+* **idempotent duplicate delivery** — a stale completion (the original
+  worker finishing after its lease lapsed) is recorded, reported as
+  stale, and never corrupts the result channel; queued duplicates of a
+  finished task are dropped at claim time.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service.dist.broker import (
+    TaskEnvelope,
+    connect_broker,
+    decode_result,
+    encode_result,
+    new_task_id,
+)
+from repro.service.dist.fsbroker import FilesystemBroker
+from repro.service.dist.sqlitebroker import SQLiteBroker
+from repro.service.dist.worker import worker_loop
+
+
+@pytest.fixture(params=["fs", "sqlite"])
+def broker(request, tmp_path):
+    """One broker per zero-dependency backend, on a fresh directory."""
+    if request.param == "fs":
+        made = FilesystemBroker(tmp_path / "queue")
+    else:
+        made = SQLiteBroker(tmp_path / "queue.db")
+    yield made
+    made.close()
+
+
+def _task(payload=b"", priority=0, affinity=None, kind="call"):
+    return TaskEnvelope(
+        task_id=new_task_id(),
+        kind=kind,
+        payload=payload or pickle.dumps((_noop, (), {})),
+        priority=priority,
+        affinity=affinity,
+    )
+
+
+def _noop(*args, cache=None, **kwargs):
+    """Module-level no-op task body (picklable)."""
+    return "ok"
+
+
+def _boom(*args, cache=None, **kwargs):
+    """Module-level failing task body (picklable)."""
+    raise ValueError("boom")
+
+
+class TestQueueBasics:
+    def test_priority_then_fifo_order(self, broker):
+        low = _task(priority=0)
+        first_high = _task(priority=5)
+        second_high = _task(priority=5)
+        for envelope in (low, first_high, second_high):
+            broker.put(envelope)
+        claimed = [broker.claim("w", lease=30.0).envelope.task_id for _ in range(3)]
+        assert claimed == [first_high.task_id, second_high.task_id, low.task_id]
+
+    def test_claims_are_exclusive(self, broker):
+        task = _task()
+        broker.put(task)
+        first = broker.claim("w1", lease=30.0)
+        second = broker.claim("w2", lease=30.0)
+        assert first is not None and first.envelope.task_id == task.task_id
+        assert second is None
+
+    def test_empty_queue_claims_none(self, broker):
+        assert broker.claim("w", lease=30.0) is None
+
+    def test_complete_records_result(self, broker):
+        task = _task()
+        broker.put(task)
+        claim = broker.claim("w", lease=30.0)
+        assert broker.complete(claim, encode_result(value=41)) is True
+        record = decode_result(broker.get_result(task.task_id))
+        assert record["ok"] and record["value"] == 41
+        broker.forget_result(task.task_id)
+        assert broker.get_result(task.task_id) is None
+        assert broker.stats()["claimed"] == 0
+
+    def test_stop_flag_round_trip(self, broker):
+        assert not broker.stop_requested()
+        broker.request_stop()
+        assert broker.stop_requested()
+        broker.clear_stop()
+        assert not broker.stop_requested()
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_requeues_exactly_once(self, broker):
+        task = _task()
+        broker.put(task)
+        claim = broker.claim("dead-worker", lease=0.05)
+        assert claim is not None
+        time.sleep(0.1)
+        # Two concurrent sweeps must redeliver the task exactly once.
+        moved = broker.requeue_expired() + broker.requeue_expired()
+        assert moved == 1
+        assert broker.stats()["queued"] == 1 and broker.stats()["claimed"] == 0
+        redelivered = broker.claim("live-worker", lease=30.0)
+        assert redelivered.envelope.task_id == task.task_id
+        assert redelivered.envelope.attempts == 1
+
+    def test_live_lease_is_not_requeued(self, broker):
+        broker.put(_task())
+        broker.claim("w", lease=30.0)
+        assert broker.requeue_expired() == 0
+        assert broker.stats()["claimed"] == 1
+
+    def test_heartbeat_extends_the_lease(self, broker):
+        broker.put(_task())
+        claim = broker.claim("w", lease=0.15)
+        for _ in range(4):
+            time.sleep(0.05)
+            assert broker.heartbeat(claim, lease=0.15) is True
+        assert broker.requeue_expired() == 0
+
+    def test_heartbeat_reports_lost_claim(self, broker):
+        broker.put(_task())
+        claim = broker.claim("w", lease=0.05)
+        time.sleep(0.1)
+        assert broker.requeue_expired() == 1
+        assert broker.heartbeat(claim, lease=30.0) is False
+
+    def test_exhausted_attempts_quarantine_with_error_result(self, broker):
+        task = _task()
+        broker.put(task)
+        for attempt in range(3):
+            claim = broker.claim(f"dying-{attempt}", lease=0.05)
+            assert claim is not None, f"attempt {attempt} found no task"
+            time.sleep(0.1)
+            broker.requeue_expired(max_attempts=3)
+        stats = broker.stats()
+        assert stats["queued"] == 0 and stats["claimed"] == 0
+        assert stats["quarantined"] == 1
+        record = decode_result(broker.get_result(task.task_id))
+        assert not record["ok"] and "attempts" in record["error"]
+
+
+class TestDuplicateDelivery:
+    def test_stale_completion_is_recorded_but_flagged(self, broker):
+        task = _task()
+        broker.put(task)
+        slow = broker.claim("slow-worker", lease=0.05)
+        time.sleep(0.1)
+        assert broker.requeue_expired() == 1
+        fast = broker.claim("fast-worker", lease=30.0)
+        assert fast.envelope.task_id == task.task_id
+        assert broker.complete(fast, encode_result(value="fast")) is True
+        # The slow worker finishes afterwards: stale, but harmless.
+        assert broker.complete(slow, encode_result(value="slow")) is False
+        assert decode_result(broker.get_result(task.task_id))["ok"]
+        assert broker.stats()["claimed"] == 0
+
+    def test_queued_duplicate_of_finished_task_is_dropped(self, broker):
+        task = _task()
+        broker.put(task)
+        claim = broker.claim("w", lease=30.0)
+        broker.complete(claim, encode_result(value=1))
+        # The same task id arrives again (redelivery after a partition).
+        broker.put(
+            TaskEnvelope(
+                task_id=task.task_id, kind=task.kind, payload=task.payload
+            )
+        )
+        assert broker.claim("w", lease=30.0) is None
+        assert broker.stats()["queued"] == 0
+
+
+class TestAffinity:
+    def test_affinity_key_sticks_to_first_claimant(self, broker):
+        first, second = _task(affinity="abc123"), _task(affinity="abc123")
+        broker.put(first)
+        broker.put(second)
+        owner_claim = broker.claim("owner", lease=30.0)
+        assert owner_claim.envelope.task_id == first.task_id
+        # Another worker skips the owned key; the owner picks it up.
+        assert broker.claim("other", lease=30.0) is None
+        assert broker.claim("owner", lease=30.0).envelope.task_id == second.task_id
+
+    def test_dead_worker_releases_its_affinity_hold(self, broker):
+        # Affinity ownership leases are much longer than task leases;
+        # requeueing a dead worker's task must release its hold so the
+        # redelivery is claimable *immediately*, not after the affinity
+        # lease runs out.
+        task = _task(affinity="sticky")
+        broker.put(task)
+        assert broker.claim("dead-worker", lease=0.05) is not None
+        time.sleep(0.1)
+        assert broker.requeue_expired() == 1
+        rescued = broker.claim("survivor", lease=30.0)
+        assert rescued is not None and rescued.envelope.task_id == task.task_id
+
+    def test_clean_worker_exit_releases_affinity(self, broker):
+        # A worker that exits cleanly (max_tasks/idle_exit/stop) must
+        # hand its logs back immediately; otherwise queued same-log
+        # tasks stall until the long affinity ownership lease expires.
+        first, second = _task(affinity="hot-log"), _task(affinity="hot-log")
+        broker.put(first)
+        worker_loop(broker, lease=30.0, poll_interval=0.01, max_tasks=1,
+                    idle_exit=0.5)
+        broker.put(second)
+        rescued = broker.claim("successor", lease=30.0)
+        assert rescued is not None and rescued.envelope.task_id == second.task_id
+
+    def test_unrelated_affinity_keys_spread(self, broker):
+        broker.put(_task(affinity="log-a"))
+        broker.put(_task(affinity="log-b"))
+        assert broker.claim("w1", lease=30.0) is not None
+        assert broker.claim("w2", lease=30.0) is not None
+
+
+class TestCorruptEntries:
+    def test_unpicklable_payload_is_quarantined_not_crash_looped(self, broker):
+        broker.put(_task(payload=b"\x00this is not a pickle"))
+        good = _task()
+        broker.put(good)
+        stats = worker_loop(
+            broker, lease=5.0, poll_interval=0.01, max_tasks=1, idle_exit=0.2
+        )
+        assert stats.quarantined == 1
+        assert stats.completed == 1  # the loop survived and ran the good task
+        assert broker.stats()["quarantined"] == 1
+        assert decode_result(broker.get_result(good.task_id))["ok"]
+
+    def test_foreign_file_in_fs_queue_is_parked(self, tmp_path):
+        broker = FilesystemBroker(tmp_path / "queue")
+        (tmp_path / "queue" / "queue" / "not-a-task.json").write_text("{}")
+        assert broker.claim("w", lease=30.0) is None
+        assert broker.stats()["quarantined"] == 0  # only .task files count
+        assert not (tmp_path / "queue" / "queue" / "not-a-task.json").exists()
+
+    def test_failing_task_completes_with_error_envelope(self, broker):
+        task = TaskEnvelope(
+            task_id=new_task_id(), kind="call",
+            payload=pickle.dumps((_boom, (), {})),
+        )
+        broker.put(task)
+        stats = worker_loop(
+            broker, lease=5.0, poll_interval=0.01, max_tasks=1, idle_exit=0.2
+        )
+        assert stats.failed == 1 and stats.quarantined == 0
+        record = decode_result(broker.get_result(task.task_id))
+        assert not record["ok"] and "boom" in record["error"]
+        assert isinstance(record.get("exception"), ValueError)
+
+
+class TestResultHygiene:
+    def test_orphaned_results_are_garbage_collected(self, tmp_path):
+        # A redelivered duplicate can complete after the submitter
+        # consumed the original result and moved on; the orphan must
+        # not accumulate forever in the shared store.
+        broker = FilesystemBroker(tmp_path / "queue", result_ttl=0.05)
+        task = _task()
+        broker.put(task)
+        claim = broker.claim("w", lease=30.0)
+        broker.complete(claim, encode_result(value=1))
+        assert broker.stats()["results"] == 1
+        time.sleep(0.1)
+        broker.requeue_expired()
+        assert broker.stats()["results"] == 0
+
+    def test_orphaned_results_are_garbage_collected_sqlite(self, tmp_path):
+        broker = SQLiteBroker(tmp_path / "queue.db", result_ttl=0.05)
+        task = _task()
+        broker.put(task)
+        claim = broker.claim("w", lease=30.0)
+        broker.complete(claim, encode_result(value=1))
+        assert broker.stats()["results"] == 1
+        time.sleep(0.1)
+        broker.requeue_expired()
+        assert broker.stats()["results"] == 0
+        broker.close()
+
+
+class TestWorkerResilience:
+    def test_transient_claim_errors_do_not_kill_the_loop(self, broker):
+        task = _task()
+        broker.put(task)
+        original_claim = broker.claim
+        hiccups = {"left": 2}
+
+        def flaky_claim(worker, lease):
+            if hiccups["left"]:
+                hiccups["left"] -= 1
+                raise OSError("transient broker hiccup")
+            return original_claim(worker, lease)
+
+        broker.claim = flaky_claim
+        stats = worker_loop(
+            broker, lease=5.0, poll_interval=0.01, max_tasks=1, idle_exit=1.0
+        )
+        broker.claim = original_claim
+        assert stats.completed == 1
+        assert stats.broker_errors == 2
+        assert decode_result(broker.get_result(task.task_id))["ok"]
+
+    def test_transient_complete_error_is_retried(self, broker):
+        task = _task()
+        broker.put(task)
+        original_complete = broker.complete
+        hiccups = {"left": 1}
+
+        def flaky_complete(claim, payload):
+            if hiccups["left"]:
+                hiccups["left"] -= 1
+                raise OSError("transient broker hiccup")
+            return original_complete(claim, payload)
+
+        broker.complete = flaky_complete
+        stats = worker_loop(
+            broker, lease=5.0, poll_interval=0.01, max_tasks=1, idle_exit=1.0
+        )
+        broker.complete = original_complete
+        assert stats.completed == 1
+        assert stats.broker_errors == 1
+        assert decode_result(broker.get_result(task.task_id))["ok"]
+
+
+class TestEnvelopes:
+    def test_unpicklable_value_degrades_to_error(self):
+        record = decode_result(encode_result(value=lambda: None))
+        assert not record["ok"] and "picklable" in record["error"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            TaskEnvelope(task_id="x", kind="mystery", payload=b"")
+
+
+class TestConnectBroker:
+    def test_fs_url_and_bare_path(self, tmp_path):
+        for url in (f"fs://{tmp_path}/a", str(tmp_path / "b")):
+            made = connect_broker(url)
+            assert isinstance(made, FilesystemBroker)
+            assert made.url == url
+
+    def test_sqlite_url(self, tmp_path):
+        made = connect_broker(f"sqlite://{tmp_path}/queue.db")
+        assert isinstance(made, SQLiteBroker)
+        made.close()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ReproError):
+            connect_broker("kafka://nope")
+
+    def test_redis_without_package_gives_install_hint(self, monkeypatch):
+        import repro.service.dist.redisbroker as redisbroker
+
+        monkeypatch.setattr(redisbroker, "HAVE_REDIS", False)
+        with pytest.raises(ReproError, match="redis"):
+            connect_broker("redis://localhost:6379/0")

@@ -1,0 +1,53 @@
+"""The documentation site stays true: links, examples, generated pages.
+
+Runs the same checks as the CI ``docs-check`` job (``docs/check.py``)
+inside the tier-1 suite, so a PR cannot land a dead link, a drifting
+fenced example, or a stale generated API page.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
+
+sys.path.insert(0, str(DOCS_DIR))
+try:
+    import check as docs_check
+    import generate_api
+finally:
+    sys.path.pop(0)
+
+
+REQUIRED_PAGES = ("architecture.md", "operations.md", "api.md")
+
+
+@pytest.mark.parametrize("page", REQUIRED_PAGES)
+def test_required_page_exists(page):
+    assert (DOCS_DIR / page).is_file(), f"docs/{page} is missing"
+
+
+def test_no_dead_relative_links():
+    assert docs_check.check_links() == []
+
+
+def test_fenced_examples_run():
+    assert docs_check.check_examples() == []
+
+
+def test_api_page_is_fresh():
+    assert docs_check.check_api_freshness() == []
+
+
+def test_api_page_covers_the_contracted_surface():
+    text = (DOCS_DIR / "api.md").read_text(encoding="utf-8")
+    for name in (
+        "Gecco", "GeccoConfig", "AbstractionJob", "ArtifactCache",
+        "PoolExecutor", "DistributedExecutor", "ConstraintSet",
+    ):
+        assert f"`{name}`" in text, f"{name} missing from docs/api.md"
+
+
+def test_generator_is_deterministic():
+    assert generate_api.render_api_page() == generate_api.render_api_page()
