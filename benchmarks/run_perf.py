@@ -36,6 +36,7 @@ if _SRC not in sys.path:
 from repro.constraints import (  # noqa: E402
     ConstraintSet,
     MaxDistinctClassAttribute,
+    MaxGroups,
     MaxGroupSize,
 )
 from repro.core import encoding  # noqa: E402
@@ -52,7 +53,14 @@ from repro.datasets.attributes import enrich_log  # noqa: E402
 from repro.datasets.playout import playout  # noqa: E402
 from repro.datasets.process_tree import TreeSpec, random_tree  # noqa: E402
 from repro.experiments.configs import constraint_set_for_log  # noqa: E402
-from repro.service import AbstractionJob, make_executor, result_signature  # noqa: E402
+from repro.service import (  # noqa: E402
+    AbstractionJob,
+    LogRef,
+    Overloaded,
+    SequentialExecutor,
+    make_executor,
+    result_signature,
+)
 from repro.service.jobs import share_log_refs  # noqa: E402
 
 ENGINES = ("python", "compiled")
@@ -403,6 +411,99 @@ def run_dist_benchmark(quick: bool) -> dict:
     return record
 
 
+def _percentile(values: "list[float]", fraction: float) -> "float | None":
+    """Nearest-rank percentile; ``None`` on an empty sample."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_resilience_benchmark(quick: bool) -> dict:
+    """Admission control under overload: latency and shed behaviour.
+
+    Offers 1x/2x/4x the executor's bounded load, with and without
+    admission control.  With a ``max_load`` bound the executor sheds
+    the excess as typed ``Overloaded`` and keeps admitted latency
+    flat; without the bound everything completes but queueing
+    stretches the tail.  Every job that completes is cross-checked
+    byte-identical against the sequential reference — resilience
+    decides *whether* a job runs, never *what it computes*.
+    """
+    workers = 2
+    base_load = 4 if quick else 6
+    log_ref = LogRef.builtin("running_example")
+
+    combos = [[MaxGroupSize(bound)] for bound in range(2, 10)]
+    combos += [[MaxGroups(bound)] for bound in range(2, 10)]
+    combos += [
+        [MaxGroupSize(size), MaxGroups(groups)]
+        for size in range(3, 7)
+        for groups in range(3, 7)
+    ]
+    # Distinct constraint sets -> distinct fingerprints, so submissions
+    # are never coalesced away and the offered load is real.
+    all_jobs = [
+        AbstractionJob(
+            log=log_ref,
+            constraints=ConstraintSet(combo),
+            job_id=f"overload-{index}",
+        )
+        for index, combo in enumerate(combos[: base_load * 4])
+    ]
+    sequential = SequentialExecutor()
+    reference = {
+        job.fingerprint().full: result_signature(sequential.submit(job).result())
+        for job in all_jobs
+    }
+
+    record = {"workers": workers, "max_load": base_load, "runs": {}}
+    matched = True
+    for multiplier in (1, 2, 4):
+        offered = all_jobs[: base_load * multiplier]
+        cell = {}
+        for label, max_load in (
+            ("with_admission", base_load),
+            ("without_admission", None),
+        ):
+            executor = make_executor(workers=workers, max_load=max_load)
+            latencies: "list[float]" = []
+            shed = 0
+            started = time.perf_counter()
+            try:
+                handles = [(job, executor.submit(job)) for job in offered]
+                for job, handle in handles:
+                    try:
+                        result = handle.result()
+                    except Overloaded:
+                        shed += 1
+                        continue
+                    latencies.append(time.perf_counter() - started)
+                    if result_signature(result) != reference[job.fingerprint().full]:
+                        matched = False
+            finally:
+                executor.shutdown()
+            cell[label] = {
+                "offered": len(offered),
+                "completed": len(latencies),
+                "shed": shed,
+                "shed_rate": shed / len(offered),
+                "p50_latency_seconds": _percentile(latencies, 0.50),
+                "p99_latency_seconds": _percentile(latencies, 0.99),
+            }
+            print(
+                f"resilience {multiplier}x {label:18s}: "
+                f"offered={len(offered):3d} completed={len(latencies):3d} "
+                f"shed={shed:3d} "
+                f"p50={(cell[label]['p50_latency_seconds'] or 0.0):6.3f}s "
+                f"p99={(cell[label]['p99_latency_seconds'] or 0.0):6.3f}s"
+            )
+        record["runs"][f"overload_{multiplier}x"] = cell
+    record["outputs_match"] = matched
+    return record
+
+
 def run_attribute_benchmark(quick: bool) -> dict:
     """Instance-constraint checking: columnar kernels vs event walks.
 
@@ -738,6 +839,7 @@ def main(argv=None) -> int:
     batch_record = run_batch_benchmark(args.quick)
     dist_record = run_dist_benchmark(args.quick)
     selection_record = run_selection_benchmark(args.quick)
+    resilience_record = run_resilience_benchmark(args.quick)
 
     scaling_speedups = [
         r["speedup_candidates"]
@@ -765,6 +867,8 @@ def main(argv=None) -> int:
     mismatches += [
         f"abstraction/{cell}" for cell in abstraction_record["mismatched_cells"]
     ]
+    if not resilience_record["outputs_match"]:
+        mismatches.append("resilience/completed-jobs")
     report = {
         "schema": "gecco-perf/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -776,6 +880,7 @@ def main(argv=None) -> int:
         "batch": batch_record,
         "dist": dist_record,
         "selection": selection_record,
+        "resilience": resilience_record,
         "summary": {
             "median_speedup_candidates_scaling_classes": (
                 statistics.median(scaling_speedups) if scaling_speedups else None
@@ -817,6 +922,9 @@ def main(argv=None) -> int:
             "selection_speedup_decomposed_pool": selection_record[
                 "speedup_decomposed_pool"
             ],
+            "resilience_shed_rate_4x_with_admission": resilience_record["runs"][
+                "overload_4x"
+            ]["with_admission"]["shed_rate"],
             "outputs_match": not mismatches,
             "mismatched_workloads": mismatches,
         },

@@ -70,6 +70,25 @@ API_SECTIONS: "list[tuple[str, list[tuple[str, str, str]]]]" = [
              "the claim-and-run loop behind `repro worker`"),
         ],
     ),
+    (
+        "Resilience",
+        [
+            ("repro.service.resilience", "Deadline",
+             "an absolute wall-clock budget threaded through a job"),
+            ("repro.service.resilience", "RetryPolicy",
+             "bounded exponential backoff with deterministic jitter"),
+            ("repro.service.resilience", "AdmissionController",
+             "token-bucket tenant quotas plus bounded-load shedding"),
+            ("repro.service.resilience", "CircuitBreaker",
+             "closed/open/half-open failure gate"),
+            ("repro.service.resilience", "DegradingExecutor",
+             "automatic tier degradation behind a circuit breaker"),
+            ("repro.service.dist.chaos", "ChaosConfig",
+             "a seeded deterministic fault schedule"),
+            ("repro.service.dist.chaos", "ChaosBroker",
+             "fault-injecting proxy over any broker"),
+        ],
+    ),
 ]
 
 _HEADER = """\

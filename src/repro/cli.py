@@ -214,6 +214,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.service import load_manifest, run_batch
 
     jobs = load_manifest(args.manifest)
+    if args.deadline_ms is not None:
+        # A batch-wide default budget; manifest rows with their own
+        # deadline_ms keep it.
+        for job in jobs:
+            if job.deadline_ms is None:
+                job.deadline_ms = args.deadline_ms
     report = run_batch(
         jobs,
         workers=args.workers,
@@ -221,6 +227,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         include_log=args.include_log,
         disk_dir=args.cache_dir,
         broker=args.broker,
+        max_load=args.max_load,
     )
     if args.output is None:
         for row in report.rows:
@@ -241,7 +248,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import make_executor, serve_loop, serve_socket
 
     executor = make_executor(
-        workers=args.workers, disk_dir=args.cache_dir, broker=args.broker
+        workers=args.workers,
+        disk_dir=args.cache_dir,
+        broker=args.broker,
+        max_load=args.max_load,
     )
     try:
         if args.port is not None:
@@ -250,7 +260,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             served = serve_socket(
-                args.host, args.port, executor, max_requests=args.max_requests
+                args.host,
+                args.port,
+                executor,
+                max_requests=args.max_requests,
+                conn_timeout=args.conn_timeout,
             )
         else:
             served = serve_loop(sys.stdin, sys.stdout, executor)
@@ -261,6 +275,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.dist.chaos import ChaosBroker, ChaosConfig
     from repro.service.dist.worker import worker_loop
 
     print(
@@ -268,16 +283,31 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         f"(lease={args.lease}s, cache_dir={args.cache_dir})",
         file=sys.stderr,
     )
-    stats = worker_loop(
-        args.broker,
-        cache_dir=args.cache_dir,
-        worker_id=args.worker_id,
-        lease=args.lease,
-        poll_interval=args.poll_interval,
-        max_tasks=args.max_tasks,
-        idle_exit=args.idle_exit,
-        max_attempts=args.max_attempts,
-    )
+    broker = args.broker
+    chaos = ChaosConfig.from_args(args)
+    if chaos.any_faults():
+        from repro.service.dist.broker import connect_broker
+
+        print(
+            f"chaos: injecting faults with seed={chaos.seed} "
+            "(fault schedules are deterministic per seed)",
+            file=sys.stderr,
+        )
+        broker = ChaosBroker(connect_broker(args.broker), chaos)
+    try:
+        stats = worker_loop(
+            broker,
+            cache_dir=args.cache_dir,
+            worker_id=args.worker_id,
+            lease=args.lease,
+            poll_interval=args.poll_interval,
+            max_tasks=args.max_tasks,
+            idle_exit=args.idle_exit,
+            max_attempts=args.max_attempts,
+        )
+    finally:
+        if broker is not args.broker:
+            broker.close()
     print(
         f"worker {stats.worker} exiting: {stats.completed} completed, "
         f"{stats.failed} failed, {stats.quarantined} quarantined, "
@@ -402,6 +432,17 @@ def build_parser() -> argparse.ArgumentParser:
         "redis:// URL); --workers then counts local fleet workers "
         "(0 = external workers only)",
     )
+    batch.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="wall-clock budget per job (ms); jobs that cannot finish "
+        "in budget fail typed instead of running on (manifest rows "
+        "with their own deadline_ms keep it)",
+    )
+    batch.add_argument(
+        "--max-load", type=int, default=None,
+        help="bound on queued+running jobs; past it the lowest-priority "
+        "job is shed with a typed Overloaded error row",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     serve = sub.add_parser(
@@ -420,6 +461,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--broker",
         help="dispatch through a distributed broker (fs://, sqlite://, "
         "redis:// URL) instead of the in-process pool",
+    )
+    serve.add_argument(
+        "--max-load", type=int, default=None,
+        help="bound on queued+running jobs; past it the lowest-priority "
+        "job is shed with a typed Overloaded response",
+    )
+    serve.add_argument(
+        "--conn-timeout", type=float, default=30.0,
+        help="idle seconds before a silent TCP client is dropped "
+        "(the loop serves one client at a time)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -453,6 +504,38 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--max-attempts", type=int, default=3,
         help="deliveries before an undeliverable task is quarantined",
+    )
+    chaos = worker.add_argument_group(
+        "chaos", "deterministic fault injection (resilience drills; "
+        "all rates in [0, 1], 0 = off)"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="fault schedule seed (same seed = same schedule)",
+    )
+    chaos.add_argument(
+        "--chaos-claim-failure-rate", type=float, default=0.0,
+        help="probability a claim call fails",
+    )
+    chaos.add_argument(
+        "--chaos-heartbeat-drop-rate", type=float, default=0.0,
+        help="probability a heartbeat is dropped",
+    )
+    chaos.add_argument(
+        "--chaos-complete-duplicate-rate", type=float, default=0.0,
+        help="probability a completion is delivered twice",
+    )
+    chaos.add_argument(
+        "--chaos-complete-delay-rate", type=float, default=0.0,
+        help="probability a result is withheld for a few polls",
+    )
+    chaos.add_argument(
+        "--chaos-corrupt-claim-rate", type=float, default=0.0,
+        help="probability a first-delivery payload is corrupted in flight",
+    )
+    chaos.add_argument(
+        "--chaos-put-failure-rate", type=float, default=0.0,
+        help="probability an enqueue is refused",
     )
     worker.set_defaults(handler=_cmd_worker)
     return parser

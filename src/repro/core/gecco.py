@@ -358,6 +358,7 @@ class Gecco:
         log: EventLog,
         artifacts: PipelineArtifacts | None = None,
         selection_cache=None,
+        deadline=None,
     ) -> AbstractionResult:
         """Run the full pipeline on ``log``.
 
@@ -367,9 +368,23 @@ class Gecco:
         optional :class:`~repro.service.cache.ArtifactCache` whose
         selection tier memoizes solved Step-2 components across jobs
         (the service runtime passes its per-worker cache here).
+
+        ``deadline`` is an optional
+        :class:`~repro.service.resilience.Deadline`: the pipeline
+        checks it at each step boundary and raises
+        :class:`~repro.service.resilience.DeadlineExceeded` once the
+        budget runs out.  The check points never alter what a run that
+        *does* finish computes — in particular the Step-1 candidate
+        timeout is **not** derived from the deadline (a capped timeout
+        would change which candidates are found, breaking byte-identity
+        with the unbudgeted run), and Step-2 solver time limits are
+        only capped where the decomposed path can fail typed instead of
+        returning a different result.
         """
         config = self.config
         timings = StepTimings()
+        if deadline is not None:
+            deadline.check("pipeline start")
         if artifacts is None:
             artifacts = prepare_artifacts(log, config)
         else:
@@ -414,6 +429,8 @@ class Gecco:
         timings.candidates = time.perf_counter() - started
 
         candidates = set(candidate_result.groups)
+        if deadline is not None:
+            deadline.check("exclusive merging (step 1 done)")
         if config.exclusive_merging:
             started = time.perf_counter()
             candidates, _exclusive_stats = merge_exclusive_candidates(
@@ -422,6 +439,8 @@ class Gecco:
             timings.exclusive = time.perf_counter() - started
 
         # Step 2: optimal grouping.
+        if deadline is not None:
+            deadline.check("selection (step 2)")
         started = time.perf_counter()
         if config.selection == "decomposed":
             from repro.selection2 import select_decomposed
@@ -436,6 +455,7 @@ class Gecco:
                 time_limit=config.solver_time_limit,
                 workers=config.selection_workers,
                 cache=selection_cache,
+                deadline=deadline,
             )
         else:
             selection = select_optimal_grouping(
@@ -479,6 +499,8 @@ class Gecco:
             grouping = self._relabel_by_attribute(grouping, checker)
 
         # Step 3: abstraction.
+        if deadline is not None:
+            deadline.check("abstraction (step 3)")
         started = time.perf_counter()
         abstracted = abstract_log(
             log,

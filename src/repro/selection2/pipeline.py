@@ -78,12 +78,18 @@ def solve_component_task(
     backend: str,
     time_limit: float | None,
     cache=None,
+    deadline=None,
 ) -> "tuple[portfolio.ComponentSolution, bool]":
     """Solve one component cell against a selection cache.
 
     This is the unit of work dispatched through the service executors
     (:meth:`~repro.service.executor.PoolExecutor.submit_call` passes the
     worker-local cache as ``cache``).  Returns ``(solution, from_cache)``.
+
+    ``deadline`` (a :class:`~repro.service.resilience.Deadline`) caps
+    the solver's time limit to the remaining budget; cache hits are
+    served even when the budget is gone (they cost nothing and are the
+    same bytes regardless).
     """
     key = component_cache_key(component, min_count, max_count, backend)
     if cache is not None:
@@ -96,6 +102,7 @@ def solve_component_task(
         min_count=min_count,
         max_count=max_count,
         time_limit=time_limit,
+        deadline=deadline,
     )
     # Cache only proofs (optimality / infeasibility) — those hold for
     # any time budget.  A timeout or solver error must not poison the
@@ -124,6 +131,29 @@ def _infeasible(
     )
 
 
+def _deadline_guard(solution: "portfolio.ComponentSolution", deadline) -> None:
+    """Fail typed when a deadline-capped solve ran out of budget.
+
+    A solver timeout under a deadline-derived cap must never flow into
+    the infeasible path (that would *return a different result* than
+    the unbudgeted run — an infeasibility verdict the program does not
+    actually have).  Genuine infeasibility proofs hold for any budget
+    and pass through untouched.
+    """
+    if (
+        deadline is not None
+        and not solution.is_optimal
+        and solution.status != SolverStatus.INFEASIBLE.value
+        and deadline.expired()
+    ):
+        from repro.service.resilience import DeadlineExceeded
+
+        raise DeadlineExceeded(
+            f"component solve exhausted the deadline budget "
+            f"(solver status: {solution.status})"
+        )
+
+
 def _run_tasks(
     tasks: "list[tuple[Component, int | None, int | None]]",
     backend: str,
@@ -132,6 +162,7 @@ def _run_tasks(
     executor,
     workers: int,
     stats: SelectionStats,
+    deadline=None,
 ) -> "list[portfolio.ComponentSolution]":
     """Solve all task cells, in parallel when an executor is available."""
     solutions: list = [None] * len(tasks)
@@ -165,12 +196,14 @@ def _run_tasks(
                         tasks[position][2],
                         backend,
                         time_limit,
+                        deadline=deadline,
                     ),
                 )
                 for position in pending
             ]
             for position, handle in handles:
                 solution, worker_hit = handle.result()
+                _deadline_guard(solution, deadline)
                 if worker_hit:
                     stats.cache_hits += 1
                     stats.cache_misses -= 1
@@ -191,8 +224,10 @@ def _run_tasks(
             for position in pending:
                 component, min_count, max_count = tasks[position]
                 solution, _hit = solve_component_task(
-                    component, min_count, max_count, backend, time_limit, cache=cache
+                    component, min_count, max_count, backend, time_limit,
+                    cache=cache, deadline=deadline,
                 )
+                _deadline_guard(solution, deadline)
                 stats.solves += 1
                 stats.nodes += solution.nodes
                 solutions[position] = solution
@@ -217,6 +252,7 @@ def select_decomposed(
     workers: int = 1,
     cache=None,
     executor=None,
+    deadline=None,
 ) -> DecomposedSelectionResult:
     """Decomposed Step 2: pick the distance-minimal exact cover.
 
@@ -250,6 +286,13 @@ def select_decomposed(
         fans component solves out over a multi-host fleet whose workers
         memoize cells in their own selection tiers (shared on disk when
         the fleet points at one ``--cache-dir``).
+    deadline:
+        Optional :class:`~repro.service.resilience.Deadline`: caps each
+        component solve's time limit to the remaining budget and raises
+        :class:`~repro.service.resilience.DeadlineExceeded` when the
+        budget runs out mid-selection.  Never degrades the result — a
+        run that finishes under deadline returns exactly the grouping
+        the unbudgeted run would.
     """
     if backend not in DECOMPOSED_BACKENDS:
         raise SolverError(
@@ -318,7 +361,8 @@ def select_decomposed(
     if components and not bounded:
         tasks = [(component, None, None) for component in components]
         solutions = _run_tasks(
-            tasks, backend, time_limit, cache, executor, workers, stats
+            tasks, backend, time_limit, cache, executor, workers, stats,
+            deadline=deadline,
         )
         for component, solution in zip(components, solutions):
             if not solution.is_optimal:
@@ -334,7 +378,8 @@ def select_decomposed(
         # (structurally the monolithic program, minus presolve removals).
         tasks = [(components[0], residual_min, residual_max)]
         solutions = _run_tasks(
-            tasks, backend, time_limit, cache, executor, workers, stats
+            tasks, backend, time_limit, cache, executor, workers, stats,
+            deadline=deadline,
         )
         solution = solutions[0]
         if not solution.is_optimal:
@@ -359,7 +404,8 @@ def select_decomposed(
             for count in range(k_lo, k_hi + 1):
                 tasks.append((component, count, count))
         solutions = _run_tasks(
-            tasks, backend, time_limit, cache, executor, workers, stats
+            tasks, backend, time_limit, cache, executor, workers, stats,
+            deadline=deadline,
         )
         fronts: list[dict[int, portfolio.ComponentSolution]] = []
         cursor = 0

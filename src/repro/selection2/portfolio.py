@@ -215,6 +215,7 @@ def solve_component(
     min_count: int | None = None,
     max_count: int | None = None,
     time_limit: float | None = None,
+    deadline=None,
 ) -> ComponentSolution:
     """Solve one component with the requested backend (or the portfolio).
 
@@ -223,28 +224,54 @@ def solve_component(
     start, default node limit, HiGHS-only time limits).  ``"auto"``
     races a warm-started, node- and time-capped branch-and-bound on
     small components and falls back to HiGHS on blowup.
+
+    ``deadline`` (a :class:`~repro.service.resilience.Deadline`) checks
+    the remaining end-to-end budget at entry and caps ``time_limit`` to
+    it — including on the otherwise-uncapped explicit ``"bnb"`` path.
+    A solve that runs out of the capped budget fails typed
+    (:class:`~repro.service.resilience.DeadlineExceeded`), never by
+    degrading the solution: any solve that *finishes* returns exactly
+    what the unbudgeted run would.
     """
-    if backend == "bnb":
-        return _solve_bnb(component, min_count, max_count)
-    if backend == "scipy":
-        return _solve_scipy(component, min_count, max_count, time_limit)
-    if backend != "auto":
+    if backend not in ("bnb", "scipy", "auto"):
         raise SolverError(
             f"unknown component backend {backend!r}; use 'scipy', 'bnb', or 'auto'"
         )
-    if choose_backend(component.num_classes, component.num_candidates) == "bnb":
-        try:
+    bnb_time_limit = None
+    if deadline is not None:
+        deadline.check("component solve")
+        time_limit = deadline.cap(time_limit)
+        bnb_time_limit = time_limit
+    try:
+        if backend == "bnb":
             return _solve_bnb(
-                component,
-                min_count,
-                max_count,
-                node_limit=AUTO_BNB_NODE_LIMIT if scipy_backend.HAVE_SCIPY else None,
-                time_limit=time_limit,
-                warm_start=True,
+                component, min_count, max_count, time_limit=bnb_time_limit
             )
-        except SolverError:
-            pass  # node/time budget exhausted: fall through to HiGHS
-    return _solve_scipy(component, min_count, max_count, time_limit)
+        if backend == "scipy":
+            return _solve_scipy(component, min_count, max_count, time_limit)
+        if choose_backend(component.num_classes, component.num_candidates) == "bnb":
+            try:
+                return _solve_bnb(
+                    component,
+                    min_count,
+                    max_count,
+                    node_limit=AUTO_BNB_NODE_LIMIT if scipy_backend.HAVE_SCIPY else None,
+                    time_limit=time_limit,
+                    warm_start=True,
+                )
+            except SolverError:
+                pass  # node/time budget exhausted: fall through to HiGHS
+        return _solve_scipy(component, min_count, max_count, time_limit)
+    except SolverError:
+        # A budget-exhausted solver under a deadline cap is a deadline
+        # failure, not a solver defect — surface it typed.
+        if deadline is not None and deadline.expired():
+            from repro.service.resilience import DeadlineExceeded
+
+            raise DeadlineExceeded(
+                "component solve exhausted the deadline budget"
+            ) from None
+        raise
 
 
 def count_bounds(component: Component) -> tuple[int, int]:

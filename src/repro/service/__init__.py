@@ -19,6 +19,11 @@ amortizes work across requests:
   leases, heartbeats, and dead-worker requeue;
 * :mod:`~repro.service.batch` — ``repro batch`` / ``repro serve``
   entry-point machinery (JSONL manifests, line-JSON serve loop);
+* :mod:`~repro.service.resilience` — deadlines, admission control,
+  retry policies, and circuit-breaker tier degradation
+  (:class:`Deadline`, :class:`AdmissionController`,
+  :class:`RetryPolicy`, :class:`DegradingExecutor`, and the typed
+  :class:`DeadlineExceeded` / :class:`Overloaded` failures);
 * :mod:`~repro.service.serialization` — lossless pickle/JSON
   round-trips for every object that crosses a process boundary.
 
@@ -59,6 +64,16 @@ from repro.service.jobs import (
     JobFingerprint,
     LogRef,
 )
+from repro.service.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradingExecutor,
+    Overloaded,
+    RetryPolicy,
+    TokenBucket,
+)
 from repro.service.serialization import (
     grouping_from_dict,
     grouping_to_dict,
@@ -71,19 +86,27 @@ from repro.service.serialization import (
 
 __all__ = [
     "AbstractionJob",
+    "AdmissionController",
     "ArtifactCache",
     "BatchReport",
     "BUILTIN_LOGS",
     "CacheStats",
     "CallHandle",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradingExecutor",
     "DistributedExecutor",
     "connect_broker",
     "JobFingerprint",
     "JobHandle",
     "LogRef",
+    "Overloaded",
     "PoolExecutor",
+    "RetryPolicy",
     "SequentialExecutor",
     "TierStats",
+    "TokenBucket",
     "grouping_from_dict",
     "grouping_to_dict",
     "load_manifest",

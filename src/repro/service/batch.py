@@ -21,6 +21,7 @@ from typing import IO, Iterable
 from repro.exceptions import ReproError
 from repro.service.executor import PoolExecutor, SequentialExecutor
 from repro.service.jobs import AbstractionJob, share_log_refs
+from repro.service.resilience import DeadlineExceeded, Overloaded
 from repro.service.serialization import result_to_dict
 
 
@@ -126,6 +127,9 @@ def make_executor(
     disk_dir=None,
     max_pending: int | None = None,
     broker: str | None = None,
+    max_load: int | None = None,
+    admission=None,
+    degrade: bool = True,
 ):
     """Build the executor the CLI flags describe.
 
@@ -135,24 +139,51 @@ def make_executor(
     :class:`~repro.service.dist.executor.DistributedExecutor` that
     spawns ``workers`` local worker processes against the broker
     (``workers=0`` relies entirely on external ``repro worker``
-    processes joined to the same URL).
+    processes joined to the same URL), wrapped — unless
+    ``degrade=False`` — in a
+    :class:`~repro.service.resilience.DegradingExecutor` so repeated
+    broker failures trip a circuit breaker and jobs fall back to a
+    local tier (pool when ``workers > 1``, else sequential) instead of
+    erroring.  ``max_load`` / ``admission`` configure admission
+    control and load shedding on the pool and distributed tiers (see
+    :mod:`repro.service.resilience`); the sequential tier runs at
+    submit time and cannot overload, so they are ignored there.
     """
     if broker is not None:
         from repro.service.dist.executor import DistributedExecutor
+        from repro.service.resilience import DegradingExecutor
 
-        return DistributedExecutor(
+        primary = DistributedExecutor(
             broker,
             workers=workers,
             cache=cache,
             disk_dir=disk_dir,
             max_pending=max_pending,
+            max_load=max_load,
+            admission=admission,
         )
+        if not degrade:
+            return primary
+        if workers > 1:
+            def fallback_factory(workers=workers, disk_dir=disk_dir):
+                return PoolExecutor(workers=workers, disk_dir=disk_dir)
+        else:
+            def fallback_factory(disk_dir=disk_dir):
+                from repro.service.cache import ArtifactCache
+
+                return SequentialExecutor(ArtifactCache(disk_dir=disk_dir))
+        return DegradingExecutor(primary, fallback_factory)
     if workers <= 1:
         from repro.service.cache import ArtifactCache
 
         return SequentialExecutor(cache or ArtifactCache(disk_dir=disk_dir))
     return PoolExecutor(
-        workers=workers, cache=cache, disk_dir=disk_dir, max_pending=max_pending
+        workers=workers,
+        cache=cache,
+        disk_dir=disk_dir,
+        max_pending=max_pending,
+        max_load=max_load,
+        admission=admission,
     )
 
 
@@ -164,6 +195,7 @@ def run_batch(
     include_log: bool = False,
     disk_dir=None,
     broker: str | None = None,
+    max_load: int | None = None,
 ) -> BatchReport:
     """Run a list of jobs and collect (optionally write) result rows.
 
@@ -172,16 +204,36 @@ def run_batch(
     (sequential, pool, or a broker-backed distributed fleet when
     ``broker`` is given).  The executor is shut down only when it was
     created here.
+
+    Typed resilience outcomes — a job shed by admission control
+    (:class:`~repro.service.resilience.Overloaded`) or failed by its
+    deadline (:class:`~repro.service.resilience.DeadlineExceeded`) —
+    become error rows (``"error"`` key, ``"feasible": false``) instead
+    of aborting the whole batch; any other failure still propagates.
     """
     owns_executor = executor is None
     if executor is None:
-        executor = make_executor(workers=workers, disk_dir=disk_dir, broker=broker)
+        executor = make_executor(
+            workers=workers, disk_dir=disk_dir, broker=broker, max_load=max_load
+        )
     report = BatchReport()
     started = time.perf_counter()
     try:
         submitted = [(job, executor.submit(job)) for job in jobs]
         for job, handle in submitted:
-            result = handle.result()
+            try:
+                result = handle.result()
+            except (DeadlineExceeded, Overloaded) as exc:
+                report.rows.append({
+                    "id": job.job_id,
+                    "log": job.log.describe(),
+                    "fingerprint": job.fingerprint().full,
+                    "cached": False,
+                    "seconds": 0.0,
+                    "feasible": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
             cached = bool(handle.cached)
             # Per-row seconds: the job's own pipeline time — wall time
             # from submit would be order-dependent (it includes waiting
@@ -263,7 +315,14 @@ def serve_loop(input_stream: IO, output_stream: IO, executor) -> int:
     return served
 
 
-def serve_socket(host: str, port: int, executor, max_requests: int | None = None) -> int:
+def serve_socket(
+    host: str,
+    port: int,
+    executor,
+    max_requests: int | None = None,
+    conn_timeout: float | None = 30.0,
+    on_bound=None,
+) -> int:
     """Serve the same protocol over TCP, one client at a time.
 
     The server keeps accepting connections (clients that connect and
@@ -273,27 +332,45 @@ def serve_socket(host: str, port: int, executor, max_requests: int | None = None
     and single-tenant deployments; heavy multi-tenant traffic should
     front several ``repro serve`` processes with a real load balancer
     (see ROADMAP).
+
+    ``conn_timeout`` bounds how long one connection may sit idle
+    between request lines (seconds; ``None`` disables): because the
+    loop serves one client at a time, a hung client that connects and
+    then goes silent would otherwise block the accept loop forever.  A
+    timed-out connection is dropped and the server moves to the next
+    ``accept``; requests already served on it are kept.
+
+    ``port`` 0 binds an ephemeral port; ``on_bound`` (when given) is
+    called with the server's actual ``(host, port)`` once the socket
+    is listening, so callers can connect without racing the bind.
     """
     import socket
 
     served = 0
     stopped = False
     with socket.create_server((host, port)) as server:
+        if on_bound is not None:
+            on_bound(server.getsockname()[:2])
         while not stopped and (max_requests is None or served < max_requests):
             connection, _address = server.accept()
             with connection:
+                connection.settimeout(conn_timeout)
                 reader = connection.makefile("r", encoding="utf-8")
                 writer = connection.makefile("w", encoding="utf-8")
-                for line in reader:
-                    if not line.strip():
-                        continue
-                    response, keep_going = _serve_one(line, executor)
-                    writer.write(json.dumps(response) + "\n")
-                    writer.flush()
-                    served += 1
-                    if not keep_going:
-                        stopped = True
-                        break
-                    if max_requests is not None and served >= max_requests:
-                        break
+                try:
+                    for line in reader:
+                        if not line.strip():
+                            continue
+                        response, keep_going = _serve_one(line, executor)
+                        writer.write(json.dumps(response) + "\n")
+                        writer.flush()
+                        served += 1
+                        if not keep_going:
+                            stopped = True
+                            break
+                        if max_requests is not None and served >= max_requests:
+                            break
+                except (TimeoutError, socket.timeout, OSError):
+                    # Idle or broken client: drop it, keep accepting.
+                    continue
     return served

@@ -50,11 +50,19 @@ from pathlib import Path
 
 from repro.core.gecco import AbstractionResult
 from repro.experiments.persistence import read_json, write_json_atomic
+from repro.service.resilience import RetryPolicy
 from repro.service.serialization import result_from_dict, result_to_dict
 
 #: Component-solve outcomes that may enter the persistent selection
 #: store: proofs hold for any time budget, timeouts/errors do not.
 _PERSISTABLE_SELECTION_STATUSES = ("optimal", "infeasible")
+
+#: Default retry policy for disk-store writes: a transient write
+#: failure (NFS stall, brief disk-full, antivirus lock) gets a couple
+#: of quick backed-off retries before the tier degrades to best-effort.
+_DISK_WRITE_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.02, max_delay=0.25, seed="cache-disk"
+)
 
 
 def _selection_to_dict(solution) -> dict | None:
@@ -177,6 +185,10 @@ class ArtifactCache:
         the results tier and the selection tier independently honor
         the configured bound, so total disk use can reach twice the
         byte budget — size the volume accordingly.
+    disk_retry:
+        The :class:`~repro.service.resilience.RetryPolicy` applied to
+        disk-store writes (transient filesystem failures are retried
+        with backoff before the tier degrades to best-effort).
     """
 
     def __init__(
@@ -188,6 +200,7 @@ class ArtifactCache:
         disk_ttl: float | None = None,
         disk_max_entries: int | None = None,
         disk_max_bytes: int | None = None,
+        disk_retry: RetryPolicy | None = None,
     ):
         if max_artifacts < 1 or max_results < 1 or max_selections < 1:
             raise ValueError("cache capacities must be >= 1")
@@ -207,6 +220,7 @@ class ArtifactCache:
         self._disk_ttl = disk_ttl
         self._disk_max_entries = disk_max_entries
         self._disk_max_bytes = disk_max_bytes
+        self._disk_retry = disk_retry if disk_retry is not None else _DISK_WRITE_RETRY
         # In-process footprint estimate of the selection tier,
         # ``(entries, bytes)``; ``None`` until the first enforcement
         # sweep seeds it from disk.  Lets a decomposed run that stores
@@ -312,7 +326,10 @@ class ArtifactCache:
         path = self._selection_disk_path(key)
         if not path.exists():
             try:
-                write_json_atomic(payload, path)
+                self._disk_retry.call(
+                    write_json_atomic, payload, path, key=key,
+                    retry_on=(OSError,),
+                )
             except Exception:
                 return  # best-effort tier, same as results
             try:
@@ -440,7 +457,12 @@ class ArtifactCache:
             path = self._disk_path(fingerprint)
             if not path.exists():
                 try:
-                    write_json_atomic(result_to_dict(result), path)
+                    # Transient write failures retry with backoff; a
+                    # serialization error (non-OSError) fails once.
+                    self._disk_retry.call(
+                        write_json_atomic, result_to_dict(result), path,
+                        key=fingerprint, retry_on=(OSError,),
+                    )
                 except Exception:
                     # Best-effort tier: a full disk or a result with
                     # JSON-unserializable attribute values must not fail

@@ -17,6 +17,9 @@ processes and hosts.  The pieces:
   behind an import gate;
 * :mod:`~repro.service.dist.worker` — the ``repro worker --broker URL``
   claim-and-run loop;
+* :mod:`~repro.service.dist.chaos` — :class:`ChaosBroker`, a seedable
+  fault-injecting proxy over any broker (deterministic resilience
+  drills; ``repro worker --chaos-seed N ...``);
 * :mod:`~repro.service.dist.executor` — :class:`DistributedExecutor`,
   implementing the exact executor protocol of the pool (``submit``,
   ``submit_call``, coalescing, priorities, backpressure) over a broker.
@@ -46,6 +49,7 @@ from repro.service.dist.broker import (
     encode_result_flagged,
     new_task_id,
 )
+from repro.service.dist.chaos import ChaosBroker, ChaosConfig, ChaosError
 from repro.service.dist.executor import DistributedExecutor, job_affinity_key
 from repro.service.dist.fsbroker import FilesystemBroker
 from repro.service.dist.sqlitebroker import SQLiteBroker
@@ -59,6 +63,9 @@ from repro.service.dist.worker import (
 
 __all__ = [
     "Broker",
+    "ChaosBroker",
+    "ChaosConfig",
+    "ChaosError",
     "Claim",
     "DistributedExecutor",
     "FilesystemBroker",

@@ -190,6 +190,22 @@ class Broker:
         """
         raise NotImplementedError
 
+    def release(self, claim: Claim) -> bool:
+        """Hand a claimed task back for redelivery (attempts + 1).
+
+        The voluntary twin of lease expiry: a worker that cannot make
+        progress on a claim for a *transient* reason — e.g. the payload
+        arrived corrupted in flight — releases it so another delivery
+        can succeed, instead of quarantining a possibly-good task on
+        first sight.  Returns ``True`` when the task went back to the
+        queue, ``False`` when the claim was already gone (requeued or
+        finished elsewhere) or the broker does not support voluntary
+        release — in which case lease expiry requeues it eventually,
+        so ``False`` is safe to ignore.
+        """
+        del claim
+        return False
+
     def quarantine(self, claim: Claim, reason: str) -> None:
         """Park a poisonous claimed task and record an error result.
 

@@ -1,0 +1,284 @@
+"""Deterministic fault injection for the broker contract.
+
+:class:`ChaosBroker` wraps any real :class:`~repro.service.dist.broker.Broker`
+and injects the faults a distributed deployment actually sees — claim
+failures (broker hiccup at take time), dropped heartbeats (network
+partition between worker and broker), delayed and duplicated
+completions (slow result channel, at-least-once redelivery racing the
+original worker), and corrupt payloads (torn write / bit rot) — on a
+**seeded, deterministic schedule**, so the at-least-once,
+exactly-once-requeue, and quarantine invariants can be asserted under
+adversarial interleavings instead of only happy paths.
+
+Determinism under threads: each fault type draws from its own
+:class:`random.Random` stream seeded ``f"{seed}:{op}"``.  With per-op
+streams, the decision sequence for (say) claims depends only on how
+many claims happened before — not on how claim calls interleave with
+heartbeats or completions — so a schedule replays identically however
+the thread scheduler feels that day.
+
+Two deliberate safety rails keep injected faults *recoverable*, which
+is what the chaos suite needs to assert exactly-once completion:
+
+* payload corruption only targets **first deliveries**
+  (``attempts == 0``) and corrupts the delivered copy, not the queue's
+  copy — the redelivery after the worker releases the claim is clean,
+  exercising the release/requeue path without permanently poisoning a
+  good job;
+* claim failures and heartbeat drops raise *before* touching the inner
+  broker, so no task is half-claimed: the queue state stays exactly
+  what a real pre-call network failure would leave.
+
+Wire it in with ``repro worker --broker URL --chaos-seed N …`` (see
+:meth:`ChaosConfig.from_args`) or construct directly in tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, fields
+
+from repro.exceptions import ReproError
+from repro.service.dist.broker import (
+    DEFAULT_MAX_ATTEMPTS,
+    Broker,
+    Claim,
+    TaskEnvelope,
+)
+
+
+class ChaosError(ReproError):
+    """The typed failure every injected broker fault raises.
+
+    A distinct type so tests (and retry policies) can tell injected
+    faults from real broker errors.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One deterministic fault schedule.
+
+    Rates are probabilities in ``[0, 1]`` drawn from per-op seeded
+    streams; ``seed`` selects the schedule.  All-zero rates make the
+    wrapper a transparent proxy.
+    """
+
+    seed: int = 0
+    #: Probability a ``claim`` call raises :class:`ChaosError` instead
+    #: of reaching the broker.
+    claim_failure_rate: float = 0.0
+    #: Probability a ``heartbeat`` call raises (dropped beat).
+    heartbeat_drop_rate: float = 0.0
+    #: Probability a ``complete`` is delivered twice (redelivery race).
+    complete_duplicate_rate: float = 0.0
+    #: Probability a completed result is withheld from ``get_result``
+    #: for :attr:`complete_delay_polls` polls (slow result channel).
+    complete_delay_rate: float = 0.0
+    #: How many ``get_result`` polls a delayed result stays invisible.
+    complete_delay_polls: int = 3
+    #: Probability a first-delivery claim's payload is corrupted in
+    #: flight (the queued copy stays intact; redelivery is clean).
+    corrupt_claim_rate: float = 0.0
+    #: Probability a ``put`` call raises (enqueue refused) — exercises
+    #: the executor-side circuit breaker.
+    put_failure_rate: float = 0.0
+
+    def __post_init__(self):
+        for spec in fields(self):
+            if spec.name.endswith("_rate"):
+                value = getattr(self, spec.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ReproError(
+                        f"chaos {spec.name} must be in [0, 1], got {value}"
+                    )
+        if self.complete_delay_polls < 0:
+            raise ReproError(
+                f"complete_delay_polls must be >= 0, got {self.complete_delay_polls}"
+            )
+
+    def any_faults(self) -> bool:
+        """Whether any fault rate is non-zero."""
+        return any(
+            getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name.endswith("_rate")
+        )
+
+    @classmethod
+    def from_args(cls, args) -> "ChaosConfig":
+        """Build a config from parsed ``repro worker`` CLI arguments.
+
+        Reads the ``--chaos-*`` namespace attributes (missing ones
+        default to zero/off, so any argparse namespace works).
+        """
+        return cls(
+            seed=getattr(args, "chaos_seed", 0) or 0,
+            claim_failure_rate=getattr(args, "chaos_claim_failure_rate", 0.0),
+            heartbeat_drop_rate=getattr(args, "chaos_heartbeat_drop_rate", 0.0),
+            complete_duplicate_rate=getattr(
+                args, "chaos_complete_duplicate_rate", 0.0
+            ),
+            complete_delay_rate=getattr(args, "chaos_complete_delay_rate", 0.0),
+            corrupt_claim_rate=getattr(args, "chaos_corrupt_claim_rate", 0.0),
+            put_failure_rate=getattr(args, "chaos_put_failure_rate", 0.0),
+        )
+
+
+class ChaosBroker(Broker):
+    """A seedable fault-injecting proxy around a real broker.
+
+    Implements the full :class:`~repro.service.dist.broker.Broker`
+    contract by delegation; every non-delegated behavior is an
+    injected fault from the :class:`ChaosConfig` schedule.  Injection
+    counters are exposed under ``stats()["chaos"]``.
+    """
+
+    def __init__(self, inner: Broker, config: ChaosConfig | None = None):
+        self.inner = inner
+        self.config = config if config is not None else ChaosConfig()
+        self.url = inner.url
+        self._lock = threading.Lock()
+        # One RNG stream per fault type: decisions depend only on the
+        # per-op call count, never on cross-op interleaving.
+        self._rng = {
+            op: random.Random(f"{self.config.seed}:{op}")
+            for op in (
+                "put", "claim", "heartbeat", "complete", "corrupt", "delay",
+            )
+        }
+        #: ``task_id -> polls remaining`` for delayed results.
+        self._delayed: dict[str, int] = {}
+        self.injected = {
+            "put_failures": 0,
+            "claim_failures": 0,
+            "heartbeat_drops": 0,
+            "complete_duplicates": 0,
+            "complete_delays": 0,
+            "corrupt_claims": 0,
+        }
+
+    def _roll(self, op: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng[op].random() < rate
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            self.injected[counter] += 1
+
+    # -- faulted operations ------------------------------------------------
+
+    def put(self, envelope: TaskEnvelope) -> None:
+        if self._roll("put", self.config.put_failure_rate):
+            self._count("put_failures")
+            raise ChaosError(f"injected put failure for task {envelope.task_id}")
+        self.inner.put(envelope)
+
+    def claim(self, worker: str, lease: float) -> Claim | None:
+        if self._roll("claim", self.config.claim_failure_rate):
+            self._count("claim_failures")
+            raise ChaosError(f"injected claim failure for worker {worker}")
+        claim = self.inner.claim(worker, lease)
+        if (
+            claim is not None
+            and claim.envelope.attempts == 0
+            and self._roll("corrupt", self.config.corrupt_claim_rate)
+        ):
+            self._count("corrupt_claims")
+            claim = Claim(
+                envelope=TaskEnvelope(
+                    task_id=claim.envelope.task_id,
+                    kind=claim.envelope.kind,
+                    payload=_corrupt(claim.envelope.payload),
+                    priority=claim.envelope.priority,
+                    affinity=claim.envelope.affinity,
+                    attempts=claim.envelope.attempts,
+                ),
+                worker=claim.worker,
+                deadline=claim.deadline,
+                token=claim.token,
+            )
+        return claim
+
+    def heartbeat(self, claim: Claim, lease: float) -> bool:
+        if self._roll("heartbeat", self.config.heartbeat_drop_rate):
+            self._count("heartbeat_drops")
+            raise ChaosError(f"injected heartbeat drop for {claim.envelope.task_id}")
+        return self.inner.heartbeat(claim, lease)
+
+    def complete(self, claim: Claim, payload: bytes) -> bool:
+        fresh = self.inner.complete(claim, payload)
+        if self._roll("complete", self.config.complete_duplicate_rate):
+            self._count("complete_duplicates")
+            # The redelivery race: the "other" worker finishes too.
+            # Content-addressing makes the overwrite harmless; the
+            # second call must report stale.
+            self.inner.complete(claim, payload)
+        if self._roll("delay", self.config.complete_delay_rate):
+            self._count("complete_delays")
+            with self._lock:
+                self._delayed[claim.envelope.task_id] = (
+                    self.config.complete_delay_polls
+                )
+        return fresh
+
+    def get_result(self, task_id: str) -> bytes | None:
+        with self._lock:
+            remaining = self._delayed.get(task_id)
+            if remaining is not None:
+                if remaining > 0:
+                    self._delayed[task_id] = remaining - 1
+                    return None
+                del self._delayed[task_id]
+        return self.inner.get_result(task_id)
+
+    # -- transparent delegation --------------------------------------------
+
+    def release(self, claim: Claim) -> bool:
+        return self.inner.release(claim)
+
+    def quarantine(self, claim: Claim, reason: str) -> None:
+        self.inner.quarantine(claim, reason)
+
+    def forget_result(self, task_id: str) -> None:
+        self.inner.forget_result(task_id)
+
+    def release_affinities(self, worker: str) -> None:
+        self.inner.release_affinities(worker)
+
+    def requeue_expired(self, max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> int:
+        return self.inner.requeue_expired(max_attempts=max_attempts)
+
+    def request_stop(self) -> None:
+        self.inner.request_stop()
+
+    def clear_stop(self) -> None:
+        self.inner.clear_stop()
+
+    def stop_requested(self) -> bool:
+        return self.inner.stop_requested()
+
+    def stats(self) -> dict:
+        stats = self.inner.stats()
+        with self._lock:
+            stats["chaos"] = dict(self.injected)
+        return stats
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def _corrupt(payload: bytes) -> bytes:
+    """Deterministically mangle a payload so it cannot deserialize.
+
+    Truncation plus a flipped pickle opcode: ``pickle.loads`` reliably
+    raises on the result, which is the property the worker's
+    poison-payload path keys on.
+    """
+    if not payload:
+        return b"\xff"
+    cut = max(1, len(payload) // 2)
+    return bytes([payload[0] ^ 0xFF]) + payload[1:cut]

@@ -48,6 +48,7 @@ from repro.service.dist.broker import (
 from repro.service.dist.worker import spawn_worker_process
 from repro.service.executor import CallHandle, JobHandle, _fingerprinted_handle
 from repro.service.jobs import AbstractionJob
+from repro.service.resilience import AdmissionController, DeadlineExceeded, Overloaded
 
 
 def job_affinity_key(job: AbstractionJob) -> str:
@@ -66,12 +67,23 @@ def job_affinity_key(job: AbstractionJob) -> str:
 class _InflightItem:
     """Executor-side record of one task awaiting a broker result."""
 
-    __slots__ = ("kind", "handle", "fingerprint")
+    __slots__ = ("kind", "handle", "fingerprint", "priority", "seq", "deadline_at")
 
-    def __init__(self, kind: str, handle, fingerprint: str | None = None):
+    def __init__(
+        self,
+        kind: str,
+        handle,
+        fingerprint: str | None = None,
+        priority: int = 0,
+        seq: int = 0,
+        deadline_at: float | None = None,
+    ):
         self.kind = kind
         self.handle = handle
         self.fingerprint = fingerprint
+        self.priority = priority
+        self.seq = seq
+        self.deadline_at = deadline_at
 
 
 class DistributedExecutor:
@@ -104,6 +116,16 @@ class DistributedExecutor:
         bound is reached (backpressure towards producers).
     max_attempts:
         Delivery budget per task before it is quarantined.
+    max_load / admission:
+        Admission control (see :mod:`repro.service.resilience`), same
+        contract as the pool's: past ``max_load`` in-flight *jobs*, the
+        lowest-priority one is shed with a typed
+        :class:`~repro.service.resilience.Overloaded` failure (the
+        incoming job itself when nothing in flight ranks below it);
+        ``admission`` supplies per-tenant token-bucket quotas.  A shed
+        job's broker task is orphaned — its (discarded) result is
+        reclaimed by the broker's stale-result sweep.  Generic calls
+        are exempt.
     """
 
     def __init__(
@@ -116,6 +138,8 @@ class DistributedExecutor:
         poll_interval: float = 0.05,
         max_pending: int | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        max_load: int | None = None,
+        admission: AdmissionController | None = None,
     ):
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers}")
@@ -128,6 +152,10 @@ class DistributedExecutor:
         self.poll_interval = poll_interval
         self.max_attempts = max_attempts
         self._max_pending = max_pending
+        if admission is None and max_load is not None:
+            admission = AdmissionController(max_load=max_load)
+        self.admission = admission
+        self._seq = 0
         self._lock = threading.Lock()
         self._space = threading.Condition(self._lock)
         self._inflight: dict[str, _InflightItem] = {}
@@ -194,13 +222,41 @@ class DistributedExecutor:
                 self._space.notify_all()
             raise
 
+    def _evict_lowest_locked(self, rank: int) -> "_InflightItem | None":
+        """Pop the lowest-priority in-flight *job* ranking below ``rank``.
+
+        The victim of a load shed: lowest priority, latest submitted on
+        ties.  Returns ``None`` when nothing in flight ranks strictly
+        below ``rank`` (the incoming job is then the victim).  Generic
+        calls are never evicted.
+        """
+        worst_id: str | None = None
+        worst_key: "tuple | None" = None
+        for task_id, item in self._inflight.items():
+            if item.kind != "job":
+                continue
+            key = (-item.priority, item.seq)
+            if worst_key is None or key > worst_key:
+                worst_key, worst_id = key, task_id
+        if worst_id is None or self._inflight[worst_id].priority >= rank:
+            return None
+        victim = self._inflight.pop(worst_id)
+        if victim.fingerprint is not None:
+            self._active.pop(victim.fingerprint, None)
+        return victim
+
     def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
         """Enqueue a job on the broker; higher ``priority`` claims first.
 
-        A parent cache hit completes the handle immediately; an
-        identical in-flight job coalesces (one computation, many
-        awaiters).  Blocks while ``max_pending`` tasks are in flight.
+        A parent cache hit completes the handle immediately (without
+        charging the tenant's quota); an identical in-flight job
+        coalesces (one computation, many awaiters).  Blocks while
+        ``max_pending`` tasks are in flight.  With admission control
+        configured, shed jobs fail typed
+        (:class:`~repro.service.resilience.Overloaded`) through their
+        handles — ``submit`` never raises for a policy outcome.
         """
+        job.deadline()  # pin the absolute budget before pickling
         handle = _fingerprinted_handle(job)
         if handle.done():  # fingerprinting failed (e.g. unreadable log)
             return handle
@@ -208,6 +264,15 @@ class DistributedExecutor:
         if hit is not None:
             handle._complete(hit, True)
             return handle
+        if self.admission is not None and not self.admission.admit(job.tenant):
+            handle._fail(
+                Overloaded(f"tenant {job.tenant!r} is over its admission quota")
+            )
+            return handle
+        rank = job.priority if priority is None else priority
+        max_load = self.admission.max_load if self.admission is not None else None
+        victim: "_InflightItem | None" = None
+        shed_incoming = False
         with self._space:
             if self._closed:
                 raise ReproError("executor is shut down")
@@ -215,14 +280,40 @@ class DistributedExecutor:
             if primary is not None:
                 primary._attach(handle)
                 return handle
+            if max_load is not None and len(self._inflight) >= max_load:
+                self.admission.count_load_shed()
+                victim = self._evict_lowest_locked(rank)
+                if victim is None:
+                    shed_incoming = True
+                else:
+                    self._space.notify_all()
+        if victim is not None:
+            victim.handle._fail(
+                Overloaded(
+                    f"shed at max_load={max_load} by higher-priority submission"
+                )
+            )
+        if shed_incoming:
+            handle._fail(Overloaded(f"executor at max_load={max_load}; job shed"))
+            return handle
         envelope = TaskEnvelope(
             task_id=new_task_id(),
             kind="job",
             payload=pickle.dumps(job),
-            priority=job.priority if priority is None else priority,
+            priority=rank,
             affinity=job_affinity_key(job),
         )
-        item = _InflightItem("job", handle, fingerprint=handle.fingerprint)
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        item = _InflightItem(
+            "job",
+            handle,
+            fingerprint=handle.fingerprint,
+            priority=rank,
+            seq=seq,
+            deadline_at=job.deadline_at,
+        )
         self._enqueue(item, envelope)
         return handle
 
@@ -262,8 +353,28 @@ class DistributedExecutor:
                 try:
                     payload = self.broker.get_result(task_id)
                 except Exception:
-                    continue
+                    payload = None
                 if payload is None:
+                    # Deadline fail-fast: an expired job never hangs its
+                    # awaiter, even with zero workers on the broker.  A
+                    # result that *did* arrive in budget is delivered
+                    # normally above.
+                    if (
+                        item.deadline_at is not None
+                        and time.time() >= item.deadline_at
+                    ):
+                        with self._space:
+                            self._inflight.pop(task_id, None)
+                            if item.fingerprint is not None:
+                                self._active.pop(item.fingerprint, None)
+                            self._space.notify_all()
+                        item.handle._fail(
+                            DeadlineExceeded(
+                                "deadline exceeded awaiting distributed result "
+                                f"for task {task_id[:12]}"
+                            )
+                        )
+                        progressed = True
                     continue
                 progressed = True
                 try:
@@ -348,7 +459,7 @@ class DistributedExecutor:
             broker_stats = self.broker.stats()
         except Exception:
             broker_stats = {}
-        return {
+        stats = {
             "parent": self.cache.snapshot(),
             "workers": workers,
             "workers_total": totals,
@@ -359,6 +470,9 @@ class DistributedExecutor:
                 "local_workers": len(self._processes),
             },
         }
+        if self.admission is not None:
+            stats["admission"] = self.admission.snapshot()
+        return stats
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; stop spawned workers; fail leftovers.

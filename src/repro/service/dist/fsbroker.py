@@ -328,6 +328,32 @@ class FilesystemBroker(Broker):
             self._unlink_quiet(self._lease_path(task_id))
         return fresh
 
+    def release(self, claim: Claim) -> bool:
+        """Hand a claimed task back for redelivery (``attempts + 1``).
+
+        The voluntary twin of the :meth:`requeue_expired` rename: only
+        the rename winner requeues, so a concurrent expiry sweep cannot
+        double-deliver the task.
+        """
+        task_id = claim.envelope.task_id
+        name = str(claim.token)
+        current = self._read_json(self._lease_path(task_id))
+        if current is None or current.get("worker") != claim.worker:
+            return False  # claim already lost; expiry handles the task
+        meta = _parse_entry_name(name)
+        if meta is None:
+            return False
+        fresh = _entry_name(
+            meta.priority, time.time_ns(), meta.attempts + 1,
+            meta.kind, meta.affinity, meta.task_id,
+        )
+        try:
+            os.rename(self.root / "claimed" / name, self.root / "queue" / fresh)
+        except OSError:
+            return False  # requeued/finished from under us
+        self._unlink_quiet(self._lease_path(task_id))
+        return True
+
     def quarantine(self, claim: Claim, reason: str) -> None:
         """Park a poisonous claimed task; record an error result."""
         task_id = claim.envelope.task_id

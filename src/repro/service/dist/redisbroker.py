@@ -182,6 +182,32 @@ class RedisBroker(Broker):  # pragma: no cover - needs a redis server
             self._db.delete(self._key("lease", task_id), self._key("task", task_id))
         return fresh
 
+    def release(self, claim: Claim) -> bool:
+        """Requeue a claimed task voluntarily (attempts + 1).
+
+        Mirrors the requeue path of :meth:`requeue_expired`, but only
+        while the lease hash is still ours — deleting the lease key is
+        the exclusive step (exactly one of release / the expiry sweep
+        wins), so a task never requeues twice.
+        """
+        task_id = claim.envelope.task_id
+        lease_key = self._key("lease", task_id)
+        record = self._db.hgetall(lease_key)
+        if not record or record.get(b"worker", b"").decode("utf-8") != claim.worker:
+            return False
+        if not self._db.delete(lease_key):
+            return False  # expiry sweep (or a re-claimant) won the race
+        body = self._db.hgetall(self._key("task", task_id))
+        if not body:
+            return False
+        attempts = int(body.get(b"attempts", 0)) + 1
+        self._db.hset(self._key("task", task_id), "attempts", attempts)
+        seq = self._db.incr(self._key("seq"))
+        priority = int(body.get(b"priority", 0))
+        score = -float(priority) * _SEQ_SPAN + float(seq)
+        self._db.zadd(self._key("queue"), {task_id: score})
+        return True
+
     def quarantine(self, claim: Claim, reason: str) -> None:
         """Park a poisonous task; record an error result."""
         task_id = claim.envelope.task_id

@@ -243,6 +243,32 @@ class SQLiteBroker(Broker):
                 self._db.execute("ROLLBACK")
                 raise
 
+    def release(self, claim: Claim) -> bool:
+        """Hand a claimed row back for redelivery (``attempts + 1``).
+
+        Guarded by the same state+worker match as the expiry sweep's
+        requeue UPDATE, so a release racing a sweep requeues the task
+        exactly once.
+        """
+        with self._lock:
+            self._immediate()
+            try:
+                row = self._db.execute(
+                    "SELECT COALESCE(MAX(seq), 0) + 1 FROM tasks"
+                ).fetchone()
+                cursor = self._db.execute(
+                    "UPDATE tasks SET state = 'queued', worker = NULL, "
+                    "lease_deadline = NULL, attempts = attempts + 1, seq = ? "
+                    "WHERE task_id = ? AND state = 'claimed' AND worker = ?",
+                    (row[0], claim.envelope.task_id, claim.worker),
+                )
+                released = cursor.rowcount == 1
+                self._db.execute("COMMIT")
+                return released
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+
     def quarantine(self, claim: Claim, reason: str) -> None:
         """Park a poisonous claimed row; record an error result."""
         task_id = claim.envelope.task_id

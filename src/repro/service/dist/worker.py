@@ -40,6 +40,7 @@ from repro.service.dist.broker import (
     connect_broker,
     encode_result_flagged,
 )
+from repro.service.resilience import RetryPolicy
 
 
 def default_worker_id() -> str:
@@ -57,7 +58,9 @@ class WorkerStats:
     quarantined: int = 0
     stale_completions: int = 0
     requeued: int = 0
+    released: int = 0
     broker_errors: int = 0
+    heartbeat_errors: int = 0
     cache: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -69,34 +72,61 @@ class WorkerStats:
             "quarantined": self.quarantined,
             "stale_completions": self.stale_completions,
             "requeued": self.requeued,
+            "released": self.released,
             "broker_errors": self.broker_errors,
+            "heartbeat_errors": self.heartbeat_errors,
             "cache": dict(self.cache),
         }
 
 
 class _Heartbeat:
-    """Renews a claim's lease from a helper thread while a task runs."""
+    """Renews a claim's lease from a helper thread while a task runs.
 
-    def __init__(self, broker: Broker, claim: Claim, lease: float):
+    Broker errors during a beat are counted via ``on_error`` and
+    retried on the next interval; ``max_misses`` *consecutive* failed
+    beats fail the lease fast (``lost`` flips and renewal stops, so
+    the lease expires and the task is redelivered) instead of silently
+    renewing nothing while a partitioned broker heals.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        claim: Claim,
+        lease: float,
+        on_error=None,
+        max_misses: int = 5,
+    ):
         self._broker = broker
         self._claim = claim
         self._lease = lease
+        self._on_error = on_error
+        self._max_misses = max_misses
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self.lost = False
+        self.misses = 0
 
     def _run(self) -> None:
         interval = max(self._lease / 3.0, 0.02)
+        consecutive = 0
         while not self._stop.wait(interval):
             try:
                 if not self._broker.heartbeat(self._claim, self._lease):
                     self.lost = True
                     return
-            except Exception:
+                consecutive = 0
+            except Exception as exc:
                 # A transient broker hiccup must not kill the task; the
                 # next beat retries, and a truly lost lease is absorbed
                 # by the at-least-once completion semantics.
-                continue
+                consecutive += 1
+                self.misses += 1
+                if self._on_error is not None:
+                    self._on_error(exc)
+                if consecutive >= self._max_misses:
+                    self.lost = True
+                    return
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -172,6 +202,8 @@ def worker_loop(
     max_tasks: int | None = None,
     idle_exit: float | None = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    retry: RetryPolicy | None = None,
+    heartbeat_max_misses: int = 5,
 ) -> WorkerStats:
     """Claim-and-run tasks until stopped; return lifetime counters.
 
@@ -195,6 +227,16 @@ def worker_loop(
         Stop after this many seconds without work (``None`` = never).
     max_attempts:
         Delivery budget before an undeliverable task is quarantined.
+    retry:
+        The :class:`~repro.service.resilience.RetryPolicy` used for the
+        broker claim and complete calls (default: 3 attempts seeded by
+        the worker id, so concurrent workers desynchronize their
+        backoff).  Exhausted retries never kill the loop — a failed
+        claim round just polls again, a failed complete leaves the
+        lease to expire and the task to be redelivered.
+    heartbeat_max_misses:
+        Consecutive heartbeat failures before the lease is failed fast
+        (renewal stops; the task is redelivered after lease expiry).
 
     The loop exits on: broker stop flag, ``max_tasks``, ``idle_exit``,
     or ``KeyboardInterrupt``.
@@ -205,6 +247,19 @@ def worker_loop(
     if cache is None:
         cache = ArtifactCache(disk_dir=cache_dir)
     stats = WorkerStats(worker=worker_id or default_worker_id())
+    if retry is None:
+        retry = RetryPolicy(
+            attempts=3, base_delay=poll_interval, seed=stats.worker
+        )
+
+    def count_broker_error(exc, attempt=0):
+        del exc, attempt
+        stats.broker_errors += 1
+
+    def count_heartbeat_error(exc):
+        del exc
+        stats.heartbeat_errors += 1
+
     idle_since = time.time()
     try:
         while True:
@@ -215,12 +270,15 @@ def worker_loop(
             except Exception:
                 pass  # hygiene sweep only; claiming is the loop's job
             try:
-                claim = broker.claim(stats.worker, lease)
+                claim = retry.call(
+                    broker.claim, stats.worker, lease,
+                    key="claim", on_retry=count_broker_error,
+                )
             except Exception:
                 # A transient broker hiccup (NFS stall, sqlite busy
-                # timeout, brief disk-full) must not kill the worker:
-                # back off one poll interval and retry, same as the
-                # heartbeat thread does.
+                # timeout, brief disk-full) must not kill the worker
+                # even past the retry budget: back off one poll
+                # interval and start a fresh claim round.
                 stats.broker_errors += 1
                 time.sleep(poll_interval)
                 continue
@@ -230,10 +288,29 @@ def worker_loop(
                 time.sleep(poll_interval)
                 continue
             idle_since = time.time()
-            with _Heartbeat(broker, claim, lease):
+            with _Heartbeat(
+                broker, claim, lease,
+                on_error=count_heartbeat_error,
+                max_misses=heartbeat_max_misses,
+            ):
                 try:
                     payload, ok = run_claimed_task(claim, cache, stats.worker)
                 except _PoisonPayload as poison:
+                    # A payload that does not deserialize may be a
+                    # transient corruption (bit-flip in flight) rather
+                    # than a poisonous manifest row: while delivery
+                    # attempts remain, hand it back for redelivery and
+                    # only quarantine once the budget is spent (or the
+                    # broker does not support voluntary release).
+                    released = False
+                    if claim.envelope.attempts + 1 < max_attempts:
+                        try:
+                            released = broker.release(claim)
+                        except Exception:
+                            stats.broker_errors += 1
+                    if released:
+                        stats.released += 1
+                        continue
                     try:
                         broker.quarantine(claim, str(poison))
                     except Exception:
@@ -241,19 +318,17 @@ def worker_loop(
                     stats.quarantined += 1
                     continue
             try:
-                fresh = broker.complete(claim, payload)
+                fresh = retry.call(
+                    broker.complete, claim, payload,
+                    key="complete", on_retry=count_broker_error,
+                )
             except Exception:
-                # Retry once before giving up: a computed result is too
-                # expensive to discard over one failed write.  If the
-                # retry fails too, the lease lapses and the task is
-                # redelivered to another worker.
+                # A computed result is too expensive to discard over a
+                # failed write, but the retry budget is spent: the
+                # lease lapses and the task is redelivered to another
+                # worker.
                 stats.broker_errors += 1
-                time.sleep(poll_interval)
-                try:
-                    fresh = broker.complete(claim, payload)
-                except Exception:
-                    stats.broker_errors += 1
-                    continue
+                continue
             if not fresh:
                 stats.stale_completions += 1
             if ok:

@@ -51,6 +51,7 @@ from repro.core.gecco import AbstractionResult, Gecco, prepare_artifacts, resolv
 from repro.exceptions import ReproError
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import AbstractionJob
+from repro.service.resilience import AdmissionController, DeadlineExceeded, Overloaded
 
 
 def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResult, bool]:
@@ -64,7 +65,17 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
     3. the pipeline consults the cache's selection tier for solved
        Step-2 components (decomposed mode);
     4. the freshly computed result is stored under the full fingerprint.
+
+    A job with a :attr:`~repro.service.jobs.AbstractionJob.deadline_ms`
+    budget is checked at the stage boundaries (start, artifact build,
+    and inside the pipeline) and raises
+    :class:`~repro.service.resilience.DeadlineExceeded` once expired —
+    outputs are never degraded to fit the budget, so whatever result is
+    produced stays byte-identical to the unbudgeted run.
     """
+    deadline = job.deadline()
+    if deadline is not None:
+        deadline.check("job start")
     fingerprint = job.fingerprint()
     hit = cache.get_result(fingerprint.full)
     if hit is not None:
@@ -74,6 +85,8 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
     key = fingerprint.artifact_key(config.instance_policy, engine)
     artifacts = cache.get_artifacts(key)
     if artifacts is None:
+        if deadline is not None:
+            deadline.check("artifact build")
         log = job.log.resolve()
         artifacts = prepare_artifacts(log, config)
         cache.put_artifacts(key, artifacts)
@@ -85,7 +98,7 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
         log = artifacts.log
     try:
         result = Gecco(job.constraints, config).abstract(
-            log, artifacts, selection_cache=cache
+            log, artifacts, selection_cache=cache, deadline=deadline
         )
         cache.put_result(fingerprint.full, result)
     finally:
@@ -340,6 +353,16 @@ class PoolExecutor:
         fingerprint are routed to the worker that first claimed the
         prefix, maximizing per-worker artifact reuse.  ``False`` routes
         every job to any free worker.
+    max_load / admission:
+        Admission control (see :mod:`repro.service.resilience`).
+        ``max_load`` bounds queued-plus-running *jobs*: past the bound,
+        the lowest-priority queued job is shed with a typed
+        :class:`~repro.service.resilience.Overloaded` failure (the
+        incoming job itself when nothing queued ranks below it) instead
+        of queuing unboundedly.  ``admission`` supplies per-tenant
+        token-bucket quotas (and may carry ``max_load`` itself).
+        Generic calls are exempt — shedding a Step-2 component solve
+        would fail a job already admitted.
     """
 
     def __init__(
@@ -352,6 +375,8 @@ class PoolExecutor:
         worker_max_artifacts: int = 8,
         worker_max_results: int = 64,
         affinity: bool = True,
+        max_load: int | None = None,
+        admission: AdmissionController | None = None,
     ):
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -363,6 +388,9 @@ class PoolExecutor:
             raise ReproError(f"max_pending must be >= 1, got {max_pending}")
         self.cache = cache if cache is not None else ArtifactCache(disk_dir=disk_dir)
         self.affinity = affinity
+        if admission is None and max_load is not None:
+            admission = AdmissionController(max_load=max_load)
+        self.admission = admission
         context = multiprocessing.get_context(mp_context)
         initargs = (
             worker_max_artifacts,
@@ -404,13 +432,42 @@ class PoolExecutor:
         engine = resolve_engine(config.engine, warn=False)
         return job.fingerprint().artifact_key(config.instance_policy, engine)
 
+    def _evict_lowest_locked(self, rank: int) -> "_QueueItem | None":
+        """Pop the lowest-priority queued *job* ranking below ``rank``.
+
+        The victim of a load shed: lowest priority, latest enqueued on
+        ties.  Returns ``None`` when nothing queued ranks strictly
+        below ``rank`` (the incoming job is then the victim) — ties
+        favor the already-queued job, keeping shed order deterministic.
+        Generic calls and running work are never evicted.
+        """
+        worst_index: int | None = None
+        worst_key: "tuple | None" = None
+        for index, (neg_rank, ticket, item) in enumerate(self._heap):
+            if item.kind != _KIND_JOB:
+                continue
+            key = (neg_rank, ticket)
+            if worst_key is None or key > worst_key:
+                worst_key, worst_index = key, index
+        if worst_index is None or -self._heap[worst_index][0] >= rank:
+            return None
+        victim = self._heap.pop(worst_index)[2]
+        heapq.heapify(self._heap)
+        return victim
+
     def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
         """Enqueue ``job``; higher ``priority`` dispatches first.
 
         Blocks while the pending queue is at ``max_pending``.  A parent
         cache hit completes the handle immediately without occupying a
-        queue slot.
+        queue slot (and without charging the tenant's quota).
+
+        With admission control configured, policy outcomes never raise
+        from ``submit``: a shed job's handle fails with a typed
+        :class:`~repro.service.resilience.Overloaded`, an expired job's
+        with :class:`~repro.service.resilience.DeadlineExceeded`.
         """
+        job.deadline()  # pin the absolute budget at submit time
         handle = _fingerprinted_handle(job)  # resolves/digests in the parent
         if handle.done():
             return handle
@@ -418,10 +475,17 @@ class PoolExecutor:
         if hit is not None:
             handle._complete(hit, True)
             return handle
+        if self.admission is not None and not self.admission.admit(job.tenant):
+            handle._fail(
+                Overloaded(f"tenant {job.tenant!r} is over its admission quota")
+            )
+            return handle
         rank = job.priority if priority is None else priority
         item = _QueueItem(
             kind=_KIND_JOB, payload=job, handle=handle, prefix=self._job_prefix(job)
         )
+        victim: "_QueueItem | None" = None
+        max_load = self.admission.max_load if self.admission is not None else None
         with self._space:
             if self._closed:
                 raise ReproError("executor is shut down")
@@ -431,19 +495,43 @@ class PoolExecutor:
             if primary is not None:
                 primary._attach(handle)
                 return handle
-            while (
-                self._max_pending is not None and self._pending >= self._max_pending
-            ):
-                self._space.wait()
-                if self._closed:
-                    raise ReproError("executor is shut down")
-                primary = self._active.get(handle.fingerprint)
-                if primary is not None:
-                    primary._attach(handle)
-                    return handle
-            self._pending += 1
-            self._active[handle.fingerprint] = handle
-            heapq.heappush(self._heap, (-rank, next(self._ticket), item))
+            if max_load is not None and self._pending >= max_load:
+                victim = self._evict_lowest_locked(rank)
+                self.admission.count_load_shed()
+                if victim is None:
+                    shed_incoming = True
+                else:
+                    shed_incoming = False
+                    self._pending -= 1
+                    self._active.pop(victim.handle.fingerprint, None)
+            else:
+                shed_incoming = False
+            if not shed_incoming:
+                while (
+                    self._max_pending is not None
+                    and self._pending >= self._max_pending
+                ):
+                    self._space.wait()
+                    if self._closed:
+                        raise ReproError("executor is shut down")
+                    primary = self._active.get(handle.fingerprint)
+                    if primary is not None:
+                        primary._attach(handle)
+                        return handle
+                self._pending += 1
+                self._active[handle.fingerprint] = handle
+                heapq.heappush(self._heap, (-rank, next(self._ticket), item))
+        if victim is not None:
+            victim.handle._fail(
+                Overloaded(
+                    f"shed at max_load={max_load} by higher-priority submission"
+                )
+            )
+        if shed_incoming:
+            handle._fail(
+                Overloaded(f"executor at max_load={max_load}; job shed")
+            )
+            return handle
         self._dispatch()
         return handle
 
@@ -528,6 +616,24 @@ class PoolExecutor:
                 item, worker = picked
                 self._busy[worker] = True
                 self._inflight += 1
+            if item.kind == _KIND_JOB:
+                # A job whose budget ran out while queued fails typed at
+                # dispatch instead of occupying a worker to no purpose.
+                deadline = item.payload.deadline()
+                if deadline is not None and deadline.expired():
+                    with self._space:
+                        self._busy[worker] = False
+                        self._inflight -= 1
+                        self._pending -= 1
+                        self._active.pop(item.handle.fingerprint, None)
+                        self._space.notify_all()
+                    item.handle._fail(
+                        DeadlineExceeded(
+                            "deadline exceeded while queued "
+                            f"(over budget by {-deadline.remaining():.3f}s)"
+                        )
+                    )
+                    continue
             try:
                 if item.kind == _KIND_JOB:
                     future = self._pools[worker].submit(_pool_worker_run, item.payload)
@@ -613,12 +719,15 @@ class PoolExecutor:
                 s.get("selection", {}).get("hits", 0) for s in workers.values()
             ),
         }
-        return {
+        stats = {
             "parent": self.cache.snapshot(),
             "workers": workers,
             "workers_total": totals,
             "scheduler": scheduler,
         }
+        if self.admission is not None:
+            stats["admission"] = self.admission.snapshot()
+        return stats
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs and shut the pool down."""

@@ -260,13 +260,28 @@ class JobFingerprint:
 
 @dataclass
 class AbstractionJob:
-    """One servable abstraction problem."""
+    """One servable abstraction problem.
+
+    ``deadline_ms`` and ``tenant`` are *policy* fields: they decide
+    whether and where the job runs (deadline enforcement, admission
+    control), never what it computes — so neither enters the
+    :meth:`fingerprint` and two jobs differing only in policy share
+    one cache entry.
+    """
 
     log: LogRef
     constraints: ConstraintSet
     config: GeccoConfig = field(default_factory=GeccoConfig)
     job_id: str | None = None
     priority: int = 0
+    #: End-to-end wall-clock budget in milliseconds (``None`` = none).
+    deadline_ms: float | None = None
+    #: Admission-control tenant for per-tenant quotas (``None`` = anonymous).
+    tenant: str | None = None
+    #: Absolute epoch deadline, pinned at submit time by :meth:`deadline`.
+    #: Epoch (not monotonic) so the instant survives pickling into pool
+    #: workers and broker queues.  Runtime-only: never in the manifest.
+    deadline_at: float | None = field(default=None, compare=False)
     _fingerprint: JobFingerprint | None = field(
         default=None, repr=False, compare=False
     )
@@ -276,6 +291,23 @@ class AbstractionJob:
             raise ReproError(f"job log must be a LogRef, got {type(self.log).__name__}")
         if not isinstance(self.constraints, ConstraintSet):
             self.constraints = ConstraintSet(self.constraints)
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ReproError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+
+    def deadline(self):
+        """The job's :class:`~repro.service.resilience.Deadline`, or ``None``.
+
+        First call pins the absolute instant (``now + deadline_ms``);
+        executors call this at submit so the budget covers queueing,
+        claim, artifact build, and solve — not just compute time.
+        """
+        if self.deadline_ms is None:
+            return None
+        from repro.service.resilience import Deadline
+
+        if self.deadline_at is None:
+            self.deadline_at = Deadline.after_ms(self.deadline_ms).at
+        return Deadline(at=self.deadline_at)
 
     def fingerprint(self) -> JobFingerprint:
         """The job's content address (memoized)."""
@@ -300,6 +332,10 @@ class AbstractionJob:
             row["id"] = self.job_id
         if self.priority:
             row["priority"] = self.priority
+        if self.deadline_ms is not None:
+            row["deadline_ms"] = self.deadline_ms
+        if self.tenant is not None:
+            row["tenant"] = self.tenant
         return row
 
     @classmethod
@@ -308,21 +344,28 @@ class AbstractionJob:
 
         Required: ``log`` (spec string or mapping) and ``constraints``
         (a list of parser specifications).  Optional: ``config`` (a
-        partial :class:`GeccoConfig` mapping), ``id``, ``priority``.
+        partial :class:`GeccoConfig` mapping), ``id``, ``priority``,
+        ``deadline_ms``, ``tenant``.
         """
         from repro.constraints.parser import parse_constraints
 
-        unknown = set(row) - {"log", "constraints", "config", "id", "priority"}
+        unknown = set(row) - {
+            "log", "constraints", "config", "id", "priority",
+            "deadline_ms", "tenant",
+        }
         if unknown:
             raise ReproError(f"unknown job fields {sorted(unknown)}")
         if "log" not in row:
             raise ReproError(f"job row lacks 'log': {row}")
         if "constraints" not in row:
             raise ReproError(f"job row lacks 'constraints': {row}")
+        deadline_ms = row.get("deadline_ms")
         return cls(
             log=LogRef.from_dict(row["log"]),
             constraints=parse_constraints(row["constraints"]),
             config=config_from_dict(row.get("config", {})),
             job_id=row.get("id"),
             priority=int(row.get("priority", 0)),
+            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+            tenant=row.get("tenant"),
         )

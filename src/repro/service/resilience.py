@@ -1,0 +1,507 @@
+"""Resilience primitives: deadlines, quotas, retries, circuit breaking.
+
+The executor stack (:mod:`repro.service.executor`,
+:mod:`repro.service.dist`) decides *whether and where* a job runs —
+never *what* it computes, so byte-identity with the sequential
+reference is preserved by construction.  This module collects the
+policy objects those decisions are made with:
+
+* :class:`Deadline` / :class:`DeadlineExceeded` — an end-to-end
+  wall-clock budget attached to a job
+  (:attr:`~repro.service.jobs.AbstractionJob.deadline_ms`).  The
+  budget is pinned to an absolute epoch instant at submit time so it
+  survives pickling into pool workers and broker queues, and the
+  remaining budget is threaded through claim, artifact build, and the
+  Step-2 solver time caps.  A job that cannot finish in budget raises
+  :class:`DeadlineExceeded` from ``handle.result()`` instead of
+  running to completion (and instead of hanging).
+* :class:`TokenBucket` / :class:`AdmissionController` /
+  :class:`Overloaded` — per-tenant rate quotas and a bounded-load shed
+  policy.  An executor at ``max_load`` sheds the *lowest-priority*
+  work with a typed :class:`Overloaded` failure rather than queuing
+  unboundedly.
+* :class:`RetryPolicy` — the one bounded-attempts /
+  exponential-backoff / deterministic-jitter loop used by the worker
+  claim and complete paths and the disk cache, replacing the ad-hoc
+  retry code those paths used to carry.
+* :class:`CircuitBreaker` / :class:`DegradingExecutor` — automatic
+  tier degradation: when a broker trips repeatedly, the distributed
+  tier is taken out of the request path and jobs run on a local
+  fallback executor (pool or sequential) until a half-open probe
+  succeeds.
+
+Everything here takes an injectable clock so fault schedules are
+deterministic under test (the chaos suite in ``tests/test_chaos.py``
+drives the whole stack on seeded schedules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+
+
+class DeadlineExceeded(ReproError):
+    """A job's end-to-end deadline expired before it could finish.
+
+    Raised from ``handle.result()`` (and from the pipeline stages
+    themselves) when the wall-clock budget attached to an
+    :class:`~repro.service.jobs.AbstractionJob` runs out.  The job's
+    outputs are never degraded to fit a budget — a too-slow job fails
+    typed and fast instead of returning something different from the
+    sequential reference.
+    """
+
+
+class Overloaded(ReproError):
+    """Work was shed by admission control instead of being queued.
+
+    Carries the shedding reason (``"tenant quota"`` or ``"max_load"``)
+    in the message; raised from ``handle.result()`` of the shed job.
+    """
+
+
+@dataclass
+class Deadline:
+    """An absolute wall-clock budget (epoch seconds, cross-process).
+
+    Pinned to ``time.time()`` rather than a monotonic clock on purpose:
+    the instant must mean the same thing after the job is pickled into
+    a pool worker or a broker queue on another host.
+    """
+
+    at: float
+
+    @classmethod
+    def after_ms(cls, deadline_ms: float, now: float | None = None) -> "Deadline":
+        """A deadline ``deadline_ms`` milliseconds from ``now``."""
+        base = time.time() if now is None else now
+        return cls(at=base + deadline_ms / 1000.0)
+
+    def remaining(self, now: float | None = None) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self.at - (time.time() if now is None else now)
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the budget has run out."""
+        return self.remaining(now) <= 0.0
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` when the budget has run out."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline exceeded before {stage} "
+                f"(over budget by {-self.remaining():.3f}s)"
+            )
+
+    def cap(self, limit: float | None) -> float:
+        """Cap a solver/stage time limit to the remaining budget.
+
+        Returns ``min(limit, remaining)``, floored at a tiny positive
+        value so downstream code never sees a zero/negative limit (the
+        stage-boundary :meth:`check` is what surfaces expiry).
+        """
+        remaining = max(self.remaining(), 1e-3)
+        if limit is None:
+            return remaining
+        return min(limit, remaining)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts, exponential backoff, deterministic jitter.
+
+    One policy object replaces the scattered retry loops of the worker
+    claim/complete path and the disk cache.  The jitter is a pure
+    function of ``(seed, key, attempt)`` — two processes retrying the
+    same operation desynchronize, but a test replaying a schedule sees
+    identical delays.
+
+    Attributes
+    ----------
+    attempts:
+        Total tries (the first call included); the last failure is
+        re-raised once they are exhausted.
+    base_delay / multiplier / max_delay:
+        Backoff shape: sleep ``base_delay * multiplier**i`` (capped at
+        ``max_delay``) after the ``i``-th failure.
+    jitter:
+        Fraction of the computed delay added as deterministic jitter
+        (0 disables it).
+    seed:
+        Jitter stream name; give concurrent consumers distinct seeds.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: str = "repro"
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ReproError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("delays must be >= 0")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """The backoff delay after failed attempt number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{self.seed}|{key}|{attempt}".encode("utf-8")
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            delay += delay * self.jitter * fraction
+        return delay
+
+    def call(
+        self,
+        fn,
+        *args,
+        key: str = "",
+        retry_on: "tuple[type[BaseException], ...]" = (Exception,),
+        on_retry=None,
+        sleep=time.sleep,
+        **kwargs,
+    ):
+        """Run ``fn(*args, **kwargs)``, retrying transient failures.
+
+        ``on_retry(exc, attempt)`` is called before each backoff sleep
+        (workers count broker errors there).  The final failure is
+        re-raised; exception types outside ``retry_on`` propagate
+        immediately.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as exc:
+                if attempt + 1 >= self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                sleep(self.delay(attempt, key))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``capacity`` burst, ``refill_rate``/s."""
+
+    def __init__(self, capacity: float, refill_rate: float, clock=time.monotonic):
+        if capacity <= 0 or refill_rate < 0:
+            raise ReproError(
+                f"token bucket needs capacity > 0 and refill_rate >= 0, "
+                f"got {capacity}/{refill_rate}"
+            )
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._stamp) * self.refill_rate
+            )
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (after refill; for introspection)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._stamp) * self.refill_rate
+            )
+            self._stamp = now
+            return self._tokens
+
+
+class AdmissionController:
+    """Per-tenant quotas plus shed accounting for a bounded executor.
+
+    Parameters
+    ----------
+    max_load:
+        Bound on queued-plus-running work the owning executor enforces;
+        ``None`` disables load shedding (the executor falls back to its
+        blocking ``max_pending`` backpressure only).
+    quotas:
+        ``tenant -> (capacity, refill_rate)`` token buckets.  A job
+        whose :attr:`~repro.service.jobs.AbstractionJob.tenant` has a
+        bucket must win a token or it is shed with :class:`Overloaded`.
+    default_quota:
+        Optional ``(capacity, refill_rate)`` applied to every tenant
+        without an explicit entry (including the anonymous ``None``
+        tenant).  Without it, unknown tenants are never throttled.
+    clock:
+        Injectable monotonic clock for the buckets (tests).
+    """
+
+    def __init__(
+        self,
+        max_load: int | None = None,
+        quotas: "dict[str, tuple[float, float]] | None" = None,
+        default_quota: "tuple[float, float] | None" = None,
+        clock=time.monotonic,
+    ):
+        if max_load is not None and max_load < 1:
+            raise ReproError(f"max_load must be >= 1, got {max_load}")
+        self.max_load = max_load
+        self._clock = clock
+        self._default_quota = default_quota
+        self._buckets: dict[object, TokenBucket] = {
+            tenant: TokenBucket(capacity, rate, clock=clock)
+            for tenant, (capacity, rate) in (quotas or {}).items()
+        }
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed_quota = 0
+        self.shed_load = 0
+
+    def bucket_for(self, tenant: str | None) -> TokenBucket | None:
+        """The tenant's bucket (lazily built from ``default_quota``)."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None and self._default_quota is not None:
+                capacity, rate = self._default_quota
+                bucket = TokenBucket(capacity, rate, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str | None) -> bool:
+        """Charge one request to the tenant's quota; ``False`` = shed."""
+        bucket = self.bucket_for(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            with self._lock:
+                self.shed_quota += 1
+            return False
+        with self._lock:
+            self.admitted += 1
+        return True
+
+    def count_load_shed(self) -> None:
+        """Record one unit of work shed by the owning executor's load bound."""
+        with self._lock:
+            self.shed_load += 1
+
+    def snapshot(self) -> dict:
+        """Plain-data counters for executor stats."""
+        with self._lock:
+            return {
+                "max_load": self.max_load,
+                "admitted": self.admitted,
+                "shed_quota": self.shed_quota,
+                "shed_load": self.shed_load,
+                "tenants": len(self._buckets),
+            }
+
+
+#: Circuit-breaker states.
+BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """A classic three-state circuit breaker with an injectable clock.
+
+    ``closed`` — requests flow; consecutive failures past
+    ``failure_threshold`` trip the breaker.  ``open`` — requests are
+    rejected without touching the protected resource until
+    ``reset_timeout`` elapses.  ``half-open`` — one probe request is
+    let through; success closes the breaker, failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = BREAKER_CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """Whether the next request may touch the protected resource.
+
+        In ``half-open`` exactly one caller is granted the probe; the
+        rest are rejected until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A protected call succeeded: close the breaker."""
+        with self._lock:
+            self._failures = 0
+            self._state = BREAKER_CLOSED
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A protected call failed: count it, maybe trip the breaker."""
+        with self._lock:
+            self._failures += 1
+            if self._state == BREAKER_HALF_OPEN or (
+                self._state == BREAKER_CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                self.trips += 1
+
+    def snapshot(self) -> dict:
+        """Plain-data state for executor stats."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "threshold": self.failure_threshold,
+                "trips": self.trips,
+            }
+
+
+class DegradingExecutor:
+    """Tier degradation: distributed → local fallback behind a breaker.
+
+    Wraps a *primary* executor (typically a
+    :class:`~repro.service.dist.executor.DistributedExecutor`) and a
+    lazily-built *fallback* (a
+    :class:`~repro.service.executor.PoolExecutor` or
+    :class:`~repro.service.executor.SequentialExecutor`).  Submissions
+    flow to the primary while its :class:`CircuitBreaker` is closed;
+    when the broker trips repeatedly (``submit`` raising), the breaker
+    opens and jobs run on the fallback tier until a half-open probe
+    succeeds.  Policy failures (:class:`Overloaded`,
+    :class:`DeadlineExceeded`) and ordinary job failures delivered
+    through handles do **not** count against the breaker — only
+    submission-path infrastructure errors do.
+
+    The wrapper speaks the full executor protocol (``submit`` /
+    ``submit_call`` / ``map`` / ``stats`` / ``shutdown`` / context
+    manager), so ``make_executor`` callers are oblivious to which tier
+    actually ran their jobs.
+    """
+
+    def __init__(
+        self,
+        primary,
+        fallback_factory,
+        breaker: CircuitBreaker | None = None,
+    ):
+        self.primary = primary
+        self._fallback_factory = fallback_factory
+        self._fallback = None
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._lock = threading.Lock()
+        self._degraded_submissions = 0
+
+    def _fallback_executor(self):
+        with self._lock:
+            if self._fallback is None:
+                self._fallback = self._fallback_factory()
+            self._degraded_submissions += 1
+            return self._fallback
+
+    def _submit_via(self, method: str, *args, **kwargs):
+        if self.breaker.allow():
+            try:
+                handle = getattr(self.primary, method)(*args, **kwargs)
+            except (Overloaded, DeadlineExceeded):
+                # Policy outcomes are verdicts, not infrastructure
+                # faults: the fallback tier would only re-shed them.
+                raise
+            except Exception:
+                self.breaker.record_failure()
+                return getattr(self._fallback_executor(), method)(*args, **kwargs)
+            self.breaker.record_success()
+            return handle
+        return getattr(self._fallback_executor(), method)(*args, **kwargs)
+
+    def submit(self, job, priority: int | None = None):
+        """Submit to the primary tier, degrading on broker failure."""
+        return self._submit_via("submit", job, priority=priority)
+
+    def submit_call(self, fn, *args, priority: int = 0, **kwargs):
+        """``submit_call`` twin of :meth:`submit` (same degradation)."""
+        return self._submit_via("submit_call", fn, *args, priority=priority, **kwargs)
+
+    def map(self, jobs) -> list:
+        """Submit all jobs, await all results (submission order)."""
+        handles = [self.submit(job) for job in jobs]
+        return [handle.result() for handle in handles]
+
+    def stats(self) -> dict:
+        """Primary-tier stats plus breaker/degradation accounting."""
+        stats = self.primary.stats()
+        with self._lock:
+            degraded = self._degraded_submissions
+            fallback = self._fallback
+        stats["resilience"] = {
+            "breaker": self.breaker.snapshot(),
+            "degraded_submissions": degraded,
+            "fallback_active": fallback is not None,
+        }
+        if fallback is not None:
+            stats["fallback"] = fallback.stats()
+        return stats
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut both tiers down."""
+        with self._lock:
+            fallback = self._fallback
+        try:
+            self.primary.shutdown(wait=wait)
+        finally:
+            if fallback is not None:
+                fallback.shutdown(wait=wait)
+
+    def __enter__(self) -> "DegradingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -233,8 +233,12 @@ class TestCorruptEntries:
         good = _task()
         broker.put(good)
         stats = worker_loop(
-            broker, lease=5.0, poll_interval=0.01, max_tasks=1, idle_exit=0.2
+            broker, lease=5.0, poll_interval=0.01, idle_exit=0.5, max_attempts=3
         )
+        # The first deliveries might be transient corruption, so they
+        # are released for redelivery; the poison burns its delivery
+        # budget and quarantines instead of crash-looping the loop.
+        assert stats.released == 2
         assert stats.quarantined == 1
         assert stats.completed == 1  # the loop survived and ran the good task
         assert broker.stats()["quarantined"] == 1

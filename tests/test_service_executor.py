@@ -41,6 +41,12 @@ def jobs_grid():
     return jobs
 
 
+def _hold_worker(seconds, cache=None):
+    """Occupy a pool worker (module-level: picklable by reference)."""
+    time.sleep(seconds)
+    return seconds
+
+
 class TestSequentialExecutor:
     def test_matches_direct_pipeline(self):
         executor = SequentialExecutor()
@@ -110,22 +116,24 @@ class TestPoolExecutor:
         assert totals["artifact_hits"] == 2
 
     def test_priorities_dispatch_high_first(self):
-        base, lo, hi = jobs_grid()[:3]
+        _base, lo, hi = jobs_grid()[:3]
         with PoolExecutor(workers=1) as pool:
+            # Hold the only worker so both jobs are queued when it
+            # frees up: the priority heap must then dispatch hi first.
+            blocker = pool.submit_call(_hold_worker, 0.3)
             handles = {
-                "base": pool.submit(base),
                 "lo": pool.submit(lo, priority=0),
                 "hi": pool.submit(hi, priority=10),
             }
             order = []
             deadline = time.time() + 300
-            while len(order) < 3 and time.time() < deadline:
+            while len(order) < 2 and time.time() < deadline:
                 for name, handle in handles.items():
                     if handle.done() and name not in order:
                         order.append(name)
-                time.sleep(0.005)
-        assert set(order) == {"base", "lo", "hi"}
-        assert order.index("hi") < order.index("lo")
+                time.sleep(0.0005)
+            blocker.result(timeout=300)
+        assert order == ["hi", "lo"]
 
     def test_worker_error_propagates(self, tmp_path):
         bad = AbstractionJob(
