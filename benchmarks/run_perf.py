@@ -504,6 +504,94 @@ def run_resilience_benchmark(quick: bool) -> dict:
     return record
 
 
+def run_observability_benchmark(quick: bool) -> dict:
+    """Tracing overhead: the `--trace` path must stay observational.
+
+    Runs the same job set through fresh sequential executors with
+    tracing off and on (JSONL writer appending to a real file) and
+    compares paired wall clocks plus result signatures.  The
+    contract this holds the runtime to: byte-identical outputs and
+    single-digit-percent overhead — tracing is one ``os.write`` per
+    lifecycle transition, never a second code path.
+    """
+    import tempfile
+
+    from repro.obs import TraceWriter, read_trace
+    from repro.service.cache import ArtifactCache
+
+    # The synthetic log gives run times stable enough (~±2%) to
+    # resolve a low-single-digit overhead; the loan logs vary ±10%
+    # run to run under identical work, which swamps the signal.
+    log_ref = LogRef.builtin("synthetic:8x150@1")
+    combos = [[MaxGroupSize(bound)] for bound in range(2, 8)]
+    combos += [[MaxGroups(bound)] for bound in range(4, 10)]
+    jobs = [
+        AbstractionJob(
+            log=log_ref,
+            constraints=ConstraintSet(combo),
+            job_id=f"obs-{index}",
+        )
+        for index, combo in enumerate(combos)
+    ]
+    repeats = 4 if quick else 8
+
+    def run_once(tracer) -> "tuple[float, list[str]]":
+        # A fresh cache per run: identical work on both arms, no
+        # cross-run warm hits to flatter either side.
+        executor = SequentialExecutor(cache=ArtifactCache(), tracer=tracer)
+        started = time.perf_counter()
+        signatures = [
+            result_signature(executor.submit(job).result()) for job in jobs
+        ]
+        return time.perf_counter() - started, signatures
+
+    plain_times: "list[float]" = []
+    traced_times: "list[float]" = []
+    ratios: "list[float]" = []
+    _, reference = run_once(None)  # untimed warmup (imports, allocator)
+    matched = True
+    trace_events = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(repeats):
+            trace_path = Path(tmp) / f"trace-{repeat}.jsonl"
+            # Each repeat is one back-to-back plain/traced pair, so
+            # the ratio cancels slow drift; the pair's order alternates
+            # so run-ordering effects (page cache, allocator growth)
+            # cannot systematically flatter either arm.  The reported
+            # overhead is the median of the per-pair ratios.
+            arms = ["plain", "traced"] if repeat % 2 == 0 else ["traced", "plain"]
+            for arm in arms:
+                if arm == "plain":
+                    seconds, signatures = run_once(None)
+                    plain_times.append(seconds)
+                else:
+                    with TraceWriter(trace_path) as tracer:
+                        seconds, signatures = run_once(tracer)
+                    traced_times.append(seconds)
+                    trace_events = len(read_trace(trace_path))
+                if signatures != reference:
+                    matched = False
+            ratios.append(traced_times[-1] / plain_times[-1])
+    plain_median = statistics.median(plain_times)
+    traced_median = statistics.median(traced_times)
+    overhead = statistics.median(ratios) - 1.0
+    record = {
+        "jobs": len(jobs),
+        "repeats": repeats,
+        "plain_seconds": plain_median,
+        "traced_seconds": traced_median,
+        "overhead_fraction": overhead,
+        "trace_events_per_run": trace_events,
+        "outputs_match": matched,
+    }
+    print(
+        f"observability: {len(jobs)} jobs plain={plain_median:6.3f}s "
+        f"traced={traced_median:6.3f}s overhead={overhead * 100:+5.2f}% "
+        f"events={trace_events} match={matched}"
+    )
+    return record
+
+
 def run_attribute_benchmark(quick: bool) -> dict:
     """Instance-constraint checking: columnar kernels vs event walks.
 
@@ -840,6 +928,7 @@ def main(argv=None) -> int:
     dist_record = run_dist_benchmark(args.quick)
     selection_record = run_selection_benchmark(args.quick)
     resilience_record = run_resilience_benchmark(args.quick)
+    observability_record = run_observability_benchmark(args.quick)
 
     scaling_speedups = [
         r["speedup_candidates"]
@@ -869,6 +958,8 @@ def main(argv=None) -> int:
     ]
     if not resilience_record["outputs_match"]:
         mismatches.append("resilience/completed-jobs")
+    if not observability_record["outputs_match"]:
+        mismatches.append("observability/traced-run")
     report = {
         "schema": "gecco-perf/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -881,6 +972,7 @@ def main(argv=None) -> int:
         "dist": dist_record,
         "selection": selection_record,
         "resilience": resilience_record,
+        "observability": observability_record,
         "summary": {
             "median_speedup_candidates_scaling_classes": (
                 statistics.median(scaling_speedups) if scaling_speedups else None
@@ -925,6 +1017,9 @@ def main(argv=None) -> int:
             "resilience_shed_rate_4x_with_admission": resilience_record["runs"][
                 "overload_4x"
             ]["with_admission"]["shed_rate"],
+            "observability_overhead_fraction": observability_record[
+                "overhead_fraction"
+            ],
             "outputs_match": not mismatches,
             "mismatched_workloads": mismatches,
         },

@@ -89,6 +89,25 @@ API_SECTIONS: "list[tuple[str, list[tuple[str, str, str]]]]" = [
              "fault-injecting proxy over any broker"),
         ],
     ),
+    (
+        "Observability",
+        [
+            ("repro.obs.trace", "TraceWriter",
+             "crash-safe line-atomic JSONL lifecycle tracing"),
+            ("repro.obs.trace", "read_trace",
+             "parse a trace file, skipping torn lines"),
+            ("repro.obs.trace", "merge_traces",
+             "reassemble per-process traces into one timeline"),
+            ("repro.obs.metrics", "MetricsRegistry",
+             "counters, gauges, histograms; Prometheus text out"),
+            ("repro.obs.metrics", "MetricsServer",
+             "the `/metrics` HTTP endpoint behind `--metrics-port`"),
+            ("repro.obs.doctor", "analyze_trace",
+             "trace events in, forensic report out"),
+            ("repro.obs.doctor", "render_report",
+             "the human rendering behind `repro doctor`"),
+        ],
+    ),
 ]
 
 _HEADER = """\

@@ -40,6 +40,17 @@ Subcommands
     ``batch`` and ``serve`` accept the same ``--broker URL`` to
     dispatch through the distributed executor instead of the
     in-process pool.
+
+``doctor``
+    Offline failure forensics over the structured traces that
+    ``batch`` / ``serve`` / ``worker`` write with ``--trace PATH``
+    (see :mod:`repro.obs` and ``docs/observability.md``)::
+
+        gecco doctor /shared/trace.jsonl worker-host2.jsonl --json
+
+    ``serve`` and ``worker`` additionally expose live counters in
+    Prometheus text format with ``--metrics-port N`` (scrape
+    ``http://127.0.0.1:N/metrics``).
 """
 
 from __future__ import annotations
@@ -228,6 +239,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         disk_dir=args.cache_dir,
         broker=args.broker,
         max_load=args.max_load,
+        trace=args.trace,
     )
     if args.output is None:
         for row in report.rows:
@@ -252,7 +264,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         disk_dir=args.cache_dir,
         broker=args.broker,
         max_load=args.max_load,
+        trace=args.trace,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsRegistry, MetricsServer, sync_executor_stats
+
+        registry = MetricsRegistry()
+        metrics_server = MetricsServer(
+            registry,
+            port=args.metrics_port,
+            refresh=lambda: sync_executor_stats(registry, executor.stats()),
+        )
+        print(f"metrics endpoint on {metrics_server.url}", file=sys.stderr)
     try:
         if args.port is not None:
             print(
@@ -269,14 +293,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             served = serve_loop(sys.stdin, sys.stdout, executor)
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         executor.shutdown()
     print(f"served {served} requests", file=sys.stderr)
     return 0
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.cache import ArtifactCache
     from repro.service.dist.chaos import ChaosBroker, ChaosConfig
-    from repro.service.dist.worker import worker_loop
+    from repro.service.dist.worker import WorkerStats, default_worker_id, worker_loop
 
     print(
         f"worker joining broker {args.broker} "
@@ -294,18 +321,38 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         broker = ChaosBroker(connect_broker(args.broker), chaos)
+    cache = ArtifactCache(disk_dir=args.cache_dir)
+    stats = WorkerStats(worker=args.worker_id or default_worker_id())
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsRegistry, MetricsServer, sync_worker_stats
+
+        registry = MetricsRegistry()
+
+        def refresh():
+            stats.cache = cache.snapshot()
+            sync_worker_stats(registry, stats)
+
+        metrics_server = MetricsServer(
+            registry, port=args.metrics_port, refresh=refresh
+        )
+        print(f"metrics endpoint on {metrics_server.url}", file=sys.stderr)
     try:
         stats = worker_loop(
             broker,
-            cache_dir=args.cache_dir,
+            cache=cache,
             worker_id=args.worker_id,
             lease=args.lease,
             poll_interval=args.poll_interval,
             max_tasks=args.max_tasks,
             idle_exit=args.idle_exit,
             max_attempts=args.max_attempts,
+            trace=args.trace,
+            stats=stats,
         )
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if broker is not args.broker:
             broker.close()
     print(
@@ -315,6 +362,14 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     print(json.dumps(stats.as_dict()))
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.obs.doctor import main_doctor
+
+    out = main_doctor(args.traces, as_json=args.json)
+    print(out, end="" if out.endswith("\n") else "\n")
     return 0
 
 
@@ -443,6 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on queued+running jobs; past it the lowest-priority "
         "job is shed with a typed Overloaded error row",
     )
+    batch.add_argument(
+        "--trace",
+        help="append structured JSONL lifecycle events to this file "
+        "(analyze with `repro doctor`)",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     serve = sub.add_parser(
@@ -471,6 +531,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--conn-timeout", type=float, default=30.0,
         help="idle seconds before a silent TCP client is dropped "
         "(the loop serves one client at a time)",
+    )
+    serve.add_argument(
+        "--trace",
+        help="append structured JSONL lifecycle events to this file "
+        "(analyze with `repro doctor`)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve Prometheus metrics on this port (0 = ephemeral)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -505,6 +574,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=3,
         help="deliveries before an undeliverable task is quarantined",
     )
+    worker.add_argument(
+        "--trace",
+        help="append structured JSONL lifecycle events to this file "
+        "(analyze with `repro doctor`)",
+    )
+    worker.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve Prometheus metrics on this port (0 = ephemeral)",
+    )
     chaos = worker.add_argument_group(
         "chaos", "deterministic fault injection (resilience drills; "
         "all rates in [0, 1], 0 = off)"
@@ -538,6 +616,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability an enqueue is refused",
     )
     worker.set_defaults(handler=_cmd_worker)
+
+    doctor = sub.add_parser(
+        "doctor", help="analyze trace files: failure taxonomy, latency, offenders"
+    )
+    doctor.add_argument(
+        "traces", nargs="+",
+        help="trace JSONL files (merged by timestamp before analysis)",
+    )
+    doctor.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    doctor.set_defaults(handler=_cmd_doctor)
     return parser
 
 

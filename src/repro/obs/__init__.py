@@ -1,0 +1,72 @@
+"""``repro.obs`` — fleet observability: tracing, metrics, forensics.
+
+The executor stack (:mod:`repro.service`) emits rich runtime signals —
+scheduler and affinity counters, requeue/quarantine events, cache-tier
+hits, selection stats, admission sheds, chaos outcomes — that used to
+die in per-process ``stats()`` dicts the moment a worker exited.  This
+package turns them into three durable, zero-dependency surfaces:
+
+* :mod:`~repro.obs.trace` — **structured tracing**: a
+  :class:`TraceWriter` appends one JSONL event per job-lifecycle
+  transition (``submitted``/``queued``/``claimed``/``heartbeat``/
+  ``requeued``/``released``/``quarantined``/``shed``/
+  ``deadline_exceeded``/``cache_hit``/``artifact_build``/``solve``/
+  ``done``/``worker_exit``) with wall and monotonic timestamps, job
+  fingerprint, worker id and pid, attempt number, and per-stage
+  timings.  Appends are line-atomic (one ``O_APPEND`` write per
+  event), so any number of processes — pool workers, fleet workers on
+  other hosts via a shared directory, the submitting executor — can
+  interleave into one file that :mod:`~repro.obs.doctor` reassembles.
+  Wired in with ``--trace PATH`` on ``repro batch``/``serve``/
+  ``worker`` and ``trace=`` on
+  :func:`~repro.service.batch.make_executor`.
+* :mod:`~repro.obs.metrics` — **metrics**: a lock-cheap
+  :class:`MetricsRegistry` (counters, gauges, histograms with fixed
+  bucket bounds) rendered in the Prometheus text exposition format and
+  scraped from a ``/metrics`` endpoint (:class:`MetricsServer`) on
+  ``repro serve --metrics-port`` and ``repro worker --metrics-port``.
+  :func:`sync_executor_stats` absorbs the ad-hoc executor ``stats()``
+  dicts (scheduler, broker, admission, workers, cache tiers) into the
+  registry on every scrape.
+* :mod:`~repro.obs.doctor` — **failure forensics**: ``repro doctor
+  <trace.jsonl ...>`` merges fleet traces and reports a failure
+  taxonomy (quarantine/deadline/shed/retry by cause), top-offender
+  jobs and workers, per-stage latency percentiles (queue wait vs
+  artifact build vs solve), cache-tier hit rates, and a
+  requeue/quarantine timeline — as JSON or human-readable text.
+
+Tracing is **off-by-default-free**: with no tracer configured the hot
+paths pay a ``None`` check, and with one configured results stay
+byte-identical to an untraced run (tracing never touches computation —
+enforced by the differential tests in ``tests/test_obs.py`` and the
+``observability`` section of ``benchmarks/run_perf.py``).
+"""
+
+from repro.obs.doctor import analyze_trace, render_report
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsServer,
+    sync_executor_stats,
+    sync_worker_stats,
+)
+from repro.obs.trace import (
+    TRACE_EVENTS,
+    TRACE_SCHEMA,
+    TraceWriter,
+    merge_traces,
+    read_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsServer",
+    "TRACE_EVENTS",
+    "TRACE_SCHEMA",
+    "TraceWriter",
+    "analyze_trace",
+    "merge_traces",
+    "read_trace",
+    "render_report",
+    "sync_executor_stats",
+    "sync_worker_stats",
+]

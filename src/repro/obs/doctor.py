@@ -1,0 +1,366 @@
+"""``repro doctor`` — offline forensics over merged fleet traces.
+
+The doctor turns raw trace events (:mod:`repro.obs.trace`) into the
+questions an operator actually asks after a bad night:
+
+* **what failed, and why** — a taxonomy of retries (by op and cause),
+  requeues (lease expiry vs voluntary release), quarantines (by
+  reason), admission sheds (by cause), and deadline failures (by
+  stage);
+* **who is hurting** — top-offender jobs (most redeliveries and
+  failures) and workers (quarantines, heartbeat errors, broker errors,
+  from their final ``worker_exit`` stats);
+* **where the time goes** — p50/p99 of queue wait (``queued`` →
+  ``claimed``), artifact build, solve, and end-to-end job latency;
+* **is the cache working** — hit counts per tier from ``cache_hit``
+  events plus true hit *rates* from worker cache snapshots;
+* **when it happened** — a chronological requeue/quarantine timeline.
+
+Attribution is reconstructive: a ``claimed`` event with ``attempt > 0``
+is a redelivery; if a ``released`` event for the same task precedes
+it, the redelivery was voluntary (e.g. a corrupt payload handed back),
+otherwise the lease expired — which, with a ``heartbeat`` error event
+in between, points at heartbeat loss rather than worker death.  This
+is exactly the fault vocabulary the chaos harness
+(:mod:`repro.service.dist.chaos`) injects, so a seeded chaos drill can
+assert every injected fault class lands in the right taxonomy bucket.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from collections import defaultdict
+
+from repro.obs.trace import merge_traces
+
+#: Doctor report schema tag.
+DOCTOR_SCHEMA = "gecco-doctor/1"
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile on a sorted copy (no numpy needed)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _stage_summary(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "total_s": round(sum(samples), 6),
+        "p50_s": round(_percentile(samples, 0.50), 6),
+        "p99_s": round(_percentile(samples, 0.99), 6),
+    }
+
+
+def analyze_trace(paths_or_events) -> dict:
+    """Merge traces and distill them into one forensics report dict.
+
+    Accepts a list of trace file paths, or (for tests and embedding) a
+    pre-merged list of event dicts.  Returns a JSON-ready report; see
+    ``docs/observability.md`` for the field reference.
+    """
+    if paths_or_events and isinstance(paths_or_events[0], dict):
+        events = list(paths_or_events)
+    else:
+        events = merge_traces(paths_or_events)
+
+    counts = TallyCounter(e.get("event", "?") for e in events)
+    workers = sorted(
+        {e["worker"] for e in events if e.get("worker")}
+    )
+
+    # --- failure taxonomy -------------------------------------------------
+    retries: TallyCounter = TallyCounter()
+    for e in events:
+        if e.get("event") == "retry":
+            retries[f'{e.get("op", "?")}:{e.get("cause", "?")}'] += 1
+
+    released_tasks: dict[str, int] = defaultdict(int)
+    for e in events:
+        if e.get("event") == "released":
+            key = e.get("task_id") or e.get("fingerprint") or "?"
+            released_tasks[key] += 1
+
+    heartbeat_errors = sum(
+        1 for e in events if e.get("event") == "heartbeat" and e.get("error")
+    )
+
+    redeliveries = {"released": 0, "lease_expired": 0}
+    redelivered_jobs: TallyCounter = TallyCounter()
+    budget: dict[str, int] = defaultdict(int)  # releases not yet matched
+    for e in events:
+        name = e.get("event")
+        key = e.get("task_id") or e.get("fingerprint") or "?"
+        if name == "released":
+            budget[key] += 1
+        elif name == "claimed" and e.get("attempt", 0) > 0:
+            redelivered_jobs[e.get("fingerprint") or key] += 1
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                redeliveries["released"] += 1
+            else:
+                redeliveries["lease_expired"] += 1
+    requeue_sweeps = sum(
+        e.get("count", 0) for e in events if e.get("event") == "requeued"
+    )
+
+    quarantines: TallyCounter = TallyCounter()
+    for e in events:
+        if e.get("event") == "quarantined":
+            quarantines[_reason_class(e.get("reason", ""))] += 1
+
+    sheds: TallyCounter = TallyCounter(
+        e.get("cause", "overload") for e in events if e.get("event") == "shed"
+    )
+    deadlines: TallyCounter = TallyCounter(
+        e.get("stage", "?") for e in events if e.get("event") == "deadline_exceeded"
+    )
+    degraded: TallyCounter = TallyCounter(
+        e.get("cause", "?") for e in events if e.get("event") == "degraded"
+    )
+    failures = sum(
+        1
+        for e in events
+        if e.get("event") == "done"
+        and (e.get("error") or e.get("ok") is False)
+    )
+
+    # --- latency breakdown ------------------------------------------------
+    queued_at: dict[str, float] = {}
+    queue_waits: list[float] = []
+    for e in events:
+        key = e.get("task_id") or e.get("fingerprint")
+        if key is None:
+            continue
+        name = e.get("event")
+        if name in ("queued", "submitted"):
+            # first enqueue wins; redeliveries measure from original entry
+            queued_at.setdefault(key, e.get("ts", 0.0))
+        elif name == "claimed" and key in queued_at:
+            queue_waits.append(max(0.0, e.get("ts", 0.0) - queued_at[key]))
+
+    stage_samples: dict[str, list[float]] = defaultdict(list)
+    for e in events:
+        name = e.get("event")
+        if name == "artifact_build" and "seconds" in e:
+            stage_samples["artifact_build"].append(float(e["seconds"]))
+        elif name == "solve":
+            timings = e.get("timings") or {}
+            for stage, seconds in timings.items():
+                stage_samples[f"solve_{stage}"].append(float(seconds))
+            if "seconds" in e:
+                stage_samples["solve"].append(float(e["seconds"]))
+        elif name == "done" and "seconds" in e:
+            stage_samples["job_total"].append(float(e["seconds"]))
+    latency = {"queue_wait": _stage_summary(queue_waits)}
+    for stage in sorted(stage_samples):
+        latency[stage] = _stage_summary(stage_samples[stage])
+
+    # --- cache ------------------------------------------------------------
+    tier_hits: TallyCounter = TallyCounter(
+        e.get("tier", "?") for e in events if e.get("event") == "cache_hit"
+    )
+    snapshot_totals: dict[str, TallyCounter] = defaultdict(TallyCounter)
+    for e in events:
+        if e.get("event") == "worker_exit":
+            cache = e.get("stats", {}).get("cache") or {}
+            for tier, counters in cache.items():
+                if isinstance(counters, dict):
+                    for key, value in counters.items():
+                        if isinstance(value, (int, float)):
+                            snapshot_totals[tier][key] += value
+    hit_rates = {}
+    for tier, counters in sorted(snapshot_totals.items()):
+        hits, misses = counters.get("hits", 0), counters.get("misses", 0)
+        if hits + misses:
+            hit_rates[tier] = round(hits / (hits + misses), 4)
+
+    # --- offenders --------------------------------------------------------
+    job_trouble: TallyCounter = TallyCounter()
+    job_trouble.update(redelivered_jobs)
+    for e in events:
+        key = e.get("fingerprint") or e.get("task_id")
+        if key is None:
+            continue
+        name = e.get("event")
+        if name == "quarantined" or (
+            name == "done" and (e.get("error") or e.get("ok") is False)
+        ):
+            job_trouble[key] += 1
+        elif name == "deadline_exceeded":
+            job_trouble[key] += 1
+    worker_trouble: list[dict] = []
+    for e in events:
+        if e.get("event") != "worker_exit":
+            continue
+        stats = e.get("stats", {})
+        score = sum(
+            stats.get(k, 0)
+            for k in (
+                "failed", "quarantined", "released",
+                "broker_errors", "heartbeat_errors",
+            )
+        )
+        worker_trouble.append(
+            {
+                "worker": stats.get("worker") or e.get("worker", "?"),
+                "trouble_score": score,
+                "completed": stats.get("completed", 0),
+                "failed": stats.get("failed", 0),
+                "quarantined": stats.get("quarantined", 0),
+                "released": stats.get("released", 0),
+                "requeued": stats.get("requeued", 0),
+                "broker_errors": stats.get("broker_errors", 0),
+                "heartbeat_errors": stats.get("heartbeat_errors", 0),
+            }
+        )
+    worker_trouble.sort(key=lambda w: (-w["trouble_score"], w["worker"]))
+
+    # --- timeline ---------------------------------------------------------
+    timeline = [
+        {
+            "ts": e.get("ts", 0.0),
+            "event": e.get("event"),
+            "task_id": e.get("task_id"),
+            "fingerprint": e.get("fingerprint"),
+            "worker": e.get("worker"),
+            "attempt": e.get("attempt"),
+            "reason": e.get("reason") or e.get("cause") or e.get("stage"),
+        }
+        for e in events
+        if e.get("event")
+        in ("requeued", "released", "quarantined", "shed", "deadline_exceeded")
+        or (e.get("event") == "claimed" and e.get("attempt", 0) > 0)
+    ]
+    for entry in timeline:
+        for key in list(entry):
+            if entry[key] is None:
+                del entry[key]
+
+    return {
+        "schema": DOCTOR_SCHEMA,
+        "events": sum(counts.values()),
+        "event_counts": dict(sorted(counts.items())),
+        "workers": workers,
+        "taxonomy": {
+            "retries": dict(sorted(retries.items())),
+            "redeliveries": dict(redeliveries),
+            "requeue_sweep_moves": requeue_sweeps,
+            "releases": sum(released_tasks.values()),
+            "heartbeat_errors": heartbeat_errors,
+            "quarantines": dict(sorted(quarantines.items())),
+            "sheds": dict(sorted(sheds.items())),
+            "deadline_exceeded": dict(sorted(deadlines.items())),
+            "degraded": dict(sorted(degraded.items())),
+            "job_failures": failures,
+        },
+        "latency": latency,
+        "cache": {
+            "tier_hits": dict(sorted(tier_hits.items())),
+            "hit_rates": hit_rates,
+        },
+        "offenders": {
+            "jobs": [
+                {"job": job, "trouble_score": score}
+                for job, score in job_trouble.most_common(10)
+            ],
+            "workers": worker_trouble[:10],
+        },
+        "timeline": timeline,
+    }
+
+
+def _reason_class(reason: str) -> str:
+    """Collapse free-text quarantine reasons into stable classes."""
+    text = (reason or "").lower()
+    if "deserialize" in text or "poison" in text or "pickle" in text:
+        return "poison_payload"
+    if "attempt" in text or "exhaust" in text or "budget" in text:
+        return "attempts_exhausted"
+    return "other"
+
+
+def render_report(report: dict) -> str:
+    """Human-readable rendering of an :func:`analyze_trace` report."""
+    lines: list[str] = []
+    out = lines.append
+    out(f"repro doctor — {report['events']} events from "
+        f"{len(report['workers'])} worker(s)")
+    out("")
+    out("Event counts:")
+    for name, count in report["event_counts"].items():
+        out(f"  {name:<18} {count}")
+    tax = report["taxonomy"]
+    out("")
+    out("Failure taxonomy:")
+    out(f"  redeliveries       lease_expired={tax['redeliveries']['lease_expired']} "
+        f"released={tax['redeliveries']['released']}")
+    out(f"  requeue sweeps     moved {tax['requeue_sweep_moves']} task(s)")
+    out(f"  voluntary releases {tax['releases']}")
+    out(f"  heartbeat errors   {tax['heartbeat_errors']}")
+    for label, table in (
+        ("retries", tax["retries"]),
+        ("quarantines", tax["quarantines"]),
+        ("sheds", tax["sheds"]),
+        ("deadline_exceeded", tax["deadline_exceeded"]),
+        ("degraded", tax["degraded"]),
+    ):
+        if table:
+            out(f"  {label}:")
+            for key, count in table.items():
+                out(f"    {key:<28} {count}")
+    out(f"  job failures       {tax['job_failures']}")
+    out("")
+    out("Latency (seconds):")
+    for stage, summary in report["latency"].items():
+        out(f"  {stage:<16} n={summary['count']:<5} "
+            f"p50={summary['p50_s']:.4f} p99={summary['p99_s']:.4f} "
+            f"total={summary['total_s']:.3f}")
+    cache = report["cache"]
+    if cache["tier_hits"] or cache["hit_rates"]:
+        out("")
+        out("Cache:")
+        for tier, hits in cache["tier_hits"].items():
+            out(f"  hits[{tier}] = {hits}")
+        for tier, rate in cache["hit_rates"].items():
+            out(f"  hit_rate[{tier}] = {rate:.2%}")
+    offenders = report["offenders"]
+    if offenders["jobs"]:
+        out("")
+        out("Top-offender jobs:")
+        for entry in offenders["jobs"]:
+            out(f"  {entry['job'][:40]:<42} trouble={entry['trouble_score']}")
+    if offenders["workers"]:
+        out("")
+        out("Workers:")
+        for w in offenders["workers"]:
+            out(f"  {w['worker']:<28} completed={w['completed']} "
+                f"failed={w['failed']} quarantined={w['quarantined']} "
+                f"released={w['released']} hb_err={w['heartbeat_errors']} "
+                f"broker_err={w['broker_errors']}")
+    if report["timeline"]:
+        out("")
+        out("Incident timeline:")
+        for entry in report["timeline"][:50]:
+            what = entry.get("reason", "")
+            who = entry.get("worker", "")
+            ref = entry.get("task_id") or entry.get("fingerprint") or ""
+            attempt = entry.get("attempt")
+            tag = f" attempt={attempt}" if attempt is not None else ""
+            out(f"  {entry['ts']:.3f} {entry['event']:<18} {ref[:16]:<16} "
+                f"{who}{tag} {what}".rstrip())
+        if len(report["timeline"]) > 50:
+            out(f"  ... {len(report['timeline']) - 50} more")
+    return "\n".join(lines) + "\n"
+
+
+def main_doctor(paths, as_json: bool = False) -> str:
+    """The ``repro doctor`` entry point body (CLI wires argv to this)."""
+    report = analyze_trace(list(paths))
+    if as_json:
+        return json.dumps(report, indent=2, sort_keys=False) + "\n"
+    return render_report(report)

@@ -1,0 +1,183 @@
+"""Structured JSONL tracing for the executor fleet.
+
+One :class:`TraceWriter` per process appends one JSON object per line
+to a shared trace file.  Every event carries:
+
+* ``schema`` — the trace schema tag (:data:`TRACE_SCHEMA`), stamped on
+  the first event each writer emits so merged fleet traces stay
+  self-describing;
+* ``event`` — one of :data:`TRACE_EVENTS`;
+* ``ts`` — wall-clock epoch seconds (cross-process orderable);
+* ``mono`` — ``time.monotonic()`` seconds (same-process interval
+  arithmetic, immune to clock steps);
+* ``pid`` — the emitting process id;
+* ``worker`` — the emitting worker's fleet name, when it has one;
+
+plus event-specific fields (job ``fingerprint``, ``task_id``,
+``attempt``, cache ``tier``, ``seconds`` stage timings, failure
+``reason``/``cause`` strings — see ``docs/observability.md`` for the
+full schema table).
+
+Crash-safety and interleaving: each event is a single ``os.write`` to
+a file descriptor opened with ``O_APPEND``, so POSIX guarantees the
+line lands contiguously even when pool workers, fleet workers, and the
+submitting executor all write to the same file; a process that dies
+mid-run loses at most the event it was formatting.  The reader side
+(:func:`read_trace`) skips torn or corrupt lines instead of raising,
+and :func:`merge_traces` reassembles a fleet-wide timeline from many
+per-host files by wall-clock order.
+
+Writers **never raise** into the hot path: tracing is an observer, and
+a full disk or revoked permission must not fail jobs that would
+otherwise succeed.  Failed appends are counted on
+``TraceWriter.dropped`` and otherwise ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+#: Trace schema tag; bump when event fields change incompatibly.
+TRACE_SCHEMA = "gecco-trace/1"
+
+#: The job-lifecycle vocabulary.  Writers may emit only these names;
+#: the doctor ignores unknown events (forward compatibility) but the
+#: schema round-trip test pins this exact set.
+TRACE_EVENTS = (
+    "submitted",          # executor accepted a job (fingerprint known)
+    "queued",             # job entered a queue (pool scheduler / broker)
+    "claimed",            # a worker took the job (carries attempt number)
+    "heartbeat",          # lease renewal outcome (errors / fail-fast only)
+    "requeued",           # lease-expired tasks swept back to the queue
+    "released",           # worker voluntarily handed a claim back
+    "quarantined",        # poisonous/exhausted task parked (with reason)
+    "shed",               # admission control refused the job (with cause)
+    "deadline_exceeded",  # job failed its deadline (with stage)
+    "cache_hit",          # a cache tier answered (tier: artifacts/results/
+                          #   selection/disk_results/disk_selection)
+    "artifact_build",     # per-log artifacts built (seconds)
+    "solve",              # the abstraction computation ran (stage seconds)
+    "retry",              # a resilience retry fired (op + cause)
+    "degraded",           # DegradingExecutor fell back a tier
+    "done",               # terminal job outcome (ok/error/cached, seconds)
+    "worker_exit",        # final WorkerStats of one worker loop
+)
+
+
+class TraceWriter:
+    """Append-only, multi-process-safe JSONL event writer.
+
+    Parameters
+    ----------
+    path:
+        The trace file; created on first emit, opened ``O_APPEND`` so
+        concurrent writers interleave whole lines.
+    worker:
+        Optional fleet name stamped on every event this writer emits.
+
+    A writer is cheap to construct (the file opens lazily) and safe to
+    share across threads; cross-process sharing means each process
+    constructs its own writer on the same path.
+    """
+
+    def __init__(self, path, worker: str | None = None):
+        self.path = str(path)
+        self.worker = worker
+        self.emitted = 0
+        #: Events lost to I/O errors (disk full, permissions); tracing
+        #: is best-effort and never raises into the traced code.
+        self.dropped = 0
+        self._fd: int | None = None
+        self._lock = threading.Lock()
+        self._stamped = False
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event; ``None``-valued fields are elided."""
+        record: dict = {"ts": time.time(), "mono": time.monotonic(), "event": event}
+        if not self._stamped:
+            record["schema"] = TRACE_SCHEMA
+        record["pid"] = os.getpid()
+        if self.worker is not None:
+            record["worker"] = self.worker
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        try:
+            line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+            data = line.encode("utf-8")
+        except Exception:
+            self.dropped += 1
+            return
+        with self._lock:
+            try:
+                if self._fd is None:
+                    self._fd = os.open(
+                        self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                    )
+                os.write(self._fd, data)
+            except Exception:
+                self.dropped += 1
+                return
+            self._stamped = True
+            self.emitted += 1
+
+    def close(self) -> None:
+        """Close the file descriptor (further emits reopen it)."""
+        with self._lock:
+            if self._fd is not None:
+                try:
+                    os.close(self._fd)
+                except Exception:
+                    pass
+                self._fd = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path) -> list[dict]:
+    """Parse one trace file; skip torn or corrupt lines.
+
+    A trace written by a crashing fleet may end mid-line or carry a
+    line mangled by an interleaving bug on a non-POSIX filesystem; the
+    reader's job is forensics, so it salvages every parseable event
+    rather than raising on the first bad byte.
+    """
+    events: list[dict] = []
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError:
+        return events
+    for line in raw.split(b"\n"):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "event" in record:
+            events.append(record)
+    return events
+
+
+def merge_traces(paths) -> list[dict]:
+    """Merge fleet trace files into one wall-clock-ordered timeline.
+
+    Monotonic timestamps break ties within a process but are not
+    comparable across hosts, so the merge orders by ``(ts, mono)`` —
+    wall clock first, monotonic as a same-process tiebreaker.  Events
+    missing timestamps (hand-written fixtures) sort first.
+    """
+    events: list[dict] = []
+    for path in paths:
+        events.extend(read_trace(path))
+    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("mono", 0.0)))
+    return events

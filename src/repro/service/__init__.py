@@ -27,6 +27,11 @@ amortizes work across requests:
 * :mod:`~repro.service.serialization` — lossless pickle/JSON
   round-trips for every object that crosses a process boundary.
 
+Observability for the whole stack — structured JSONL tracing
+(``--trace``), a Prometheus ``/metrics`` endpoint, and the ``repro
+doctor`` forensics analyzer — lives in :mod:`repro.obs` and threads
+through here via ``make_executor(..., trace=...)``.
+
 Quickstart::
 
     from repro.service import AbstractionJob, LogRef, PoolExecutor

@@ -130,6 +130,7 @@ def make_executor(
     max_load: int | None = None,
     admission=None,
     degrade: bool = True,
+    trace=None,
 ):
     """Build the executor the CLI flags describe.
 
@@ -148,6 +149,9 @@ def make_executor(
     control and load shedding on the pool and distributed tiers (see
     :mod:`repro.service.resilience`); the sequential tier runs at
     submit time and cannot overload, so they are ignored there.
+    ``trace`` (a JSONL path or a
+    :class:`~repro.obs.trace.TraceWriter`) threads structured tracing
+    through whichever executor is built — see :mod:`repro.obs`.
     """
     if broker is not None:
         from repro.service.dist.executor import DistributedExecutor
@@ -161,22 +165,29 @@ def make_executor(
             max_pending=max_pending,
             max_load=max_load,
             admission=admission,
+            trace=trace,
         )
         if not degrade:
             return primary
         if workers > 1:
-            def fallback_factory(workers=workers, disk_dir=disk_dir):
-                return PoolExecutor(workers=workers, disk_dir=disk_dir)
+            def fallback_factory(workers=workers, disk_dir=disk_dir, trace=trace):
+                return PoolExecutor(workers=workers, disk_dir=disk_dir, trace=trace)
         else:
-            def fallback_factory(disk_dir=disk_dir):
+            def fallback_factory(disk_dir=disk_dir, trace=trace):
                 from repro.service.cache import ArtifactCache
 
-                return SequentialExecutor(ArtifactCache(disk_dir=disk_dir))
-        return DegradingExecutor(primary, fallback_factory)
+                return SequentialExecutor(
+                    ArtifactCache(disk_dir=disk_dir),
+                    tracer=_as_tracer(trace, worker="fallback-sequential"),
+                )
+        return DegradingExecutor(primary, fallback_factory, tracer=primary.tracer)
     if workers <= 1:
         from repro.service.cache import ArtifactCache
 
-        return SequentialExecutor(cache or ArtifactCache(disk_dir=disk_dir))
+        return SequentialExecutor(
+            cache or ArtifactCache(disk_dir=disk_dir),
+            tracer=_as_tracer(trace, worker="sequential"),
+        )
     return PoolExecutor(
         workers=workers,
         cache=cache,
@@ -184,7 +195,17 @@ def make_executor(
         max_pending=max_pending,
         max_load=max_load,
         admission=admission,
+        trace=trace,
     )
+
+
+def _as_tracer(trace, worker: str):
+    """Coerce a ``--trace`` value (path or TraceWriter) to a writer."""
+    if trace is None or hasattr(trace, "emit"):
+        return trace
+    from repro.obs.trace import TraceWriter
+
+    return TraceWriter(str(trace), worker=worker)
 
 
 def run_batch(
@@ -196,6 +217,7 @@ def run_batch(
     disk_dir=None,
     broker: str | None = None,
     max_load: int | None = None,
+    trace=None,
 ) -> BatchReport:
     """Run a list of jobs and collect (optionally write) result rows.
 
@@ -214,7 +236,8 @@ def run_batch(
     owns_executor = executor is None
     if executor is None:
         executor = make_executor(
-            workers=workers, disk_dir=disk_dir, broker=broker, max_load=max_load
+            workers=workers, disk_dir=disk_dir, broker=broker,
+            max_load=max_load, trace=trace,
         )
     report = BatchReport()
     started = time.perf_counter()

@@ -231,6 +231,18 @@ class ArtifactCache:
         self._last_selection_ttl_sweep = 0.0
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: Optional :class:`~repro.obs.trace.TraceWriter`; when set,
+        #: every tier hit emits a ``cache_hit`` event (tier ∈
+        #: ``artifacts`` / ``results`` / ``selection`` /
+        #: ``disk_results`` / ``disk_selection``).  Emission happens
+        #: outside the cache lock — tracing observes, it never blocks
+        #: the tiers.
+        self.tracer = None
+
+    def _trace_hit(self, tier: str, key) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("cache_hit", tier=tier, key=str(key))
 
     # -- artifact tier (log-prefix keyed) ---------------------------------
 
@@ -243,7 +255,8 @@ class ArtifactCache:
                 return None
             self._artifacts.move_to_end(key)
             self.stats.artifacts.hits += 1
-            return bundle
+        self._trace_hit("artifacts", key)
+        return bundle
 
     def put_artifacts(self, key: tuple, bundle) -> None:
         """Store a per-log artifact bundle under its prefix ``key``."""
@@ -272,8 +285,11 @@ class ArtifactCache:
             if solution is not None:
                 self._selections.move_to_end(key)
                 self.stats.selection.hits += 1
-                return solution
-            self.stats.selection.misses += 1
+            else:
+                self.stats.selection.misses += 1
+        if solution is not None:
+            self._trace_hit("selection", key)
+            return solution
         if self._disk_dir is None:
             return None
         path = self._selection_disk_path(key)
@@ -309,6 +325,7 @@ class ArtifactCache:
         with self._lock:
             self.stats.disk.hits += 1
             self._store_selection_locked(key, solution)
+        self._trace_hit("disk_selection", key)
         return solution
 
     def put_selection(self, key: str, solution) -> None:
@@ -408,8 +425,11 @@ class ArtifactCache:
             if result is not None:
                 self._results.move_to_end(fingerprint)
                 self.stats.results.hits += 1
-                return result
-            self.stats.results.misses += 1
+            else:
+                self.stats.results.misses += 1
+        if result is not None:
+            self._trace_hit("results", fingerprint)
+            return result
         if self._disk_dir is None:
             return None
         path = self._disk_path(fingerprint)
@@ -446,6 +466,7 @@ class ArtifactCache:
         with self._lock:
             self.stats.disk.hits += 1
             self._store_result_locked(fingerprint, result)
+        self._trace_hit("disk_results", fingerprint)
         return result
 
     def put_result(self, fingerprint: str, result: AbstractionResult) -> None:

@@ -140,6 +140,7 @@ class DistributedExecutor:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         max_load: int | None = None,
         admission: AdmissionController | None = None,
+        trace=None,
     ):
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers}")
@@ -148,6 +149,21 @@ class DistributedExecutor:
         self._owns_broker = isinstance(broker, str)
         self.broker = connect_broker(broker) if isinstance(broker, str) else broker
         self.cache = cache if cache is not None else ArtifactCache(disk_dir=disk_dir)
+        # trace accepts a path (shared with spawned workers, who open
+        # their own O_APPEND writers) or a TraceWriter (parent-only).
+        self.tracer = None
+        self._trace_path: str | None = None
+        if trace is not None:
+            if hasattr(trace, "emit"):
+                self.tracer = trace
+                self._trace_path = getattr(trace, "path", None)
+            else:
+                from repro.obs.trace import TraceWriter
+
+                self._trace_path = str(trace)
+                self.tracer = TraceWriter(self._trace_path, worker="dist-executor")
+            if getattr(self.cache, "tracer", None) is None:
+                self.cache.tracer = self.tracer
         self.lease = lease
         self.poll_interval = poll_interval
         self.max_attempts = max_attempts
@@ -179,6 +195,7 @@ class DistributedExecutor:
                     cache_dir=disk_dir,
                     lease=lease,
                     poll_interval=poll_interval,
+                    trace=self._trace_path,
                 )
                 for _ in range(workers)
             ]
@@ -260,11 +277,20 @@ class DistributedExecutor:
         handle = _fingerprinted_handle(job)
         if handle.done():  # fingerprinting failed (e.g. unreadable log)
             return handle
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("submitted", fingerprint=handle.fingerprint, kind="job")
         hit = self.cache.get_result(handle.fingerprint)
         if hit is not None:
+            if tracer is not None:
+                tracer.emit("done", fingerprint=handle.fingerprint, cached=True)
             handle._complete(hit, True)
             return handle
         if self.admission is not None and not self.admission.admit(job.tenant):
+            if tracer is not None:
+                tracer.emit(
+                    "shed", fingerprint=handle.fingerprint, cause="tenant_quota"
+                )
             handle._fail(
                 Overloaded(f"tenant {job.tenant!r} is over its admission quota")
             )
@@ -288,12 +314,22 @@ class DistributedExecutor:
                 else:
                     self._space.notify_all()
         if victim is not None:
+            if tracer is not None:
+                tracer.emit(
+                    "shed",
+                    fingerprint=victim.fingerprint,
+                    cause="max_load_evicted",
+                )
             victim.handle._fail(
                 Overloaded(
                     f"shed at max_load={max_load} by higher-priority submission"
                 )
             )
         if shed_incoming:
+            if tracer is not None:
+                tracer.emit(
+                    "shed", fingerprint=handle.fingerprint, cause="max_load"
+                )
             handle._fail(Overloaded(f"executor at max_load={max_load}; job shed"))
             return handle
         envelope = TaskEnvelope(
@@ -315,6 +351,17 @@ class DistributedExecutor:
             deadline_at=job.deadline_at,
         )
         self._enqueue(item, envelope)
+        if tracer is not None:
+            with self._lock:
+                enqueued = envelope.task_id in self._inflight
+            if enqueued:  # not coalesced onto an in-flight twin
+                tracer.emit(
+                    "queued",
+                    fingerprint=handle.fingerprint,
+                    task_id=envelope.task_id,
+                    priority=rank,
+                    affinity=envelope.affinity,
+                )
         return handle
 
     def submit_call(self, fn, *args, priority: int = 0, **kwargs) -> CallHandle:
@@ -368,6 +415,13 @@ class DistributedExecutor:
                             if item.fingerprint is not None:
                                 self._active.pop(item.fingerprint, None)
                             self._space.notify_all()
+                        if self.tracer is not None:
+                            self.tracer.emit(
+                                "deadline_exceeded",
+                                fingerprint=item.fingerprint,
+                                task_id=task_id,
+                                stage="awaiting_result",
+                            )
                         item.handle._fail(
                             DeadlineExceeded(
                                 "deadline exceeded awaiting distributed result "
@@ -391,9 +445,12 @@ class DistributedExecutor:
             if now - self._last_requeue >= max(self.lease / 2.0, 0.05):
                 self._last_requeue = now
                 try:
-                    self._requeues += self.broker.requeue_expired(
+                    moved = self.broker.requeue_expired(
                         max_attempts=self.max_attempts
                     )
+                    self._requeues += moved
+                    if moved and self.tracer is not None:
+                        self.tracer.emit("requeued", count=moved, by="executor_sweep")
                 except Exception:
                     pass
             if not progressed:
@@ -413,6 +470,19 @@ class DistributedExecutor:
         if stats:
             with self._lock:
                 self._worker_stats[worker] = dict(stats)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "done",
+                fingerprint=item.fingerprint,
+                kind=item.kind,
+                cached=bool(record.get("cached")),
+                by=worker,
+                error=(
+                    None
+                    if record["ok"]
+                    else str(record.get("error") or "task failed")
+                ),
+            )
         if record["ok"]:
             if item.kind == "job":
                 try:
@@ -457,8 +527,10 @@ class DistributedExecutor:
         }
         try:
             broker_stats = self.broker.stats()
-        except Exception:
-            broker_stats = {}
+        except Exception as exc:
+            # An unreachable broker must not look like an idle one:
+            # surface the failure as a string instead of empty depths.
+            broker_stats = {"broker_error": f"{type(exc).__name__}: {exc}"}
         stats = {
             "parent": self.cache.snapshot(),
             "workers": workers,

@@ -204,6 +204,8 @@ def worker_loop(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     retry: RetryPolicy | None = None,
     heartbeat_max_misses: int = 5,
+    trace=None,
+    stats: WorkerStats | None = None,
 ) -> WorkerStats:
     """Claim-and-run tasks until stopped; return lifetime counters.
 
@@ -237,6 +239,18 @@ def worker_loop(
     heartbeat_max_misses:
         Consecutive heartbeat failures before the lease is failed fast
         (renewal stops; the task is redelivered after lease expiry).
+    trace:
+        Optional trace file path or
+        :class:`~repro.obs.trace.TraceWriter` — the loop then records
+        ``claimed`` / ``retry`` / ``heartbeat`` / ``released`` /
+        ``quarantined`` / ``requeued`` / ``done`` events and a final
+        ``worker_exit`` carrying the full :class:`WorkerStats` (so
+        ``repro doctor`` can attribute lease losses per worker even
+        when stdout is lost).
+    stats:
+        Optional externally-owned :class:`WorkerStats` the loop counts
+        into — the hook the ``repro worker --metrics-port`` sidecar
+        scrapes live counters through while the loop runs.
 
     The loop exits on: broker stop flag, ``max_tasks``, ``idle_exit``,
     or ``KeyboardInterrupt``.
@@ -246,19 +260,37 @@ def worker_loop(
         broker = connect_broker(broker)
     if cache is None:
         cache = ArtifactCache(disk_dir=cache_dir)
-    stats = WorkerStats(worker=worker_id or default_worker_id())
+    if stats is None:
+        stats = WorkerStats(worker=worker_id or default_worker_id())
+    elif not stats.worker:
+        stats.worker = worker_id or default_worker_id()
+    tracer = None
+    if trace is not None:
+        if hasattr(trace, "emit"):
+            tracer = trace
+        else:
+            from repro.obs.trace import TraceWriter
+
+            tracer = TraceWriter(str(trace), worker=stats.worker)
+        if getattr(cache, "tracer", None) is None:
+            cache.tracer = tracer
     if retry is None:
         retry = RetryPolicy(
             attempts=3, base_delay=poll_interval, seed=stats.worker
         )
 
-    def count_broker_error(exc, attempt=0):
-        del exc, attempt
+    def count_broker_error(exc, attempt=0, op="claim"):
         stats.broker_errors += 1
+        if tracer is not None:
+            tracer.emit(
+                "retry", op=op, attempt=attempt,
+                cause=f"{type(exc).__name__}: {exc}",
+            )
 
     def count_heartbeat_error(exc):
-        del exc
         stats.heartbeat_errors += 1
+        if tracer is not None:
+            tracer.emit("heartbeat", error=f"{type(exc).__name__}: {exc}")
 
     idle_since = time.time()
     try:
@@ -266,7 +298,10 @@ def worker_loop(
             if broker.stop_requested():
                 break
             try:
-                stats.requeued += broker.requeue_expired(max_attempts=max_attempts)
+                moved = broker.requeue_expired(max_attempts=max_attempts)
+                stats.requeued += moved
+                if moved and tracer is not None:
+                    tracer.emit("requeued", count=moved, by="worker_sweep")
             except Exception:
                 pass  # hygiene sweep only; claiming is the loop's job
             try:
@@ -288,11 +323,20 @@ def worker_loop(
                 time.sleep(poll_interval)
                 continue
             idle_since = time.time()
+            if tracer is not None:
+                tracer.emit(
+                    "claimed",
+                    task_id=claim.envelope.task_id,
+                    kind=claim.envelope.kind,
+                    attempt=claim.envelope.attempts,
+                    affinity=claim.envelope.affinity,
+                )
+            task_started = time.perf_counter()
             with _Heartbeat(
                 broker, claim, lease,
                 on_error=count_heartbeat_error,
                 max_misses=heartbeat_max_misses,
-            ):
+            ) as beat:
                 try:
                     payload, ok = run_claimed_task(claim, cache, stats.worker)
                 except _PoisonPayload as poison:
@@ -310,17 +354,41 @@ def worker_loop(
                             stats.broker_errors += 1
                     if released:
                         stats.released += 1
+                        if tracer is not None:
+                            tracer.emit(
+                                "released",
+                                task_id=claim.envelope.task_id,
+                                attempt=claim.envelope.attempts,
+                                reason=str(poison),
+                            )
                         continue
                     try:
                         broker.quarantine(claim, str(poison))
                     except Exception:
                         stats.broker_errors += 1
                     stats.quarantined += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            "quarantined",
+                            task_id=claim.envelope.task_id,
+                            attempt=claim.envelope.attempts,
+                            reason=str(poison),
+                        )
                     continue
+            if tracer is not None and beat.lost:
+                tracer.emit(
+                    "heartbeat",
+                    task_id=claim.envelope.task_id,
+                    error="lease lost (heartbeat fail-fast)",
+                    misses=beat.misses,
+                )
             try:
                 fresh = retry.call(
                     broker.complete, claim, payload,
-                    key="complete", on_retry=count_broker_error,
+                    key="complete",
+                    on_retry=lambda exc, attempt: count_broker_error(
+                        exc, attempt, op="complete"
+                    ),
                 )
             except Exception:
                 # A computed result is too expensive to discard over a
@@ -335,6 +403,16 @@ def worker_loop(
                 stats.completed += 1
             else:
                 stats.failed += 1
+            if tracer is not None:
+                tracer.emit(
+                    "done",
+                    task_id=claim.envelope.task_id,
+                    kind=claim.envelope.kind,
+                    attempt=claim.envelope.attempts,
+                    seconds=time.perf_counter() - task_started,
+                    ok=ok,
+                    stale=not fresh,
+                )
             if max_tasks is not None and stats.completed >= max_tasks:
                 break
             idle_since = time.time()
@@ -348,6 +426,11 @@ def worker_loop(
         except Exception:
             pass
         stats.cache = cache.snapshot()
+        if tracer is not None:
+            # The exit stats used to be print-only and lost with stdout;
+            # persisting them lets the doctor attribute lease losses
+            # (heartbeat_errors/released/broker_errors) per worker.
+            tracer.emit("worker_exit", stats=stats.as_dict())
         if owns_broker:
             broker.close()
     return stats
@@ -359,13 +442,16 @@ def spawn_worker_process(
     lease: float = 60.0,
     poll_interval: float = 0.05,
     mp_context: str | None = None,
+    trace: str | None = None,
 ):
     """Start a local :func:`worker_loop` in a child process.
 
     The executor uses this to make ``repro batch --broker URL`` /
     ``DistributedExecutor(workers=N)`` self-contained; remote hosts
     join the same broker with ``repro worker --broker URL`` instead.
-    Returns the started :class:`multiprocessing.Process`.
+    ``trace`` is a shared trace file path — the child opens its own
+    line-atomic writer on it.  Returns the started
+    :class:`multiprocessing.Process`.
     """
     import multiprocessing
 
@@ -376,7 +462,7 @@ def spawn_worker_process(
     process = context.Process(
         target=_worker_process_main,
         args=(broker_url, str(cache_dir) if cache_dir is not None else None,
-              lease, poll_interval),
+              lease, poll_interval, trace),
         daemon=True,
     )
     process.start()
@@ -384,8 +470,13 @@ def spawn_worker_process(
 
 
 def _worker_process_main(
-    broker_url: str, cache_dir: str | None, lease: float, poll_interval: float
+    broker_url: str,
+    cache_dir: str | None,
+    lease: float,
+    poll_interval: float,
+    trace: str | None = None,
 ) -> None:
     worker_loop(
-        broker_url, cache_dir=cache_dir, lease=lease, poll_interval=poll_interval
+        broker_url, cache_dir=cache_dir, lease=lease,
+        poll_interval=poll_interval, trace=trace,
     )

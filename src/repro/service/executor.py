@@ -43,6 +43,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -54,7 +55,9 @@ from repro.service.jobs import AbstractionJob
 from repro.service.resilience import AdmissionController, DeadlineExceeded, Overloaded
 
 
-def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResult, bool]:
+def run_job(
+    job: AbstractionJob, cache: ArtifactCache, tracer=None
+) -> tuple[AbstractionResult, bool]:
     """Run one job against a cache; return ``(result, from_cache)``.
 
     The cache discipline of the whole runtime lives here:
@@ -72,9 +75,18 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
     :class:`~repro.service.resilience.DeadlineExceeded` once expired —
     outputs are never degraded to fit the budget, so whatever result is
     produced stays byte-identical to the unbudgeted run.
+
+    ``tracer`` (a :class:`~repro.obs.trace.TraceWriter`, or the cache's
+    own ``tracer`` attribute when omitted) records ``artifact_build``,
+    ``solve``, and ``deadline_exceeded`` events; tracing observes
+    timings only and never alters the computation.
     """
+    if tracer is None:
+        tracer = getattr(cache, "tracer", None)
     deadline = job.deadline()
-    if deadline is not None:
+    if deadline is not None and deadline.expired():
+        if tracer is not None:
+            tracer.emit("deadline_exceeded", stage="job start")
         deadline.check("job start")
     fingerprint = job.fingerprint()
     hit = cache.get_result(fingerprint.full)
@@ -85,10 +97,23 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
     key = fingerprint.artifact_key(config.instance_policy, engine)
     artifacts = cache.get_artifacts(key)
     if artifacts is None:
-        if deadline is not None:
+        if deadline is not None and deadline.expired():
+            if tracer is not None:
+                tracer.emit(
+                    "deadline_exceeded",
+                    fingerprint=fingerprint.full,
+                    stage="artifact build",
+                )
             deadline.check("artifact build")
         log = job.log.resolve()
+        build_started = time.perf_counter()
         artifacts = prepare_artifacts(log, config)
+        if tracer is not None:
+            tracer.emit(
+                "artifact_build",
+                fingerprint=fingerprint.full,
+                seconds=time.perf_counter() - build_started,
+            )
         cache.put_artifacts(key, artifacts)
         cache.count_artifact_build()
     else:
@@ -97,10 +122,37 @@ def run_job(job: AbstractionJob, cache: ArtifactCache) -> tuple[AbstractionResul
         # it keeps one set of warmed per-log caches per worker.
         log = artifacts.log
     try:
+        solve_started = time.perf_counter()
         result = Gecco(job.constraints, config).abstract(
             log, artifacts, selection_cache=cache, deadline=deadline
         )
+        if tracer is not None:
+            timings = result.timings
+            tracer.emit(
+                "solve",
+                fingerprint=fingerprint.full,
+                seconds=time.perf_counter() - solve_started,
+                timings={
+                    "candidates": timings.candidates,
+                    "exclusive": timings.exclusive,
+                    "selection": timings.selection,
+                    "abstraction": timings.abstraction,
+                },
+                engine=result.engine,
+                num_candidates=result.num_candidates,
+                selection_stats=(
+                    result.selection_stats.as_dict()
+                    if result.selection_stats is not None
+                    else None
+                ),
+            )
         cache.put_result(fingerprint.full, result)
+    except DeadlineExceeded as exc:
+        if tracer is not None:
+            tracer.emit(
+                "deadline_exceeded", fingerprint=fingerprint.full, stage=str(exc)
+            )
+        raise
     finally:
         # The python-engine aggregate memo pins instance event lists;
         # drop them at the job boundary — failed jobs included — so
@@ -231,19 +283,40 @@ def _fingerprinted_handle(job: AbstractionJob) -> JobHandle:
 class SequentialExecutor:
     """Deterministic in-process executor (jobs run at submit time)."""
 
-    def __init__(self, cache: ArtifactCache | None = None):
+    def __init__(self, cache: ArtifactCache | None = None, tracer=None):
         self.cache = cache if cache is not None else ArtifactCache()
+        self.tracer = tracer
+        if tracer is not None and getattr(self.cache, "tracer", None) is None:
+            self.cache.tracer = tracer
 
     def submit(self, job: AbstractionJob, priority: int | None = None) -> JobHandle:
         """Run ``job`` now; the returned handle is already done."""
         handle = _fingerprinted_handle(job)
         if handle.done():  # fingerprinting failed (e.g. unreadable log)
             return handle
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("submitted", fingerprint=handle.fingerprint, kind="job")
+        started = time.perf_counter()
         try:
-            result, cached = run_job(job, self.cache)
+            result, cached = run_job(job, self.cache, tracer=tracer)
         except Exception as exc:
+            if tracer is not None:
+                tracer.emit(
+                    "done",
+                    fingerprint=handle.fingerprint,
+                    seconds=time.perf_counter() - started,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             handle._fail(exc)
         else:
+            if tracer is not None:
+                tracer.emit(
+                    "done",
+                    fingerprint=handle.fingerprint,
+                    seconds=time.perf_counter() - started,
+                    cached=cached,
+                )
             handle._complete(result, cached)
         return handle
 
@@ -289,11 +362,23 @@ class SequentialExecutor:
 _WORKER_CACHE: ArtifactCache | None = None
 
 
-def _pool_worker_init(max_artifacts: int, max_results: int, disk_dir: str | None):
+def _pool_worker_init(
+    max_artifacts: int,
+    max_results: int,
+    disk_dir: str | None,
+    trace_path: str | None = None,
+):
     global _WORKER_CACHE
     _WORKER_CACHE = ArtifactCache(
         max_artifacts=max_artifacts, max_results=max_results, disk_dir=disk_dir
     )
+    if trace_path is not None:
+        from repro.obs.trace import TraceWriter
+
+        # The O_APPEND discipline makes one shared file safe across all
+        # pool workers and the parent; run_job picks the tracer up from
+        # the cache attribute.
+        _WORKER_CACHE.tracer = TraceWriter(trace_path, worker=f"pool-{os.getpid()}")
 
 
 def _pool_worker_run(job: AbstractionJob):
@@ -324,6 +409,7 @@ class _QueueItem:
     payload: object
     handle: object
     prefix: "tuple | None" = None
+    claimed_at: "float | None" = None
 
 
 class PoolExecutor:
@@ -377,6 +463,7 @@ class PoolExecutor:
         affinity: bool = True,
         max_load: int | None = None,
         admission: AdmissionController | None = None,
+        trace=None,
     ):
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -391,11 +478,27 @@ class PoolExecutor:
         if admission is None and max_load is not None:
             admission = AdmissionController(max_load=max_load)
         self.admission = admission
+        # trace accepts a path (each worker process opens its own
+        # O_APPEND writer on it) or an existing parent-side TraceWriter.
+        self.tracer = None
+        trace_path: str | None = None
+        if trace is not None:
+            if hasattr(trace, "emit"):
+                self.tracer = trace
+                trace_path = getattr(trace, "path", None)
+            else:
+                trace_path = str(trace)
+                from repro.obs.trace import TraceWriter
+
+                self.tracer = TraceWriter(trace_path, worker=f"pool-parent-{os.getpid()}")
+            if getattr(self.cache, "tracer", None) is None:
+                self.cache.tracer = self.tracer
         context = multiprocessing.get_context(mp_context)
         initargs = (
             worker_max_artifacts,
             worker_max_results,
             str(disk_dir) if disk_dir is not None else None,
+            trace_path,
         )
         self._pools = [
             ProcessPoolExecutor(
@@ -471,11 +574,20 @@ class PoolExecutor:
         handle = _fingerprinted_handle(job)  # resolves/digests in the parent
         if handle.done():
             return handle
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("submitted", fingerprint=handle.fingerprint, kind="job")
         hit = self.cache.get_result(handle.fingerprint)
         if hit is not None:
+            if tracer is not None:
+                tracer.emit("done", fingerprint=handle.fingerprint, cached=True)
             handle._complete(hit, True)
             return handle
         if self.admission is not None and not self.admission.admit(job.tenant):
+            if tracer is not None:
+                tracer.emit(
+                    "shed", fingerprint=handle.fingerprint, cause="tenant_quota"
+                )
             handle._fail(
                 Overloaded(f"tenant {job.tenant!r} is over its admission quota")
             )
@@ -521,13 +633,25 @@ class PoolExecutor:
                 self._pending += 1
                 self._active[handle.fingerprint] = handle
                 heapq.heappush(self._heap, (-rank, next(self._ticket), item))
+                if tracer is not None:
+                    tracer.emit("queued", fingerprint=handle.fingerprint)
         if victim is not None:
+            if tracer is not None:
+                tracer.emit(
+                    "shed",
+                    fingerprint=victim.handle.fingerprint,
+                    cause="max_load_evicted",
+                )
             victim.handle._fail(
                 Overloaded(
                     f"shed at max_load={max_load} by higher-priority submission"
                 )
             )
         if shed_incoming:
+            if tracer is not None:
+                tracer.emit(
+                    "shed", fingerprint=handle.fingerprint, cause="max_load"
+                )
             handle._fail(
                 Overloaded(f"executor at max_load={max_load}; job shed")
             )
@@ -627,6 +751,12 @@ class PoolExecutor:
                         self._pending -= 1
                         self._active.pop(item.handle.fingerprint, None)
                         self._space.notify_all()
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "deadline_exceeded",
+                            fingerprint=item.handle.fingerprint,
+                            stage="queued",
+                        )
                     item.handle._fail(
                         DeadlineExceeded(
                             "deadline exceeded while queued "
@@ -634,6 +764,17 @@ class PoolExecutor:
                         )
                     )
                     continue
+            if self.tracer is not None:
+                item.claimed_at = time.perf_counter()
+                self.tracer.emit(
+                    "claimed",
+                    fingerprint=(
+                        item.handle.fingerprint if item.kind == _KIND_JOB else None
+                    ),
+                    kind=item.kind,
+                    pool_worker=worker,
+                    attempt=0,
+                )
             try:
                 if item.kind == _KIND_JOB:
                     future = self._pools[worker].submit(_pool_worker_run, item.payload)
@@ -670,10 +811,36 @@ class PoolExecutor:
         try:
             payload = future.result()
         except BaseException as exc:  # noqa: BLE001 - relayed to the awaiter
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "done",
+                    fingerprint=(
+                        item.handle.fingerprint if item.kind == _KIND_JOB else None
+                    ),
+                    kind=item.kind,
+                    seconds=(
+                        time.perf_counter() - item.claimed_at
+                        if item.claimed_at is not None
+                        else None
+                    ),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             item.handle._fail(exc)
             return
         if item.kind == _KIND_JOB:
             result, cached, pid, worker_snapshot = payload
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "done",
+                    fingerprint=item.handle.fingerprint,
+                    seconds=(
+                        time.perf_counter() - item.claimed_at
+                        if item.claimed_at is not None
+                        else None
+                    ),
+                    cached=cached,
+                    pool_pid=pid,
+                )
             try:
                 with self._lock:
                     self._worker_stats[pid] = worker_snapshot

@@ -432,20 +432,29 @@ class DegradingExecutor:
         primary,
         fallback_factory,
         breaker: CircuitBreaker | None = None,
+        tracer=None,
     ):
         self.primary = primary
         self._fallback_factory = fallback_factory
         self._fallback = None
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.tracer = tracer
         self._lock = threading.Lock()
         self._degraded_submissions = 0
 
-    def _fallback_executor(self):
+    def _fallback_executor(self, cause: str):
         with self._lock:
             if self._fallback is None:
                 self._fallback = self._fallback_factory()
             self._degraded_submissions += 1
-            return self._fallback
+            fallback = self._fallback
+        if self.tracer is not None:
+            self.tracer.emit(
+                "degraded",
+                cause=cause,
+                breaker=self.breaker.state,
+            )
+        return fallback
 
     def _submit_via(self, method: str, *args, **kwargs):
         if self.breaker.allow():
@@ -455,12 +464,14 @@ class DegradingExecutor:
                 # Policy outcomes are verdicts, not infrastructure
                 # faults: the fallback tier would only re-shed them.
                 raise
-            except Exception:
+            except Exception as exc:
                 self.breaker.record_failure()
-                return getattr(self._fallback_executor(), method)(*args, **kwargs)
+                return getattr(
+                    self._fallback_executor(f"{type(exc).__name__}: {exc}"), method
+                )(*args, **kwargs)
             self.breaker.record_success()
             return handle
-        return getattr(self._fallback_executor(), method)(*args, **kwargs)
+        return getattr(self._fallback_executor("breaker_open"), method)(*args, **kwargs)
 
     def submit(self, job, priority: int | None = None):
         """Submit to the primary tier, degrading on broker failure."""
