@@ -48,9 +48,20 @@ Subcommands
 
         gecco doctor /shared/trace.jsonl worker-host2.jsonl --json
 
+    ``--recommend`` appends evidence-backed tuning suggestions.
     ``serve`` and ``worker`` additionally expose live counters in
     Prometheus text format with ``--metrics-port N`` (scrape
-    ``http://127.0.0.1:N/metrics``).
+    ``http://127.0.0.1:N/metrics``; ``0`` binds an ephemeral port
+    that is printed and traced).
+
+``top``
+    Live dashboard over the same traces while the fleet is running —
+    tails the files incrementally (rotation-aware) and renders
+    rolling-window stage latencies, worker liveness, queue depth, and
+    the failure taxonomy::
+
+        gecco top /shared/trace.jsonl            # refresh loop
+        gecco top /shared/trace.jsonl --once --json
 """
 
 from __future__ import annotations
@@ -240,6 +251,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         broker=args.broker,
         max_load=args.max_load,
         trace=args.trace,
+        trace_rotate_mb=args.trace_rotate_mb,
     )
     if args.output is None:
         for row in report.rows:
@@ -265,18 +277,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         broker=args.broker,
         max_load=args.max_load,
         trace=args.trace,
+        trace_rotate_mb=args.trace_rotate_mb,
     )
     metrics_server = None
+    observer = None
     if args.metrics_port is not None:
         from repro.obs import MetricsRegistry, MetricsServer, sync_executor_stats
 
         registry = MetricsRegistry()
+        durations = registry.histogram(
+            "repro_job_duration_seconds",
+            "end-to-end seconds per served job (cache hits included)",
+        )
+        outcomes = registry.counter(
+            "repro_jobs_total", "served jobs by outcome (ok/cached/error)"
+        )
+
+        def observer(response, _hist=durations, _count=outcomes):
+            # Control responses (ping/stats/shutdown) carry no job row.
+            if response.get("ok"):
+                if "fingerprint" not in response:
+                    return
+                outcome = "cached" if response.get("cached") else "ok"
+            else:
+                outcome = "error"
+            _count.inc(outcome=outcome)
+            _hist.observe(float(response.get("seconds") or 0.0))
+
         metrics_server = MetricsServer(
             registry,
             port=args.metrics_port,
             refresh=lambda: sync_executor_stats(registry, executor.stats()),
         )
         print(f"metrics endpoint on {metrics_server.url}", file=sys.stderr)
+        tracer = getattr(executor, "tracer", None)
+        if tracer is not None:
+            tracer.emit(
+                "metrics_endpoint",
+                port=metrics_server.port,
+                url=metrics_server.url,
+            )
     try:
         if args.port is not None:
             print(
@@ -289,9 +329,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 executor,
                 max_requests=args.max_requests,
                 conn_timeout=args.conn_timeout,
+                observer=observer,
             )
         else:
-            served = serve_loop(sys.stdin, sys.stdout, executor)
+            served = serve_loop(sys.stdin, sys.stdout, executor,
+                                observer=observer)
     finally:
         if metrics_server is not None:
             metrics_server.close()
@@ -323,11 +365,31 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         broker = ChaosBroker(connect_broker(args.broker), chaos)
     cache = ArtifactCache(disk_dir=args.cache_dir)
     stats = WorkerStats(worker=args.worker_id or default_worker_id())
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.trace import TraceWriter
+
+        tracer = TraceWriter(
+            args.trace, worker=stats.worker,
+            rotate_mb=args.trace_rotate_mb,
+        )
     metrics_server = None
+    observer = None
     if args.metrics_port is not None:
         from repro.obs import MetricsRegistry, MetricsServer, sync_worker_stats
 
         registry = MetricsRegistry()
+        durations = registry.histogram(
+            "repro_job_duration_seconds",
+            "seconds per completed task on this worker",
+        )
+        outcomes = registry.counter(
+            "repro_jobs_total", "completed tasks by outcome (ok/error)"
+        )
+
+        def observer(outcome, seconds, _hist=durations, _count=outcomes):
+            _count.inc(outcome=outcome)
+            _hist.observe(seconds)
 
         def refresh():
             stats.cache = cache.snapshot()
@@ -337,6 +399,12 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             registry, port=args.metrics_port, refresh=refresh
         )
         print(f"metrics endpoint on {metrics_server.url}", file=sys.stderr)
+        if tracer is not None:
+            tracer.emit(
+                "metrics_endpoint",
+                port=metrics_server.port,
+                url=metrics_server.url,
+            )
     try:
         stats = worker_loop(
             broker,
@@ -347,8 +415,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             idle_exit=args.idle_exit,
             max_attempts=args.max_attempts,
-            trace=args.trace,
+            trace=tracer if tracer is not None else args.trace,
             stats=stats,
+            observer=observer,
         )
     finally:
         if metrics_server is not None:
@@ -368,9 +437,23 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.obs.doctor import main_doctor
 
-    out = main_doctor(args.traces, as_json=args.json)
+    out = main_doctor(
+        args.traces, as_json=args.json, recommend_flag=args.recommend
+    )
     print(out, end="" if out.endswith("\n") else "\n")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.live import main_top
+
+    return main_top(
+        args.traces,
+        once=args.once,
+        as_json=args.json,
+        interval=args.interval,
+        window=args.window,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -503,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append structured JSONL lifecycle events to this file "
         "(analyze with `repro doctor`)",
     )
+    batch.add_argument(
+        "--trace-rotate-mb", type=float, default=None,
+        help="rotate the trace file to <path>.1 past this many MB "
+        "(default: never)",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     serve = sub.add_parser(
@@ -538,8 +626,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(analyze with `repro doctor`)",
     )
     serve.add_argument(
+        "--trace-rotate-mb", type=float, default=None,
+        help="rotate the trace file to <path>.1 past this many MB "
+        "(default: never)",
+    )
+    serve.add_argument(
         "--metrics-port", type=int, default=None,
-        help="serve Prometheus metrics on this port (0 = ephemeral)",
+        help="serve Prometheus metrics on this port (0 = ephemeral; "
+        "the chosen port is printed and traced)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -580,8 +674,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(analyze with `repro doctor`)",
     )
     worker.add_argument(
+        "--trace-rotate-mb", type=float, default=None,
+        help="rotate the trace file to <path>.1 past this many MB "
+        "(default: never)",
+    )
+    worker.add_argument(
         "--metrics-port", type=int, default=None,
-        help="serve Prometheus metrics on this port (0 = ephemeral)",
+        help="serve Prometheus metrics on this port (0 = ephemeral; "
+        "the chosen port is printed and traced)",
     )
     chaos = worker.add_argument_group(
         "chaos", "deterministic fault injection (resilience drills; "
@@ -627,7 +727,36 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+    doctor.add_argument(
+        "--recommend", action="store_true",
+        help="append evidence-backed tuning recommendations",
+    )
     doctor.set_defaults(handler=_cmd_doctor)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over growing trace files"
+    )
+    top.add_argument(
+        "traces", nargs="+",
+        help="trace JSONL files to follow (rotated segments included)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit instead of refreshing",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable snapshots instead of the dashboard",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default 1)",
+    )
+    top.add_argument(
+        "--window", type=float, default=60.0,
+        help="rolling statistics window in seconds (default 60)",
+    )
+    top.set_defaults(handler=_cmd_top)
     return parser
 
 

@@ -32,8 +32,24 @@ package turns them into three durable, zero-dependency surfaces:
   <trace.jsonl ...>`` merges fleet traces and reports a failure
   taxonomy (quarantine/deadline/shed/retry by cause), top-offender
   jobs and workers, per-stage latency percentiles (queue wait vs
-  artifact build vs solve), cache-tier hit rates, and a
-  requeue/quarantine timeline — as JSON or human-readable text.
+  artifact build vs solve), cache-tier hit rates, exact parent/child
+  span trees, and a requeue/quarantine timeline — as JSON or
+  human-readable text.  ``--recommend`` adds an evidence-backed
+  tuning engine (:func:`recommend`) that cites the counts behind
+  every suggestion.
+* :mod:`~repro.obs.live` — **live monitoring**: a resumable
+  :class:`TraceFollower` tails growing (and rotating) trace files by
+  byte cursor, a :class:`LiveAggregator` folds the delta into
+  rolling-window stats (streaming p50/p99 per stage, failure
+  taxonomy, worker liveness, queue depth, deadline burn rate), and
+  ``repro top`` renders the snapshot as an ANSI dashboard or
+  ``--once --json`` machine output.
+
+Since spans landed, every ``submit`` mints ``trace_id``/``span_id``
+and the ids ride inside the pickled job through broker queues and
+pool pipes, so one job's cross-process lifecycle reassembles as a
+tree (``submitted`` → ``claimed`` → ``artifact_build``/``solve``)
+rather than a flat timestamp ordering.
 
 Tracing is **off-by-default-free**: with no tracer configured the hot
 paths pay a ``None`` check, and with one configured results stay
@@ -42,7 +58,14 @@ enforced by the differential tests in ``tests/test_obs.py`` and the
 ``observability`` section of ``benchmarks/run_perf.py``).
 """
 
-from repro.obs.doctor import analyze_trace, render_report
+from repro.obs.doctor import analyze_trace, recommend, render_report
+from repro.obs.live import (
+    TOP_SCHEMA,
+    LiveAggregator,
+    TraceFollower,
+    main_top,
+    render_top,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     MetricsServer,
@@ -54,19 +77,33 @@ from repro.obs.trace import (
     TRACE_SCHEMA,
     TraceWriter,
     merge_traces,
+    new_span_id,
+    new_trace_id,
     read_trace,
+    span_scope,
+    trace_segments,
 )
 
 __all__ = [
+    "LiveAggregator",
     "MetricsRegistry",
     "MetricsServer",
+    "TOP_SCHEMA",
     "TRACE_EVENTS",
     "TRACE_SCHEMA",
+    "TraceFollower",
     "TraceWriter",
     "analyze_trace",
+    "main_top",
     "merge_traces",
+    "new_span_id",
+    "new_trace_id",
     "read_trace",
+    "recommend",
     "render_report",
+    "render_top",
+    "span_scope",
+    "trace_segments",
     "sync_executor_stats",
     "sync_worker_stats",
 ]

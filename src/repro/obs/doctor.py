@@ -14,7 +14,19 @@ questions an operator actually asks after a bad night:
   ``claimed``), artifact build, solve, and end-to-end job latency;
 * **is the cache working** — hit counts per tier from ``cache_hit``
   events plus true hit *rates* from worker cache snapshots;
-* **when it happened** — a chronological requeue/quarantine timeline.
+* **when it happened** — a chronological requeue/quarantine timeline;
+* **what to change** — :func:`recommend` turns the taxonomy, latency,
+  and cache sections into evidence-backed tuning suggestions
+  (``repro doctor --recommend``), each citing the counts that
+  triggered it.
+
+Span-bearing traces (``trace_id``/``span_id``/``parent_span`` minted
+by the executors since :mod:`repro.obs.trace` grew span context) get a
+``spans`` section with exact parent/child trees: every claimed job's
+worker-side events nest under its submit span instead of being
+correlated by timestamp heuristics.  Pre-span traces parse unchanged —
+the ``spans`` section is empty and every analysis below falls back to
+timestamp ordering.
 
 Attribution is reconstructive: a ``claimed`` event with ``attempt > 0``
 is a redelivery; if a ``released`` event for the same task precedes
@@ -174,10 +186,12 @@ def analyze_trace(paths_or_events) -> dict:
                         if isinstance(value, (int, float)):
                             snapshot_totals[tier][key] += value
     hit_rates = {}
+    lookups = {}
     for tier, counters in sorted(snapshot_totals.items()):
         hits, misses = counters.get("hits", 0), counters.get("misses", 0)
         if hits + misses:
             hit_rates[tier] = round(hits / (hits + misses), 4)
+            lookups[tier] = int(hits + misses)
 
     # --- offenders --------------------------------------------------------
     job_trouble: TallyCounter = TallyCounter()
@@ -262,7 +276,9 @@ def analyze_trace(paths_or_events) -> dict:
         "cache": {
             "tier_hits": dict(sorted(tier_hits.items())),
             "hit_rates": hit_rates,
+            "lookups": lookups,
         },
+        "spans": _analyze_spans(events),
         "offenders": {
             "jobs": [
                 {"job": job, "trouble_score": score}
@@ -272,6 +288,268 @@ def analyze_trace(paths_or_events) -> dict:
         },
         "timeline": timeline,
     }
+
+
+#: How many span trees the report embeds (the rest are counted only).
+_MAX_TREES = 10
+
+#: Recursion guard for corrupt traces with parent cycles.
+_MAX_SPAN_DEPTH = 64
+
+
+def _analyze_spans(events: list[dict]) -> dict:
+    """Build exact parent/child span trees from span-bearing events.
+
+    Events carrying a ``span_id`` become tree nodes; events carrying
+    only a ``parent_span`` (ambient-stamped annotations like
+    ``cache_hit`` or executor-side ``done``) attach to their parent
+    node as annotations.  Trees are grouped per ``trace_id`` and
+    rooted at ``submitted`` spans, so one job's cross-process
+    lifecycle — submit, claim, artifact build, solve — reads as a
+    single nested structure.  Traces without span fields yield an
+    empty section (``traced_jobs == 0``) and the rest of the report
+    degrades gracefully to timestamp ordering.
+    """
+    nodes: dict[str, dict] = {}
+    order: list[str] = []
+    annotations: list[tuple[str, dict]] = []
+    span_events = 0
+    trace_ids: set[str] = set()
+    for e in events:
+        sid, parent = e.get("span_id"), e.get("parent_span")
+        if sid is None and parent is None:
+            continue
+        span_events += 1
+        if e.get("trace_id"):
+            trace_ids.add(e["trace_id"])
+        if sid is not None:
+            if sid not in nodes:
+                fingerprint = e.get("fingerprint")
+                nodes[sid] = {
+                    "event": e.get("event", "?"),
+                    "span_id": sid,
+                    "parent_span": parent,
+                    "trace_id": e.get("trace_id"),
+                    "fingerprint": (
+                        str(fingerprint)[:12] if fingerprint else None
+                    ),
+                    "worker": e.get("worker"),
+                    "seconds": e.get("seconds"),
+                    "children": [],
+                    "annotations": [],
+                }
+                order.append(sid)
+        elif parent is not None:
+            annotations.append((parent, e))
+
+    for sid in order:
+        parent = nodes[sid]["parent_span"]
+        if parent is not None and parent in nodes and parent != sid:
+            nodes[parent]["children"].append(nodes[sid])
+    for parent, e in annotations:
+        if parent in nodes:
+            nodes[parent]["annotations"].append(e.get("event", "?"))
+
+    roots = [
+        nodes[sid]
+        for sid in order
+        if nodes[sid]["parent_span"] is None
+        or nodes[sid]["parent_span"] not in nodes
+    ]
+
+    def depth(node: dict, budget: int = _MAX_SPAN_DEPTH) -> int:
+        if budget <= 0:
+            return 0
+        return 1 + max(
+            (depth(child, budget - 1) for child in node["children"]),
+            default=0,
+        )
+
+    def export(node: dict, budget: int = _MAX_SPAN_DEPTH) -> dict:
+        entry = {"event": node["event"], "span_id": node["span_id"]}
+        for key in ("fingerprint", "worker", "seconds"):
+            if node[key] is not None:
+                entry[key] = node[key]
+        if node["annotations"]:
+            entry["annotations"] = list(node["annotations"])
+        if node["children"] and budget > 0:
+            entry["children"] = [
+                export(child, budget - 1) for child in node["children"]
+            ]
+        return entry
+
+    max_depth = max((depth(root) for root in roots), default=0)
+    submit_roots = [r for r in roots if r["event"] == "submitted"]
+    trees = [export(root) for root in (submit_roots or roots)[:_MAX_TREES]]
+    return {
+        "traced_jobs": len(submit_roots),
+        "span_events": span_events,
+        "traces": len(trace_ids),
+        "max_depth": max_depth,
+        "trees": trees,
+    }
+
+
+#: Evidence thresholds for :func:`recommend`.  Kept as one flat table
+#: so the boundary tests and the docs cite the same numbers.
+RECOMMEND_THRESHOLDS = {
+    "lease_expired_min": 2,       # lease redeliveries before lease advice
+    "poison_min": 1,              # poison quarantines before payload advice
+    "released_min": 1,            # voluntary releases paired with poison
+    "attempts_exhausted_min": 1,  # attempt-budget quarantines
+    "shed_min": 1,                # admission sheds before capacity advice
+    "cache_lookups_min": 20,      # lookups before judging a tier's hit rate
+    "cache_hit_rate_max": 0.5,    # below this the disk tier is undersized
+    "queue_wait_ratio": 2.0,      # queue-wait p50 vs solve p50 multiple
+    "queue_wait_count_min": 5,    # queue-wait samples before scaling advice
+}
+
+
+def recommend(report: dict) -> list[dict]:
+    """Turn an :func:`analyze_trace` report into tuning suggestions.
+
+    Every recommendation is evidence-backed: the rule only fires past
+    the :data:`RECOMMEND_THRESHOLDS` floor and the returned dict cites
+    the exact counts that triggered it, so an operator can check the
+    arithmetic before touching a flag.  A healthy trace returns ``[]``.
+    """
+    thresholds = RECOMMEND_THRESHOLDS
+    tax = report.get("taxonomy", {})
+    latency = report.get("latency", {})
+    cache = report.get("cache", {})
+    recs: list[dict] = []
+
+    redeliveries = tax.get("redeliveries", {})
+    lease_expired = redeliveries.get("lease_expired", 0)
+    released = redeliveries.get("released", 0)
+    heartbeat_errors = tax.get("heartbeat_errors", 0)
+    if (
+        lease_expired >= thresholds["lease_expired_min"]
+        and lease_expired >= released
+    ):
+        recs.append({
+            "id": "lease_tuning",
+            "severity": "warning",
+            "message": (
+                f"{lease_expired} redelivery(ies) came from lease expiry "
+                f"vs {released} voluntary release(s)"
+                + (
+                    f" with {heartbeat_errors} heartbeat error(s)"
+                    if heartbeat_errors
+                    else ""
+                )
+                + "; raise --lease or shorten the heartbeat interval so "
+                "healthy workers keep their claims."
+            ),
+            "evidence": {
+                "redeliveries_lease_expired": lease_expired,
+                "redeliveries_released": released,
+                "heartbeat_errors": heartbeat_errors,
+            },
+        })
+
+    quarantines = tax.get("quarantines", {})
+    poison = quarantines.get("poison_payload", 0)
+    releases = tax.get("releases", 0)
+    if (
+        poison >= thresholds["poison_min"]
+        and releases >= thresholds["released_min"]
+    ):
+        recs.append({
+            "id": "max_attempts_tuning",
+            "severity": "warning",
+            "message": (
+                f"{releases} payload release(s) ended in {poison} poison "
+                "quarantine(s): the redelivery budget is being spent on "
+                "undecodable payloads. Inspect the quarantine directory; "
+                "if corruption is transient, raise --max-attempts, "
+                "otherwise fix the producer."
+            ),
+            "evidence": {
+                "releases": releases,
+                "quarantines_poison_payload": poison,
+            },
+        })
+
+    exhausted = quarantines.get("attempts_exhausted", 0)
+    if exhausted >= thresholds["attempts_exhausted_min"]:
+        recs.append({
+            "id": "attempts_exhausted",
+            "severity": "warning",
+            "message": (
+                f"{exhausted} task(s) burned their full attempt budget "
+                "before quarantine; inspect those jobs for crash loops "
+                "before raising --max-attempts."
+            ),
+            "evidence": {"quarantines_attempts_exhausted": exhausted},
+        })
+
+    hit_rates = cache.get("hit_rates", {})
+    lookups = cache.get("lookups", {})
+    for tier in sorted(hit_rates):
+        if not tier.startswith("disk"):
+            continue
+        rate = hit_rates[tier]
+        seen = lookups.get(tier, 0)
+        if (
+            seen >= thresholds["cache_lookups_min"]
+            and rate < thresholds["cache_hit_rate_max"]
+        ):
+            recs.append({
+                "id": f"disk_cache_sizing:{tier}",
+                "severity": "info",
+                "message": (
+                    f"cache tier {tier} hit only {rate:.0%} of {seen} "
+                    "lookup(s); raise --disk-max-entries/--disk-max-bytes "
+                    "so warm results survive eviction."
+                ),
+                "evidence": {"tier": tier, "hit_rate": rate,
+                             "lookups": seen},
+            })
+
+    queue_wait = latency.get("queue_wait", {})
+    solve = latency.get("solve", {})
+    wait_p50 = queue_wait.get("p50_s", 0.0)
+    solve_p50 = solve.get("p50_s", 0.0)
+    if (
+        queue_wait.get("count", 0) >= thresholds["queue_wait_count_min"]
+        and solve.get("count", 0) > 0
+        and solve_p50 > 0
+        and wait_p50 > thresholds["queue_wait_ratio"] * solve_p50
+    ):
+        recs.append({
+            "id": "worker_scaling",
+            "severity": "info",
+            "message": (
+                f"median queue wait {wait_p50:.3f}s is more than "
+                f"{thresholds['queue_wait_ratio']:.0f}x the median solve "
+                f"time {solve_p50:.3f}s over {queue_wait['count']} "
+                "sample(s); add workers (or raise --workers) to drain "
+                "the queue faster."
+            ),
+            "evidence": {
+                "queue_wait_p50_s": wait_p50,
+                "solve_p50_s": solve_p50,
+                "queue_wait_count": queue_wait.get("count", 0),
+            },
+        })
+
+    sheds = tax.get("sheds", {})
+    shed_total = sum(sheds.values())
+    if shed_total >= thresholds["shed_min"]:
+        recs.append({
+            "id": "admission_shedding",
+            "severity": "info",
+            "message": (
+                f"{shed_total} submission(s) were shed "
+                f"({', '.join(f'{k}={v}' for k, v in sorted(sheds.items()))}); "
+                "raise --max-load / per-tenant quotas or add capacity if "
+                "this load is expected."
+            ),
+            "evidence": {"sheds": dict(sorted(sheds.items()))},
+        })
+
+    return recs
 
 
 def _reason_class(reason: str) -> str:
@@ -328,6 +606,31 @@ def render_report(report: dict) -> str:
             out(f"  hits[{tier}] = {hits}")
         for tier, rate in cache["hit_rates"].items():
             out(f"  hit_rate[{tier}] = {rate:.2%}")
+    spans = report.get("spans") or {}
+    if spans.get("span_events"):
+        out("")
+        out(f"Spans: {spans['span_events']} span-bearing event(s), "
+            f"{spans['traced_jobs']} traced job(s), "
+            f"max depth {spans['max_depth']}")
+
+        def walk(node: dict, indent: int) -> None:
+            label = node["event"]
+            extra = []
+            if node.get("worker"):
+                extra.append(str(node["worker"]))
+            if node.get("fingerprint"):
+                extra.append(node["fingerprint"])
+            if node.get("seconds") is not None:
+                extra.append(f"{node['seconds']:.4f}s")
+            if node.get("annotations"):
+                extra.append("+" + ",".join(node["annotations"]))
+            out("  " * indent + f"  {label} [{node['span_id'][:8]}]"
+                + (" " + " ".join(extra) if extra else ""))
+            for child in node.get("children", ()):
+                walk(child, indent + 1)
+
+        for tree in spans.get("trees", ())[:5]:
+            walk(tree, 0)
     offenders = report["offenders"]
     if offenders["jobs"]:
         out("")
@@ -355,12 +658,29 @@ def render_report(report: dict) -> str:
                 f"{who}{tag} {what}".rstrip())
         if len(report["timeline"]) > 50:
             out(f"  ... {len(report['timeline']) - 50} more")
+    if "recommendations" in report:
+        out("")
+        recs = report["recommendations"]
+        if recs:
+            out("Recommendations:")
+            for rec in recs:
+                out(f"  [{rec['severity']}] {rec['id']}")
+                out(f"    {rec['message']}")
+                evidence = ", ".join(
+                    f"{k}={v}" for k, v in rec["evidence"].items()
+                )
+                out(f"    evidence: {evidence}")
+        else:
+            out("Recommendations: none — trace looks healthy.")
     return "\n".join(lines) + "\n"
 
 
-def main_doctor(paths, as_json: bool = False) -> str:
+def main_doctor(paths, as_json: bool = False,
+                recommend_flag: bool = False) -> str:
     """The ``repro doctor`` entry point body (CLI wires argv to this)."""
     report = analyze_trace(list(paths))
+    if recommend_flag:
+        report["recommendations"] = recommend(report)
     if as_json:
         return json.dumps(report, indent=2, sort_keys=False) + "\n"
     return render_report(report)

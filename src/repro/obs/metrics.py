@@ -26,6 +26,7 @@ Zero dependencies, and instruments are safe to update from any thread.
 
 from __future__ import annotations
 
+import math
 import threading
 
 #: Default histogram bucket upper bounds (seconds) — spans the fast
@@ -172,6 +173,27 @@ class Histogram:
         """Number of observations recorded for ``labels``."""
         series = self._series.get(_label_key(labels))
         return series[2] if series else 0
+
+    def quantile(self, q: float, **labels) -> float | None:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Upper-bound rule (the streaming twin of the doctor's
+        nearest-rank percentiles): the estimate is the upper bound of
+        the first bucket whose cumulative count reaches rank
+        ``ceil(q*n)``; observations past the largest finite bound
+        report that bound.  ``None`` with no observations.  O(buckets)
+        and O(1) memory — what makes rolling-window percentile
+        refreshes O(delta) for the live dashboard.
+        """
+        series = self._series.get(_label_key(labels))
+        if not series or series[2] == 0:
+            return None
+        counts, _, n = series
+        rank = max(1, math.ceil(q * n))
+        for i, bound in enumerate(self.buckets):
+            if counts[i] >= rank:
+                return bound
+        return self.buckets[-1]
 
     def render(self) -> list[str]:
         """Exposition-format lines: ``_bucket``/``_sum``/``_count``."""

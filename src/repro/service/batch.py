@@ -131,6 +131,7 @@ def make_executor(
     admission=None,
     degrade: bool = True,
     trace=None,
+    trace_rotate_mb: float | None = None,
 ):
     """Build the executor the CLI flags describe.
 
@@ -151,8 +152,20 @@ def make_executor(
     submit time and cannot overload, so they are ignored there.
     ``trace`` (a JSONL path or a
     :class:`~repro.obs.trace.TraceWriter`) threads structured tracing
-    through whichever executor is built — see :mod:`repro.obs`.
+    through whichever executor is built — see :mod:`repro.obs`;
+    ``trace_rotate_mb`` caps the trace file size by rotating it to
+    ``<path>.1`` (the policy propagates to worker-process writers on
+    the same path).
     """
+    if trace_rotate_mb and trace is not None and not hasattr(trace, "emit"):
+        import os as _os
+
+        from repro.obs.trace import TraceWriter
+
+        name = "dist-executor" if broker is not None else (
+            "sequential" if workers <= 1 else f"pool-parent-{_os.getpid()}"
+        )
+        trace = TraceWriter(str(trace), worker=name, rotate_mb=trace_rotate_mb)
     if broker is not None:
         from repro.service.dist.executor import DistributedExecutor
         from repro.service.resilience import DegradingExecutor
@@ -218,6 +231,7 @@ def run_batch(
     broker: str | None = None,
     max_load: int | None = None,
     trace=None,
+    trace_rotate_mb: float | None = None,
 ) -> BatchReport:
     """Run a list of jobs and collect (optionally write) result rows.
 
@@ -237,7 +251,7 @@ def run_batch(
     if executor is None:
         executor = make_executor(
             workers=workers, disk_dir=disk_dir, broker=broker,
-            max_load=max_load, trace=trace,
+            max_load=max_load, trace=trace, trace_rotate_mb=trace_rotate_mb,
         )
     report = BatchReport()
     started = time.perf_counter()
@@ -316,7 +330,18 @@ def _serve_one(line: str, executor) -> tuple[dict, bool]:
     return {"ok": True, **row}, True
 
 
-def serve_loop(input_stream: IO, output_stream: IO, executor) -> int:
+def _notify(observer, response: dict) -> None:
+    """Best-effort per-response callback (metrics); never raises."""
+    if observer is None:
+        return
+    try:
+        observer(response)
+    except Exception:
+        pass
+
+
+def serve_loop(input_stream: IO, output_stream: IO, executor,
+               observer=None) -> int:
     """Serve line-delimited JSON requests until EOF or ``shutdown``.
 
     Requests: a job row (optionally with ``"op": "run"``), or control
@@ -324,6 +349,11 @@ def serve_loop(input_stream: IO, output_stream: IO, executor) -> int:
     ``{"op": "shutdown"}``.  One JSON response per line; errors are
     reported in-band (``{"ok": false, ...}``) and never kill the loop.
     Returns the number of requests served.
+
+    ``observer``, when given, is called with each response dict after
+    it is written — the hook ``repro serve --metrics-port`` uses to
+    feed its per-request duration histogram and outcome counters.
+    Observer exceptions are swallowed.
     """
     served = 0
     for line in input_stream:
@@ -333,6 +363,7 @@ def serve_loop(input_stream: IO, output_stream: IO, executor) -> int:
         output_stream.write(json.dumps(response) + "\n")
         output_stream.flush()
         served += 1
+        _notify(observer, response)
         if not keep_going:
             break
     return served
@@ -345,6 +376,7 @@ def serve_socket(
     max_requests: int | None = None,
     conn_timeout: float | None = 30.0,
     on_bound=None,
+    observer=None,
 ) -> int:
     """Serve the same protocol over TCP, one client at a time.
 
@@ -366,6 +398,8 @@ def serve_socket(
     ``port`` 0 binds an ephemeral port; ``on_bound`` (when given) is
     called with the server's actual ``(host, port)`` once the socket
     is listening, so callers can connect without racing the bind.
+    ``observer`` is the same per-response metrics hook as on
+    :func:`serve_loop`.
     """
     import socket
 
@@ -388,6 +422,7 @@ def serve_socket(
                         writer.write(json.dumps(response) + "\n")
                         writer.flush()
                         served += 1
+                        _notify(observer, response)
                         if not keep_going:
                             stopped = True
                             break

@@ -46,7 +46,12 @@ from repro.service.dist.broker import (
     new_task_id,
 )
 from repro.service.dist.worker import spawn_worker_process
-from repro.service.executor import CallHandle, JobHandle, _fingerprinted_handle
+from repro.service.executor import (
+    CallHandle,
+    JobHandle,
+    _fingerprinted_handle,
+    mint_submit_span,
+)
 from repro.service.jobs import AbstractionJob
 from repro.service.resilience import AdmissionController, DeadlineExceeded, Overloaded
 
@@ -67,7 +72,16 @@ def job_affinity_key(job: AbstractionJob) -> str:
 class _InflightItem:
     """Executor-side record of one task awaiting a broker result."""
 
-    __slots__ = ("kind", "handle", "fingerprint", "priority", "seq", "deadline_at")
+    __slots__ = (
+        "kind",
+        "handle",
+        "fingerprint",
+        "priority",
+        "seq",
+        "deadline_at",
+        "trace_id",
+        "span_id",
+    )
 
     def __init__(
         self,
@@ -77,6 +91,8 @@ class _InflightItem:
         priority: int = 0,
         seq: int = 0,
         deadline_at: float | None = None,
+        trace_id: str | None = None,
+        span_id: str | None = None,
     ):
         self.kind = kind
         self.handle = handle
@@ -84,6 +100,8 @@ class _InflightItem:
         self.priority = priority
         self.seq = seq
         self.deadline_at = deadline_at
+        self.trace_id = trace_id
+        self.span_id = span_id
 
 
 class DistributedExecutor:
@@ -196,6 +214,7 @@ class DistributedExecutor:
                     lease=lease,
                     poll_interval=poll_interval,
                     trace=self._trace_path,
+                    trace_rotate_mb=getattr(self.tracer, "rotate_mb", None),
                 )
                 for _ in range(workers)
             ]
@@ -278,18 +297,35 @@ class DistributedExecutor:
         if handle.done():  # fingerprinting failed (e.g. unreadable log)
             return handle
         tracer = self.tracer
+        mint_submit_span(job, tracer)
         if tracer is not None:
-            tracer.emit("submitted", fingerprint=handle.fingerprint, kind="job")
+            tracer.emit(
+                "submitted",
+                fingerprint=handle.fingerprint,
+                kind="job",
+                trace_id=job.trace_id,
+                span_id=job.span_id,
+            )
         hit = self.cache.get_result(handle.fingerprint)
         if hit is not None:
             if tracer is not None:
-                tracer.emit("done", fingerprint=handle.fingerprint, cached=True)
+                tracer.emit(
+                    "done",
+                    fingerprint=handle.fingerprint,
+                    cached=True,
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
+                )
             handle._complete(hit, True)
             return handle
         if self.admission is not None and not self.admission.admit(job.tenant):
             if tracer is not None:
                 tracer.emit(
-                    "shed", fingerprint=handle.fingerprint, cause="tenant_quota"
+                    "shed",
+                    fingerprint=handle.fingerprint,
+                    cause="tenant_quota",
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
             handle._fail(
                 Overloaded(f"tenant {job.tenant!r} is over its admission quota")
@@ -319,6 +355,8 @@ class DistributedExecutor:
                     "shed",
                     fingerprint=victim.fingerprint,
                     cause="max_load_evicted",
+                    trace_id=victim.trace_id,
+                    parent_span=victim.span_id,
                 )
             victim.handle._fail(
                 Overloaded(
@@ -328,7 +366,11 @@ class DistributedExecutor:
         if shed_incoming:
             if tracer is not None:
                 tracer.emit(
-                    "shed", fingerprint=handle.fingerprint, cause="max_load"
+                    "shed",
+                    fingerprint=handle.fingerprint,
+                    cause="max_load",
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
             handle._fail(Overloaded(f"executor at max_load={max_load}; job shed"))
             return handle
@@ -349,6 +391,8 @@ class DistributedExecutor:
             priority=rank,
             seq=seq,
             deadline_at=job.deadline_at,
+            trace_id=job.trace_id,
+            span_id=job.span_id,
         )
         self._enqueue(item, envelope)
         if tracer is not None:
@@ -361,6 +405,8 @@ class DistributedExecutor:
                     task_id=envelope.task_id,
                     priority=rank,
                     affinity=envelope.affinity,
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
         return handle
 
@@ -421,6 +467,8 @@ class DistributedExecutor:
                                 fingerprint=item.fingerprint,
                                 task_id=task_id,
                                 stage="awaiting_result",
+                                trace_id=item.trace_id,
+                                parent_span=item.span_id,
                             )
                         item.handle._fail(
                             DeadlineExceeded(
@@ -482,6 +530,8 @@ class DistributedExecutor:
                     if record["ok"]
                     else str(record.get("error") or "task failed")
                 ),
+                trace_id=item.trace_id,
+                parent_span=item.span_id,
             )
         if record["ok"]:
             if item.kind == "job":

@@ -32,6 +32,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.trace import new_span_id, span_scope
 from repro.service.cache import ArtifactCache
 from repro.service.dist.broker import (
     DEFAULT_MAX_ATTEMPTS,
@@ -137,8 +138,28 @@ class _Heartbeat:
         self._thread.join(timeout=5.0)
 
 
+#: Sentinel for "deserialize the payload yourself" in run_claimed_task.
+_DECODE = object()
+
+
+def decode_claimed_payload(claim: Claim):
+    """Deserialize a claim's payload, raising :class:`_PoisonPayload`.
+
+    Split out of :func:`run_claimed_task` so the worker loop can read
+    the span context a job payload carries (``trace_id``/``span_id``
+    minted at submit) *before* emitting its ``claimed`` event, without
+    deserializing twice.
+    """
+    try:
+        return pickle.loads(claim.envelope.payload)
+    except Exception as exc:
+        # Deserialization failures are the *caller's* signal to
+        # quarantine; encode them distinctly so it can tell.
+        raise _PoisonPayload(f"payload does not deserialize: {exc!r}") from exc
+
+
 def run_claimed_task(
-    claim: Claim, cache: ArtifactCache, worker: str
+    claim: Claim, cache: ArtifactCache, worker: str, work=_DECODE
 ) -> tuple[bytes, bool]:
     """Execute one claimed task; return ``(result envelope, ok)``.
 
@@ -148,14 +169,12 @@ def run_claimed_task(
     exactly like pool workers do for ``submit_call``.  Exceptions are
     captured into an error envelope (``ok=False``), never raised — the
     flag spares callers re-deserializing the (potentially large)
-    envelope just to learn the outcome.
+    envelope just to learn the outcome.  ``work`` accepts an
+    already-deserialized payload (from
+    :func:`decode_claimed_payload`); by default it is decoded here.
     """
-    try:
-        work = pickle.loads(claim.envelope.payload)
-    except Exception as exc:
-        # Deserialization failures are the *caller's* signal to
-        # quarantine; encode them distinctly so it can tell.
-        raise _PoisonPayload(f"payload does not deserialize: {exc!r}") from exc
+    if work is _DECODE:
+        work = decode_claimed_payload(claim)
     try:
         if claim.envelope.kind == "job":
             from repro.service.executor import run_job
@@ -205,7 +224,9 @@ def worker_loop(
     retry: RetryPolicy | None = None,
     heartbeat_max_misses: int = 5,
     trace=None,
+    trace_rotate_mb: float | None = None,
     stats: WorkerStats | None = None,
+    observer=None,
 ) -> WorkerStats:
     """Claim-and-run tasks until stopped; return lifetime counters.
 
@@ -247,10 +268,21 @@ def worker_loop(
         ``worker_exit`` carrying the full :class:`WorkerStats` (so
         ``repro doctor`` can attribute lease losses per worker even
         when stdout is lost).
+    trace_rotate_mb:
+        When ``trace`` is a path, rotate the trace file past this many
+        megabytes (``None`` = never; ignored when a ready-made writer
+        is passed — set ``rotate_mb`` on the writer instead).
     stats:
         Optional externally-owned :class:`WorkerStats` the loop counts
         into — the hook the ``repro worker --metrics-port`` sidecar
         scrapes live counters through while the loop runs.
+    observer:
+        Optional ``observer(outcome, seconds)`` callback fired after
+        each completed task (``outcome`` is ``"ok"`` or ``"error"``) —
+        how ``repro worker --metrics-port`` feeds its
+        ``repro_job_duration_seconds`` histogram and
+        ``repro_jobs_total`` counters per event instead of per scrape.
+        Exceptions from the observer are swallowed.
 
     The loop exits on: broker stop flag, ``max_tasks``, ``idle_exit``,
     or ``KeyboardInterrupt``.
@@ -271,7 +303,9 @@ def worker_loop(
         else:
             from repro.obs.trace import TraceWriter
 
-            tracer = TraceWriter(str(trace), worker=stats.worker)
+            tracer = TraceWriter(
+                str(trace), worker=stats.worker, rotate_mb=trace_rotate_mb
+            )
         if getattr(cache, "tracer", None) is None:
             cache.tracer = tracer
     if retry is None:
@@ -323,6 +357,22 @@ def worker_loop(
                 time.sleep(poll_interval)
                 continue
             idle_since = time.time()
+            # Deserialize before the claimed event so a job payload's
+            # span context (minted at submit, carried in the pickle)
+            # lands on every event of this claim; poison is remembered
+            # and handled under the heartbeat below.
+            work, poison = None, None
+            try:
+                work = decode_claimed_payload(claim)
+            except _PoisonPayload as exc:
+                poison = exc
+            trace_id = (
+                getattr(work, "trace_id", None)
+                if claim.envelope.kind == "job"
+                else None
+            )
+            submit_span = getattr(work, "span_id", None) if trace_id else None
+            claim_span = new_span_id() if trace_id else None
             if tracer is not None:
                 tracer.emit(
                     "claimed",
@@ -330,6 +380,9 @@ def worker_loop(
                     kind=claim.envelope.kind,
                     attempt=claim.envelope.attempts,
                     affinity=claim.envelope.affinity,
+                    trace_id=trace_id,
+                    span_id=claim_span,
+                    parent_span=submit_span,
                 )
             task_started = time.perf_counter()
             with _Heartbeat(
@@ -337,9 +390,12 @@ def worker_loop(
                 on_error=count_heartbeat_error,
                 max_misses=heartbeat_max_misses,
             ) as beat:
-                try:
-                    payload, ok = run_claimed_task(claim, cache, stats.worker)
-                except _PoisonPayload as poison:
+                if poison is None:
+                    with span_scope(trace_id, claim_span):
+                        payload, ok = run_claimed_task(
+                            claim, cache, stats.worker, work=work
+                        )
+                else:
                     # A payload that does not deserialize may be a
                     # transient corruption (bit-flip in flight) rather
                     # than a poisonous manifest row: while delivery
@@ -381,6 +437,8 @@ def worker_loop(
                     task_id=claim.envelope.task_id,
                     error="lease lost (heartbeat fail-fast)",
                     misses=beat.misses,
+                    trace_id=trace_id,
+                    parent_span=claim_span,
                 )
             try:
                 fresh = retry.call(
@@ -403,6 +461,14 @@ def worker_loop(
                 stats.completed += 1
             else:
                 stats.failed += 1
+            if observer is not None:
+                try:
+                    observer(
+                        "ok" if ok else "error",
+                        time.perf_counter() - task_started,
+                    )
+                except Exception:
+                    pass
             if tracer is not None:
                 tracer.emit(
                     "done",
@@ -412,6 +478,8 @@ def worker_loop(
                     seconds=time.perf_counter() - task_started,
                     ok=ok,
                     stale=not fresh,
+                    trace_id=trace_id,
+                    parent_span=claim_span,
                 )
             if max_tasks is not None and stats.completed >= max_tasks:
                 break
@@ -443,6 +511,7 @@ def spawn_worker_process(
     poll_interval: float = 0.05,
     mp_context: str | None = None,
     trace: str | None = None,
+    trace_rotate_mb: float | None = None,
 ):
     """Start a local :func:`worker_loop` in a child process.
 
@@ -462,7 +531,7 @@ def spawn_worker_process(
     process = context.Process(
         target=_worker_process_main,
         args=(broker_url, str(cache_dir) if cache_dir is not None else None,
-              lease, poll_interval, trace),
+              lease, poll_interval, trace, trace_rotate_mb),
         daemon=True,
     )
     process.start()
@@ -475,8 +544,10 @@ def _worker_process_main(
     lease: float,
     poll_interval: float,
     trace: str | None = None,
+    trace_rotate_mb: float | None = None,
 ) -> None:
     worker_loop(
         broker_url, cache_dir=cache_dir, lease=lease,
         poll_interval=poll_interval, trace=trace,
+        trace_rotate_mb=trace_rotate_mb,
     )

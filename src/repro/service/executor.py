@@ -50,9 +50,27 @@ from dataclasses import dataclass
 from repro.constraints.aggregates import clear_extraction_cache
 from repro.core.gecco import AbstractionResult, Gecco, prepare_artifacts, resolve_engine
 from repro.exceptions import ReproError
+from repro.obs.trace import child_span_id, new_span_id, new_trace_id, span_scope
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import AbstractionJob
 from repro.service.resilience import AdmissionController, DeadlineExceeded, Overloaded
+
+
+def mint_submit_span(job: AbstractionJob, tracer) -> None:
+    """Open the root span of one submit on a tracing executor.
+
+    The trace id is minted once per job and survives re-submission
+    (degrading fallback re-submits the same object to a lower tier, so
+    both attempts share one trace); the span id is re-minted per
+    submit, making each tier's lifecycle its own root span.  Without a
+    tracer the job stays span-free and the whole trace keeps the
+    pre-span format.
+    """
+    if tracer is None:
+        return
+    if job.trace_id is None:
+        job.trace_id = new_trace_id()
+    job.span_id = new_span_id()
 
 
 def run_job(
@@ -113,6 +131,7 @@ def run_job(
                 "artifact_build",
                 fingerprint=fingerprint.full,
                 seconds=time.perf_counter() - build_started,
+                span_id=child_span_id(),
             )
         cache.put_artifacts(key, artifacts)
         cache.count_artifact_build()
@@ -132,6 +151,7 @@ def run_job(
                 "solve",
                 fingerprint=fingerprint.full,
                 seconds=time.perf_counter() - solve_started,
+                span_id=child_span_id(),
                 timings={
                     "candidates": timings.candidates,
                     "exclusive": timings.exclusive,
@@ -295,11 +315,19 @@ class SequentialExecutor:
         if handle.done():  # fingerprinting failed (e.g. unreadable log)
             return handle
         tracer = self.tracer
+        mint_submit_span(job, tracer)
         if tracer is not None:
-            tracer.emit("submitted", fingerprint=handle.fingerprint, kind="job")
+            tracer.emit(
+                "submitted",
+                fingerprint=handle.fingerprint,
+                kind="job",
+                trace_id=job.trace_id,
+                span_id=job.span_id,
+            )
         started = time.perf_counter()
         try:
-            result, cached = run_job(job, self.cache, tracer=tracer)
+            with span_scope(job.trace_id, job.span_id):
+                result, cached = run_job(job, self.cache, tracer=tracer)
         except Exception as exc:
             if tracer is not None:
                 tracer.emit(
@@ -307,6 +335,8 @@ class SequentialExecutor:
                     fingerprint=handle.fingerprint,
                     seconds=time.perf_counter() - started,
                     error=f"{type(exc).__name__}: {exc}",
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
             handle._fail(exc)
         else:
@@ -316,6 +346,8 @@ class SequentialExecutor:
                     fingerprint=handle.fingerprint,
                     seconds=time.perf_counter() - started,
                     cached=cached,
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
             handle._complete(result, cached)
         return handle
@@ -367,6 +399,7 @@ def _pool_worker_init(
     max_results: int,
     disk_dir: str | None,
     trace_path: str | None = None,
+    trace_rotate_mb: float | None = None,
 ):
     global _WORKER_CACHE
     _WORKER_CACHE = ArtifactCache(
@@ -377,15 +410,22 @@ def _pool_worker_init(
 
         # The O_APPEND discipline makes one shared file safe across all
         # pool workers and the parent; run_job picks the tracer up from
-        # the cache attribute.
-        _WORKER_CACHE.tracer = TraceWriter(trace_path, worker=f"pool-{os.getpid()}")
+        # the cache attribute.  Rotation is inode-checked, so any of
+        # the writers may rotate and the others follow.
+        _WORKER_CACHE.tracer = TraceWriter(
+            trace_path, worker=f"pool-{os.getpid()}", rotate_mb=trace_rotate_mb
+        )
 
 
-def _pool_worker_run(job: AbstractionJob):
+def _pool_worker_run(job: AbstractionJob, claim_span: str | None = None):
     cache = _WORKER_CACHE
     if cache is None:  # pragma: no cover - initializer always runs
         raise ReproError("worker cache was not initialized")
-    result, cached = run_job(job, cache)
+    # The claim span (minted parent-side when the job was dispatched)
+    # becomes ambient, so the worker's stage and cache events nest
+    # under it even though they're emitted in another process.
+    with span_scope(job.trace_id, claim_span or job.span_id):
+        result, cached = run_job(job, cache)
     return result, cached, os.getpid(), cache.snapshot()
 
 
@@ -410,6 +450,7 @@ class _QueueItem:
     handle: object
     prefix: "tuple | None" = None
     claimed_at: "float | None" = None
+    claim_span: "str | None" = None
 
 
 class PoolExecutor:
@@ -499,6 +540,7 @@ class PoolExecutor:
             worker_max_results,
             str(disk_dir) if disk_dir is not None else None,
             trace_path,
+            getattr(self.tracer, "rotate_mb", None),
         )
         self._pools = [
             ProcessPoolExecutor(
@@ -575,18 +617,35 @@ class PoolExecutor:
         if handle.done():
             return handle
         tracer = self.tracer
+        mint_submit_span(job, tracer)
         if tracer is not None:
-            tracer.emit("submitted", fingerprint=handle.fingerprint, kind="job")
+            tracer.emit(
+                "submitted",
+                fingerprint=handle.fingerprint,
+                kind="job",
+                trace_id=job.trace_id,
+                span_id=job.span_id,
+            )
         hit = self.cache.get_result(handle.fingerprint)
         if hit is not None:
             if tracer is not None:
-                tracer.emit("done", fingerprint=handle.fingerprint, cached=True)
+                tracer.emit(
+                    "done",
+                    fingerprint=handle.fingerprint,
+                    cached=True,
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
+                )
             handle._complete(hit, True)
             return handle
         if self.admission is not None and not self.admission.admit(job.tenant):
             if tracer is not None:
                 tracer.emit(
-                    "shed", fingerprint=handle.fingerprint, cause="tenant_quota"
+                    "shed",
+                    fingerprint=handle.fingerprint,
+                    cause="tenant_quota",
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
             handle._fail(
                 Overloaded(f"tenant {job.tenant!r} is over its admission quota")
@@ -634,13 +693,20 @@ class PoolExecutor:
                 self._active[handle.fingerprint] = handle
                 heapq.heappush(self._heap, (-rank, next(self._ticket), item))
                 if tracer is not None:
-                    tracer.emit("queued", fingerprint=handle.fingerprint)
+                    tracer.emit(
+                        "queued",
+                        fingerprint=handle.fingerprint,
+                        trace_id=job.trace_id,
+                        parent_span=job.span_id,
+                    )
         if victim is not None:
             if tracer is not None:
                 tracer.emit(
                     "shed",
                     fingerprint=victim.handle.fingerprint,
                     cause="max_load_evicted",
+                    trace_id=victim.payload.trace_id,
+                    parent_span=victim.payload.span_id,
                 )
             victim.handle._fail(
                 Overloaded(
@@ -650,7 +716,11 @@ class PoolExecutor:
         if shed_incoming:
             if tracer is not None:
                 tracer.emit(
-                    "shed", fingerprint=handle.fingerprint, cause="max_load"
+                    "shed",
+                    fingerprint=handle.fingerprint,
+                    cause="max_load",
+                    trace_id=job.trace_id,
+                    parent_span=job.span_id,
                 )
             handle._fail(
                 Overloaded(f"executor at max_load={max_load}; job shed")
@@ -756,6 +826,8 @@ class PoolExecutor:
                             "deadline_exceeded",
                             fingerprint=item.handle.fingerprint,
                             stage="queued",
+                            trace_id=item.payload.trace_id,
+                            parent_span=item.payload.span_id,
                         )
                     item.handle._fail(
                         DeadlineExceeded(
@@ -766,6 +838,9 @@ class PoolExecutor:
                     continue
             if self.tracer is not None:
                 item.claimed_at = time.perf_counter()
+                job = item.payload if item.kind == _KIND_JOB else None
+                if job is not None and job.trace_id is not None:
+                    item.claim_span = new_span_id()
                 self.tracer.emit(
                     "claimed",
                     fingerprint=(
@@ -774,10 +849,15 @@ class PoolExecutor:
                     kind=item.kind,
                     pool_worker=worker,
                     attempt=0,
+                    trace_id=job.trace_id if job is not None else None,
+                    span_id=item.claim_span,
+                    parent_span=job.span_id if job is not None else None,
                 )
             try:
                 if item.kind == _KIND_JOB:
-                    future = self._pools[worker].submit(_pool_worker_run, item.payload)
+                    future = self._pools[worker].submit(
+                        _pool_worker_run, item.payload, item.claim_span
+                    )
                 else:
                     fn, args, kwargs = item.payload
                     future = self._pools[worker].submit(
@@ -812,6 +892,7 @@ class PoolExecutor:
             payload = future.result()
         except BaseException as exc:  # noqa: BLE001 - relayed to the awaiter
             if self.tracer is not None:
+                job = item.payload if item.kind == _KIND_JOB else None
                 self.tracer.emit(
                     "done",
                     fingerprint=(
@@ -824,6 +905,8 @@ class PoolExecutor:
                         else None
                     ),
                     error=f"{type(exc).__name__}: {exc}",
+                    trace_id=job.trace_id if job is not None else None,
+                    parent_span=job.span_id if job is not None else None,
                 )
             item.handle._fail(exc)
             return
@@ -840,6 +923,8 @@ class PoolExecutor:
                     ),
                     cached=cached,
                     pool_pid=pid,
+                    trace_id=item.payload.trace_id,
+                    parent_span=item.payload.span_id,
                 )
             try:
                 with self._lock:

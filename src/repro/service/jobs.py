@@ -282,6 +282,13 @@ class AbstractionJob:
     #: Epoch (not monotonic) so the instant survives pickling into pool
     #: workers and broker queues.  Runtime-only: never in the manifest.
     deadline_at: float | None = field(default=None, compare=False)
+    #: Span context, minted at submit by the tracing executor and
+    #: carried inside the pickled payload through broker queues and
+    #: pool pipes so worker-side events join the submit span's tree.
+    #: Runtime-only policy fields like ``deadline_at``: never in the
+    #: manifest, never in the fingerprint.
+    trace_id: str | None = field(default=None, compare=False)
+    span_id: str | None = field(default=None, compare=False)
     _fingerprint: JobFingerprint | None = field(
         default=None, repr=False, compare=False
     )

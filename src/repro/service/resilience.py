@@ -442,21 +442,26 @@ class DegradingExecutor:
         self._lock = threading.Lock()
         self._degraded_submissions = 0
 
-    def _fallback_executor(self, cause: str):
+    def _fallback_executor(self, cause: str, job=None):
         with self._lock:
             if self._fallback is None:
                 self._fallback = self._fallback_factory()
             self._degraded_submissions += 1
             fallback = self._fallback
         if self.tracer is not None:
+            # A job that already has a span (the failed primary submit
+            # minted one) keeps its trace across the tier change.
             self.tracer.emit(
                 "degraded",
                 cause=cause,
                 breaker=self.breaker.state,
+                trace_id=getattr(job, "trace_id", None),
+                parent_span=getattr(job, "span_id", None),
             )
         return fallback
 
     def _submit_via(self, method: str, *args, **kwargs):
+        job = args[0] if method == "submit" and args else None
         if self.breaker.allow():
             try:
                 handle = getattr(self.primary, method)(*args, **kwargs)
@@ -467,11 +472,14 @@ class DegradingExecutor:
             except Exception as exc:
                 self.breaker.record_failure()
                 return getattr(
-                    self._fallback_executor(f"{type(exc).__name__}: {exc}"), method
+                    self._fallback_executor(f"{type(exc).__name__}: {exc}", job),
+                    method,
                 )(*args, **kwargs)
             self.breaker.record_success()
             return handle
-        return getattr(self._fallback_executor("breaker_open"), method)(*args, **kwargs)
+        return getattr(
+            self._fallback_executor("breaker_open", job), method
+        )(*args, **kwargs)
 
     def submit(self, job, priority: int | None = None):
         """Submit to the primary tier, degrading on broker failure."""

@@ -76,6 +76,7 @@ class TestTraceWriter:
             "submitted", "queued", "claimed", "heartbeat", "requeued",
             "released", "quarantined", "shed", "deadline_exceeded",
             "cache_hit", "artifact_build", "solve", "done", "worker_exit",
+            "metrics_endpoint",
         ):
             assert name in TRACE_EVENTS
 
