@@ -592,6 +592,108 @@ def run_observability_benchmark(quick: bool) -> dict:
     return record
 
 
+def run_durability_benchmark(quick: bool) -> dict:
+    """Journal overhead and resume payoff: `--run-dir` must be cheap.
+
+    Runs the same manifest through ``run_batch`` plain and journalled
+    (one line-atomic ``O_APPEND`` write per finished row) in
+    alternating pairs and reports the median paired overhead, which
+    the durability contract keeps in the low single digits.  Then the
+    resume path: re-running a completed run directory with
+    ``resume=True`` must replay every row *verbatim* — byte-identical
+    rows, zero recomputation — which is what makes crash recovery
+    effectively free.
+    """
+    import tempfile
+
+    from repro.service import run_batch
+
+    log_ref = LogRef.builtin("synthetic:8x150@1")
+    combos = [[MaxGroupSize(bound)] for bound in range(2, 8)]
+    combos += [[MaxGroups(bound)] for bound in range(4, 10)]
+    jobs = [
+        AbstractionJob(
+            log=log_ref,
+            constraints=ConstraintSet(combo),
+            job_id=f"dur-{index}",
+        )
+        for index, combo in enumerate(combos)
+    ]
+    # More pairs than the tracing benchmark: these runs are ~2x
+    # shorter, so the paired-ratio estimator needs more samples to
+    # resolve a low-single-digit overhead.  Still < 4s in quick mode.
+    repeats = 8 if quick else 16
+
+    def masked(rows: "list[dict]") -> "list[dict]":
+        return [
+            {k: v for k, v in row.items()
+             if k not in ("cached", "seconds", "selection")}
+            for row in rows
+        ]
+
+    def run_once(run_dir=None, resume: bool = False):
+        started = time.perf_counter()
+        report = run_batch(jobs, run_dir=run_dir, resume=resume)
+        return time.perf_counter() - started, report
+
+    _, warm = run_once()  # untimed warmup (imports, allocator)
+    reference = masked(warm.rows)
+    plain_times: "list[float]" = []
+    durable_times: "list[float]" = []
+    ratios: "list[float]" = []
+    matched = True
+    durable_rows: "list[dict]" = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(repeats):
+            # Back-to-back alternating pairs, same discipline as the
+            # tracing benchmark: the paired ratio cancels slow drift.
+            arms = ["plain", "durable"] if repeat % 2 == 0 else ["durable", "plain"]
+            for arm in arms:
+                if arm == "plain":
+                    seconds, report = run_once()
+                    plain_times.append(seconds)
+                else:
+                    seconds, report = run_once(Path(tmp) / f"run-{repeat}")
+                    durable_times.append(seconds)
+                    durable_rows = report.rows
+                if masked(report.rows) != reference:
+                    matched = False
+            ratios.append(durable_times[-1] / plain_times[-1])
+        # Resume the last journalled run: everything replays verbatim.
+        last_dir = Path(tmp) / f"run-{repeats - 1}"
+        resume_seconds, resumed = run_once(last_dir, resume=True)
+        replayed = resumed.journal["replayed"]
+        recomputed = resumed.journal["computed"]
+        if resumed.rows != durable_rows or recomputed:
+            matched = False
+    plain_median = statistics.median(plain_times)
+    durable_median = statistics.median(durable_times)
+    overhead = statistics.median(ratios) - 1.0
+    cold_seconds = durable_times[-1]
+    record = {
+        "jobs": len(jobs),
+        "repeats": repeats,
+        "plain_seconds": plain_median,
+        "durable_seconds": durable_median,
+        "overhead_fraction": overhead,
+        "cold_seconds": cold_seconds,
+        "resume_seconds": resume_seconds,
+        "resume_speedup": (
+            cold_seconds / resume_seconds if resume_seconds > 0 else None
+        ),
+        "replayed": replayed,
+        "recomputed": recomputed,
+        "outputs_match": matched,
+    }
+    print(
+        f"durability: {len(jobs)} jobs plain={plain_median:6.3f}s "
+        f"journalled={durable_median:6.3f}s overhead={overhead * 100:+5.2f}% "
+        f"resume={resume_seconds:6.3f}s ({replayed} replayed, "
+        f"{recomputed} recomputed) match={matched}"
+    )
+    return record
+
+
 def run_attribute_benchmark(quick: bool) -> dict:
     """Instance-constraint checking: columnar kernels vs event walks.
 
@@ -929,6 +1031,7 @@ def main(argv=None) -> int:
     selection_record = run_selection_benchmark(args.quick)
     resilience_record = run_resilience_benchmark(args.quick)
     observability_record = run_observability_benchmark(args.quick)
+    durability_record = run_durability_benchmark(args.quick)
 
     scaling_speedups = [
         r["speedup_candidates"]
@@ -960,6 +1063,8 @@ def main(argv=None) -> int:
         mismatches.append("resilience/completed-jobs")
     if not observability_record["outputs_match"]:
         mismatches.append("observability/traced-run")
+    if not durability_record["outputs_match"]:
+        mismatches.append("durability/journalled-run")
     report = {
         "schema": "gecco-perf/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -973,6 +1078,7 @@ def main(argv=None) -> int:
         "selection": selection_record,
         "resilience": resilience_record,
         "observability": observability_record,
+        "durability": durability_record,
         "summary": {
             "median_speedup_candidates_scaling_classes": (
                 statistics.median(scaling_speedups) if scaling_speedups else None
@@ -1020,6 +1126,10 @@ def main(argv=None) -> int:
             "observability_overhead_fraction": observability_record[
                 "overhead_fraction"
             ],
+            "durability_overhead_fraction": durability_record[
+                "overhead_fraction"
+            ],
+            "durability_resume_speedup": durability_record["resume_speedup"],
             "outputs_match": not mismatches,
             "mismatched_workloads": mismatches,
         },

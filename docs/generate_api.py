@@ -90,6 +90,25 @@ API_SECTIONS: "list[tuple[str, list[tuple[str, str, str]]]]" = [
         ],
     ),
     (
+        "Durability",
+        [
+            ("repro.service.journal", "RunJournal",
+             "the crash-resumable batch journal behind `--run-dir`"),
+            ("repro.service.journal", "seal",
+             "embed a checksum in a JSON payload"),
+            ("repro.service.journal", "verify_seal",
+             "verify and strip an embedded checksum"),
+            ("repro.service.fsck", "fsck_store",
+             "offline disk-store verify/repair"),
+            ("repro.service.fsck", "fsck_broker",
+             "offline fs-broker verify/repair"),
+            ("repro.service.supervisor", "FleetSupervisor",
+             "restart, quarantine, and drain a local worker fleet"),
+            ("repro.service.dist.chaos", "DiskFaultInjector",
+             "seeded ENOSPC and torn-write injection for disk stores"),
+        ],
+    ),
+    (
         "Observability",
         [
             ("repro.obs.trace", "TraceWriter",

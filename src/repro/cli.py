@@ -41,6 +41,21 @@ Subcommands
     dispatch through the distributed executor instead of the
     in-process pool.
 
+``fleet``
+    Supervise ``N`` local worker processes against one broker:
+    crashed workers are restarted with seeded backoff, crash-looping
+    slots are quarantined, and SIGTERM drains the fleet gracefully::
+
+        gecco fleet --workers 4 --broker fs:///shared/queue \
+            --cache-dir /shared/cache --trace /shared/trace.jsonl
+
+``fsck``
+    Scan (and repair) a disk store and/or an fs-broker directory:
+    checksum-verify every entry, quarantine corruption, drop orphaned
+    leases and stale staging files::
+
+        gecco fsck --cache-dir /shared/cache --broker fs:///shared/queue --json
+
 ``doctor``
     Offline failure forensics over the structured traces that
     ``batch`` / ``serve`` / ``worker`` write with ``--trace PATH``
@@ -252,6 +267,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_load=args.max_load,
         trace=args.trace,
         trace_rotate_mb=args.trace_rotate_mb,
+        run_dir=args.run_dir,
+        resume=args.resume,
     )
     if args.output is None:
         for row in report.rows:
@@ -263,6 +280,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"artifact builds={report.artifact_builds()}",
         file=sys.stderr,
     )
+    if report.journal:
+        print(
+            f"journal: replayed={report.journal['replayed']} "
+            f"computed={report.journal['computed']} "
+            f"skipped_lines={report.journal['skipped_lines']} "
+            f"(run dir {args.run_dir})",
+            file=sys.stderr,
+        )
     if args.output:
         print(f"results written to {args.output}", file=sys.stderr)
     return 0
@@ -434,6 +459,65 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.service.dist.chaos import ChaosConfig
+    from repro.service.supervisor import FleetSupervisor
+
+    chaos = ChaosConfig.from_args(args)
+    print(
+        f"fleet: supervising {args.workers} workers on {args.broker} "
+        f"(crash-loop policy: {args.max_restarts} restarts "
+        f"in {args.restart_window}s quarantines the slot)",
+        file=sys.stderr,
+    )
+    if chaos.any_faults():
+        print(
+            f"chaos: injecting faults with seed={chaos.seed} "
+            "(fault schedules are deterministic per seed)",
+            file=sys.stderr,
+        )
+    supervisor = FleetSupervisor(
+        args.broker,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        lease=args.lease,
+        poll_interval=args.poll_interval,
+        trace=args.trace,
+        trace_rotate_mb=args.trace_rotate_mb,
+        restart_window=args.restart_window,
+        max_restarts=args.max_restarts,
+        idle_exit=args.idle_exit,
+        chaos=chaos if chaos.any_faults() else None,
+        drain_timeout=args.drain_timeout,
+    )
+    report = supervisor.run()
+    print(
+        f"fleet drained ({report['drained_by']}): "
+        f"{report['restarts']} restarts, "
+        f"{len(report['quarantined_slots'])} slots quarantined",
+        file=sys.stderr,
+    )
+    print(json.dumps(report))
+    return 0 if not report["quarantined_slots"] else 3
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.service.fsck import fsck_report, render_fsck
+
+    report = fsck_report(
+        cache_dir=args.cache_dir, broker=args.broker,
+        repair=not args.no_repair,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_fsck(report))
+    totals = report["totals"]
+    if totals["quarantined"] and args.no_repair:
+        return 4  # rot found and left in place
+    return 0
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.obs.doctor import main_doctor
 
@@ -453,6 +537,47 @@ def _cmd_top(args: argparse.Namespace) -> int:
         as_json=args.json,
         interval=args.interval,
         window=args.window,
+    )
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared deterministic fault-injection flag group."""
+    chaos = parser.add_argument_group(
+        "chaos", "deterministic fault injection (resilience drills; "
+        "all rates in [0, 1], 0 = off)"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="fault schedule seed (same seed = same schedule)",
+    )
+    chaos.add_argument(
+        "--chaos-claim-failure-rate", type=float, default=0.0,
+        help="probability a claim call fails",
+    )
+    chaos.add_argument(
+        "--chaos-heartbeat-drop-rate", type=float, default=0.0,
+        help="probability a heartbeat is dropped",
+    )
+    chaos.add_argument(
+        "--chaos-complete-duplicate-rate", type=float, default=0.0,
+        help="probability a completion is delivered twice",
+    )
+    chaos.add_argument(
+        "--chaos-complete-delay-rate", type=float, default=0.0,
+        help="probability a result is withheld for a few polls",
+    )
+    chaos.add_argument(
+        "--chaos-corrupt-claim-rate", type=float, default=0.0,
+        help="probability a first-delivery payload is corrupted in flight",
+    )
+    chaos.add_argument(
+        "--chaos-put-failure-rate", type=float, default=0.0,
+        help="probability an enqueue is refused",
+    )
+    chaos.add_argument(
+        "--chaos-kill-rate", type=float, default=0.0,
+        help="probability the worker SIGKILLs itself right after a "
+        "first-delivery claim (crash-recovery drills)",
     )
 
 
@@ -591,6 +716,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="rotate the trace file to <path>.1 past this many MB "
         "(default: never)",
     )
+    batch.add_argument(
+        "--run-dir",
+        help="journal completed rows line-atomically into "
+        "DIR/journal.jsonl so the run survives crashes "
+        "(rerun with --resume to pick up where it died)",
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay journaled rows from --run-dir verbatim and compute "
+        "only what is missing (requires the same manifest)",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     serve = sub.add_parser(
@@ -683,39 +820,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve Prometheus metrics on this port (0 = ephemeral; "
         "the chosen port is printed and traced)",
     )
-    chaos = worker.add_argument_group(
-        "chaos", "deterministic fault injection (resilience drills; "
-        "all rates in [0, 1], 0 = off)"
-    )
-    chaos.add_argument(
-        "--chaos-seed", type=int, default=0,
-        help="fault schedule seed (same seed = same schedule)",
-    )
-    chaos.add_argument(
-        "--chaos-claim-failure-rate", type=float, default=0.0,
-        help="probability a claim call fails",
-    )
-    chaos.add_argument(
-        "--chaos-heartbeat-drop-rate", type=float, default=0.0,
-        help="probability a heartbeat is dropped",
-    )
-    chaos.add_argument(
-        "--chaos-complete-duplicate-rate", type=float, default=0.0,
-        help="probability a completion is delivered twice",
-    )
-    chaos.add_argument(
-        "--chaos-complete-delay-rate", type=float, default=0.0,
-        help="probability a result is withheld for a few polls",
-    )
-    chaos.add_argument(
-        "--chaos-corrupt-claim-rate", type=float, default=0.0,
-        help="probability a first-delivery payload is corrupted in flight",
-    )
-    chaos.add_argument(
-        "--chaos-put-failure-rate", type=float, default=0.0,
-        help="probability an enqueue is refused",
-    )
+    _add_chaos_args(worker)
     worker.set_defaults(handler=_cmd_worker)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="supervise N local workers: restart crashes, quarantine "
+        "crash loops, drain on SIGTERM",
+    )
+    fleet.add_argument(
+        "--broker", required=True,
+        help="broker URL: fs:///shared/dir, sqlite:///path.db, or redis://host/0",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=2, help="supervised worker slots"
+    )
+    fleet.add_argument(
+        "--cache-dir",
+        help="shared on-disk result store (point the whole fleet at one)",
+    )
+    fleet.add_argument(
+        "--lease", type=float, default=60.0,
+        help="claim visibility timeout per worker (seconds)",
+    )
+    fleet.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="idle seconds between a worker's claim attempts",
+    )
+    fleet.add_argument(
+        "--restart-window", type=float, default=30.0,
+        help="crash-loop window: this many seconds bound the restart count",
+    )
+    fleet.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="restarts of one slot within the window before it is "
+        "quarantined (taken out of service)",
+    )
+    fleet.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="drain once the broker has been empty this many seconds "
+        "(default: run until SIGTERM)",
+    )
+    fleet.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds workers get to finish their current job on drain",
+    )
+    fleet.add_argument(
+        "--trace",
+        help="append supervisor + worker lifecycle events to this file "
+        "(analyze with `repro doctor`)",
+    )
+    fleet.add_argument(
+        "--trace-rotate-mb", type=float, default=None,
+        help="rotate the trace file to <path>.1 past this many MB "
+        "(default: never)",
+    )
+    _add_chaos_args(fleet)
+    fleet.set_defaults(handler=_cmd_fleet)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan and repair a disk store and/or fs-broker directory",
+    )
+    fsck.add_argument(
+        "--cache-dir", help="disk store directory to verify (checksums + schema)"
+    )
+    fsck.add_argument(
+        "--broker",
+        help="fs:// broker URL or directory to verify (payload frames, "
+        "leases, staging files)",
+    )
+    fsck.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    fsck.add_argument(
+        "--no-repair", action="store_true",
+        help="report only; leave corrupt entries and stale files in place "
+        "(exit 4 when rot is found)",
+    )
+    fsck.set_defaults(handler=_cmd_fsck)
 
     doctor = sub.add_parser(
         "doctor", help="analyze trace files: failure taxonomy, latency, offenders"

@@ -140,6 +140,8 @@ def analyze_trace(paths_or_events) -> dict:
         if e.get("event") == "done"
         and (e.get("error") or e.get("ok") is False)
     )
+    worker_restarts = counts.get("worker_restart", 0)
+    slot_quarantines = counts.get("supervisor_slot_quarantined", 0)
 
     # --- latency breakdown ------------------------------------------------
     queued_at: dict[str, float] = {}
@@ -247,7 +249,9 @@ def analyze_trace(paths_or_events) -> dict:
         }
         for e in events
         if e.get("event")
-        in ("requeued", "released", "quarantined", "shed", "deadline_exceeded")
+        in ("requeued", "released", "quarantined", "shed",
+            "deadline_exceeded", "worker_restart",
+            "supervisor_slot_quarantined")
         or (e.get("event") == "claimed" and e.get("attempt", 0) > 0)
     ]
     for entry in timeline:
@@ -271,6 +275,8 @@ def analyze_trace(paths_or_events) -> dict:
             "deadline_exceeded": dict(sorted(deadlines.items())),
             "degraded": dict(sorted(degraded.items())),
             "job_failures": failures,
+            "worker_restarts": worker_restarts,
+            "slot_quarantines": slot_quarantines,
         },
         "latency": latency,
         "cache": {
@@ -402,6 +408,8 @@ RECOMMEND_THRESHOLDS = {
     "cache_hit_rate_max": 0.5,    # below this the disk tier is undersized
     "queue_wait_ratio": 2.0,      # queue-wait p50 vs solve p50 multiple
     "queue_wait_count_min": 5,    # queue-wait samples before scaling advice
+    "worker_restart_min": 3,      # supervisor restarts before crash advice
+    "slot_quarantine_min": 1,     # quarantined fleet slots (always advise)
 }
 
 
@@ -534,6 +542,28 @@ def recommend(report: dict) -> list[dict]:
             },
         })
 
+    restarts = tax.get("worker_restarts", 0)
+    slot_quarantines = tax.get("slot_quarantines", 0)
+    if (
+        slot_quarantines >= thresholds["slot_quarantine_min"]
+        or restarts >= thresholds["worker_restart_min"]
+    ):
+        recs.append({
+            "id": "crash_loop",
+            "severity": "warning",
+            "message": (
+                f"the supervisor restarted workers {restarts} time(s) and "
+                f"quarantined {slot_quarantines} slot(s); workers are "
+                "dying repeatedly. Check the quarantine directory for the "
+                "poisonous task a crash loop chases, and worker stderr "
+                "for OOM kills, before re-enabling the slots."
+            ),
+            "evidence": {
+                "worker_restarts": restarts,
+                "slot_quarantines": slot_quarantines,
+            },
+        })
+
     sheds = tax.get("sheds", {})
     shed_total = sum(sheds.values())
     if shed_total >= thresholds["shed_min"]:
@@ -580,6 +610,9 @@ def render_report(report: dict) -> str:
     out(f"  requeue sweeps     moved {tax['requeue_sweep_moves']} task(s)")
     out(f"  voluntary releases {tax['releases']}")
     out(f"  heartbeat errors   {tax['heartbeat_errors']}")
+    if tax.get("worker_restarts") or tax.get("slot_quarantines"):
+        out(f"  worker restarts    {tax.get('worker_restarts', 0)} "
+            f"(slots quarantined: {tax.get('slot_quarantines', 0)})")
     for label, table in (
         ("retries", tax["retries"]),
         ("quarantines", tax["quarantines"]),

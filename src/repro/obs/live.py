@@ -54,6 +54,8 @@ _INCIDENT_EVENTS = (
     "shed",
     "deadline_exceeded",
     "degraded",
+    "worker_restart",
+    "supervisor_slot_quarantined",
 )
 
 
@@ -314,6 +316,10 @@ class LiveAggregator:
                 self.taxonomy["heartbeat_errors"] += 1
         elif name == "requeued":
             self.taxonomy["requeue_sweep_moves"] += int(event.get("count", 1) or 1)
+        elif name == "worker_restart":
+            self.taxonomy["worker_restarts"] += 1
+        elif name == "supervisor_slot_quarantined":
+            self.taxonomy["slot_quarantines"] += 1
         elif name == "worker_exit":
             if worker is not None:
                 self.workers[str(worker)]["exited"] = True
@@ -334,7 +340,13 @@ class LiveAggregator:
                     or event.get("cause")
                     or event.get("error")
                     or event.get("stage")
-                    or (f"count={event.get('count')}" if name == "requeued" else None),
+                    or (f"count={event.get('count')}" if name == "requeued" else None)
+                    or (
+                        f"slot={event.get('slot')} exit={event.get('exitcode')}"
+                        if name in ("worker_restart",
+                                    "supervisor_slot_quarantined")
+                        else None
+                    ),
                     "task": (event.get("task_id") or "")[:12] or None,
                 }
             )

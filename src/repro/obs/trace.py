@@ -80,6 +80,10 @@ TRACE_EVENTS = (
     "done",               # terminal job outcome (ok/error/cached, seconds)
     "worker_exit",        # final WorkerStats of one worker loop
     "metrics_endpoint",   # a /metrics server bound (host, port, url)
+    "worker_restart",     # supervisor respawned a crashed worker slot
+    "supervisor_started",  # repro fleet supervisor came up (slots, broker)
+    "supervisor_slot_quarantined",  # crash-looping slot taken out of service
+    "supervisor_exit",    # supervisor drained (restart totals per slot)
 )
 
 

@@ -56,6 +56,8 @@ from repro.service.batch import (
 )
 from repro.service.cache import ArtifactCache, CacheStats, TierStats
 from repro.service.dist import DistributedExecutor, connect_broker, worker_loop
+from repro.service.fsck import fsck_broker, fsck_report, fsck_store
+from repro.service.journal import IntegrityError, RunJournal
 from repro.service.executor import (
     CallHandle,
     JobHandle,
@@ -88,6 +90,7 @@ from repro.service.serialization import (
     result_signature,
     result_to_dict,
 )
+from repro.service.supervisor import FleetSupervisor, run_fleet
 
 __all__ = [
     "AbstractionJob",
@@ -102,6 +105,8 @@ __all__ = [
     "DeadlineExceeded",
     "DegradingExecutor",
     "DistributedExecutor",
+    "FleetSupervisor",
+    "IntegrityError",
     "connect_broker",
     "JobFingerprint",
     "JobHandle",
@@ -109,9 +114,13 @@ __all__ = [
     "Overloaded",
     "PoolExecutor",
     "RetryPolicy",
+    "RunJournal",
     "SequentialExecutor",
     "TierStats",
     "TokenBucket",
+    "fsck_broker",
+    "fsck_report",
+    "fsck_store",
     "grouping_from_dict",
     "grouping_to_dict",
     "load_manifest",
@@ -122,6 +131,7 @@ __all__ = [
     "result_signature",
     "result_to_dict",
     "run_batch",
+    "run_fleet",
     "run_job",
     "serve_loop",
     "serve_socket",

@@ -101,6 +101,10 @@ class BatchReport:
     rows: list[dict] = field(default_factory=list)
     seconds: float = 0.0
     stats: dict = field(default_factory=dict)
+    #: Journal accounting for ``run_dir`` runs: how many rows were
+    #: replayed verbatim from the journal vs computed this run, plus
+    #: torn/invalid journal lines dropped on load.
+    journal: dict = field(default_factory=dict)
 
     @property
     def jobs_per_second(self) -> float:
@@ -232,6 +236,8 @@ def run_batch(
     max_load: int | None = None,
     trace=None,
     trace_rotate_mb: float | None = None,
+    run_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> BatchReport:
     """Run a list of jobs and collect (optionally write) result rows.
 
@@ -246,6 +252,17 @@ def run_batch(
     deadline (:class:`~repro.service.resilience.DeadlineExceeded`) —
     become error rows (``"error"`` key, ``"feasible": false``) instead
     of aborting the whole batch; any other failure still propagates.
+
+    ``run_dir`` makes the run crash-resumable: every completed row is
+    appended line-atomically to ``<run_dir>/journal.jsonl`` (see
+    :class:`~repro.service.journal.RunJournal`) the moment it finishes.
+    With ``resume=True`` journaled rows are emitted *verbatim* — zero
+    recomputation, not even a cache lookup — and only the remaining
+    jobs are submitted.  Error rows are deliberately not journaled, so
+    shed or deadline-failed jobs get a fresh attempt on resume.  The
+    ``output`` file is staged to ``<output>.partial`` and atomically
+    finalized, so a kill mid-write never leaves a half-written results
+    file in place.
     """
     owns_executor = executor is None
     if executor is None:
@@ -253,18 +270,37 @@ def run_batch(
             workers=workers, disk_dir=disk_dir, broker=broker,
             max_load=max_load, trace=trace, trace_rotate_mb=trace_rotate_mb,
         )
+    journal = None
+    replayed: dict = {}
+    if run_dir is not None:
+        from repro.service.journal import RunJournal, manifest_digest
+
+        journal = RunJournal(Path(run_dir))
+        keys = [(job.job_id, job.fingerprint().full) for job in jobs]
+        journal.check_manifest(manifest_digest(keys), resume=resume)
+        if resume:
+            replayed = journal.load()
+    else:
+        keys = [(job.job_id, job.fingerprint().full) for job in jobs]
     report = BatchReport()
     started = time.perf_counter()
+    computed = 0
     try:
-        submitted = [(job, executor.submit(job)) for job in jobs]
-        for job, handle in submitted:
+        submitted = [
+            None if key in replayed else executor.submit(job)
+            for key, job in zip(keys, jobs)
+        ]
+        for key, job, handle in zip(keys, jobs, submitted):
+            if handle is None:
+                report.rows.append(replayed[key])
+                continue
             try:
                 result = handle.result()
             except (DeadlineExceeded, Overloaded) as exc:
                 report.rows.append({
                     "id": job.job_id,
                     "log": job.log.describe(),
-                    "fingerprint": job.fingerprint().full,
+                    "fingerprint": key[1],
                     "cached": False,
                     "seconds": 0.0,
                     "feasible": False,
@@ -276,25 +312,43 @@ def run_batch(
             # from submit would be order-dependent (it includes waiting
             # on every earlier row in this ordered collection loop).
             seconds = 0.0 if cached else result.timings.total
-            report.rows.append(job_row(job, result, cached, seconds, include_log))
+            row = job_row(job, result, cached, seconds, include_log)
+            if journal is not None:
+                journal.append(key[0], key[1], row)
+            computed += 1
+            report.rows.append(row)
         report.seconds = time.perf_counter() - started
         report.stats = executor.stats()
     finally:
+        if journal is not None:
+            journal.close()
         if owns_executor:
             executor.shutdown()
+    if journal is not None:
+        report.journal = {
+            "replayed": len(replayed),
+            "computed": computed,
+            "skipped_lines": journal.skipped,
+        }
     if output is not None:
         _write_rows(report.rows, output)
     return report
 
 
 def _write_rows(rows: list[dict], target: "str | Path | IO") -> None:
+    """Write result rows; path targets are staged and atomically renamed."""
     if hasattr(target, "write"):
         for row in rows:
             target.write(json.dumps(row) + "\n")
         return
-    with open(target, "w", encoding="utf-8") as handle:
+    import os
+
+    target = Path(target)
+    partial = target.with_name(target.name + ".partial")
+    with open(partial, "w", encoding="utf-8") as handle:
         for row in rows:
             handle.write(json.dumps(row) + "\n")
+    os.replace(partial, target)
 
 
 # -- serve loop -------------------------------------------------------------

@@ -50,6 +50,7 @@ from pathlib import Path
 
 from repro.core.gecco import AbstractionResult
 from repro.experiments.persistence import read_json, write_json_atomic
+from repro.service.journal import seal, sweep_stale_tmp, verify_seal
 from repro.service.resilience import RetryPolicy
 from repro.service.serialization import result_from_dict, result_to_dict
 
@@ -132,6 +133,10 @@ class CacheStats:
     #: call); the acceptance check "artifacts computed exactly once per
     #: log" reads this.
     artifact_builds: int = 0
+    #: Disk entries that failed their checksum or failed to parse and
+    #: were moved to ``<disk_dir>/quarantine/`` (the next put repairs
+    #: the slot, so a corrupt entry costs one recomputation).
+    disk_quarantined: int = 0
 
     def as_dict(self) -> dict:
         """Plain-data rendering for snapshots and benchmark records."""
@@ -141,6 +146,7 @@ class CacheStats:
             "disk": self.disk.as_dict(),
             "selection": self.selection.as_dict(),
             "artifact_builds": self.artifact_builds,
+            "disk_quarantined": self.disk_quarantined,
         }
 
     def merge(self, other: "CacheStats") -> None:
@@ -156,6 +162,7 @@ class CacheStats:
             mine.stores += theirs.stores
             mine.evictions += theirs.evictions
         self.artifact_builds += other.artifact_builds
+        self.disk_quarantined += getattr(other, "disk_quarantined", 0)
 
 
 class ArtifactCache:
@@ -201,6 +208,7 @@ class ArtifactCache:
         disk_max_entries: int | None = None,
         disk_max_bytes: int | None = None,
         disk_retry: RetryPolicy | None = None,
+        disk_writer=None,
     ):
         if max_artifacts < 1 or max_results < 1 or max_selections < 1:
             raise ValueError("cache capacities must be >= 1")
@@ -221,6 +229,10 @@ class ArtifactCache:
         self._disk_max_entries = disk_max_entries
         self._disk_max_bytes = disk_max_bytes
         self._disk_retry = disk_retry if disk_retry is not None else _DISK_WRITE_RETRY
+        # Injection point for the atomic JSON writer — chaos tests swap
+        # in a fault injector (ENOSPC, torn writes); see
+        # :class:`repro.service.dist.chaos.DiskFaultInjector`.
+        self._disk_writer = disk_writer if disk_writer is not None else write_json_atomic
         # In-process footprint estimate of the selection tier,
         # ``(entries, bytes)``; ``None`` until the first enforcement
         # sweep seeds it from disk.  Lets a decomposed run that stores
@@ -231,6 +243,15 @@ class ArtifactCache:
         self._last_selection_ttl_sweep = 0.0
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: Stale ``*.tmp`` staging files deleted by the startup sweep —
+        #: writers killed between ``mkstemp`` and ``os.replace`` leak
+        #: them; sweeping only files older than five minutes keeps a
+        #: concurrent live writer's staging file safe.
+        self.tmp_swept = (
+            len(sweep_stale_tmp(self._disk_dir))
+            if self._disk_dir is not None
+            else 0
+        )
         #: Optional :class:`~repro.obs.trace.TraceWriter`; when set,
         #: every tier hit emits a ``cache_hit`` event (tier ∈
         #: ``artifacts`` / ``results`` / ``selection`` /
@@ -243,6 +264,27 @@ class ArtifactCache:
         tracer = self.tracer
         if tracer is not None:
             tracer.emit("cache_hit", tier=tier, key=str(key))
+
+    def _quarantine_disk_entry(self, path: Path) -> None:
+        """Move a corrupt disk entry to ``<disk_dir>/quarantine/``.
+
+        Quarantined files keep their content (suffixed ``.bad`` so the
+        tier globs never pick them up again) for post-mortem while the
+        original slot is freed — the next put repairs it, so a corrupt
+        entry costs exactly one recomputation.  ``repro fsck`` reports
+        and ages them out.
+        """
+        quarantine = self._disk_dir / "quarantine"
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / (path.name + ".bad"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        with self._lock:
+            self.stats.disk_quarantined += 1
 
     # -- artifact tier (log-prefix keyed) ---------------------------------
 
@@ -307,14 +349,13 @@ class ArtifactCache:
                 self.stats.disk.evictions += 1
             return None
         try:
-            solution = _selection_from_dict(read_json(path))
+            solution = _selection_from_dict(verify_seal(read_json(path)))
         except Exception:
-            # Corrupt or old-schema entry: treat as a miss and drop the
-            # file so the next put repairs it (same as the result tier).
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Corrupt, truncated, or old-schema entry (checksums are
+            # verified by ``verify_seal``): treat as a miss and
+            # quarantine the file so the next put repairs the slot
+            # (same as the result tier).
+            self._quarantine_disk_entry(path)
             with self._lock:
                 self.stats.disk.misses += 1
             return None
@@ -344,7 +385,7 @@ class ArtifactCache:
         if not path.exists():
             try:
                 self._disk_retry.call(
-                    write_json_atomic, payload, path, key=key,
+                    self._disk_writer, seal(payload), path, key=key,
                     retry_on=(OSError,),
                 )
             except Exception:
@@ -447,15 +488,13 @@ class ArtifactCache:
                 self.stats.disk.evictions += 1
             return None
         try:
-            result = result_from_dict(read_json(path))
+            result = result_from_dict(verify_seal(read_json(path)))
         except Exception:
-            # A stale or corrupt store entry (e.g. written by an older
-            # schema) must never take the service down — treat as miss
-            # and drop the bad file so the next put_result repairs it.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # A stale, truncated, or corrupt store entry (checksums are
+            # verified by ``verify_seal``) must never take the service
+            # down — treat as miss and quarantine the bad file so the
+            # next put_result repairs the slot.
+            self._quarantine_disk_entry(path)
             with self._lock:
                 self.stats.disk.misses += 1
             return None
@@ -481,7 +520,7 @@ class ArtifactCache:
                     # Transient write failures retry with backoff; a
                     # serialization error (non-OSError) fails once.
                     self._disk_retry.call(
-                        write_json_atomic, result_to_dict(result), path,
+                        self._disk_writer, seal(result_to_dict(result)), path,
                         key=fingerprint, retry_on=(OSError,),
                     )
                 except Exception:

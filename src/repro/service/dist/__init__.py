@@ -49,7 +49,12 @@ from repro.service.dist.broker import (
     encode_result_flagged,
     new_task_id,
 )
-from repro.service.dist.chaos import ChaosBroker, ChaosConfig, ChaosError
+from repro.service.dist.chaos import (
+    ChaosBroker,
+    ChaosConfig,
+    ChaosError,
+    DiskFaultInjector,
+)
 from repro.service.dist.executor import DistributedExecutor, job_affinity_key
 from repro.service.dist.fsbroker import FilesystemBroker
 from repro.service.dist.sqlitebroker import SQLiteBroker
@@ -67,6 +72,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosError",
     "Claim",
+    "DiskFaultInjector",
     "DistributedExecutor",
     "FilesystemBroker",
     "SQLiteBroker",

@@ -84,6 +84,13 @@ class ChaosConfig:
     #: Probability a ``put`` call raises (enqueue refused) — exercises
     #: the executor-side circuit breaker.
     put_failure_rate: float = 0.0
+    #: Probability the worker *process* is SIGKILLed right after a
+    #: first-delivery claim (crash mid-job, lease left dangling).  Like
+    #: payload corruption this only fires on ``attempts == 0``, so the
+    #: redelivery always has a surviving worker to land on — the fault
+    #: exercises lease expiry, requeue, and supervisor restarts without
+    #: ever exhausting a good task's delivery budget.
+    kill_rate: float = 0.0
 
     def __post_init__(self):
         for spec in fields(self):
@@ -123,6 +130,7 @@ class ChaosConfig:
             complete_delay_rate=getattr(args, "chaos_complete_delay_rate", 0.0),
             corrupt_claim_rate=getattr(args, "chaos_corrupt_claim_rate", 0.0),
             put_failure_rate=getattr(args, "chaos_put_failure_rate", 0.0),
+            kill_rate=getattr(args, "chaos_kill_rate", 0.0),
         )
 
 
@@ -146,6 +154,7 @@ class ChaosBroker(Broker):
             op: random.Random(f"{self.config.seed}:{op}")
             for op in (
                 "put", "claim", "heartbeat", "complete", "corrupt", "delay",
+                "kill",
             )
         }
         #: ``task_id -> polls remaining`` for delayed results.
@@ -157,6 +166,7 @@ class ChaosBroker(Broker):
             "complete_duplicates": 0,
             "complete_delays": 0,
             "corrupt_claims": 0,
+            "kills": 0,
         }
 
     def _roll(self, op: str, rate: float) -> bool:
@@ -201,6 +211,20 @@ class ChaosBroker(Broker):
                 deadline=claim.deadline,
                 token=claim.token,
             )
+        if (
+            claim is not None
+            and claim.envelope.attempts == 0
+            and self._roll("kill", self.config.kill_rate)
+        ):
+            # Process-level fault: die with the claim held and the lease
+            # dangling, exactly like a worker OOM-killed mid-job.  The
+            # task is redelivered after lease expiry; a supervisor (see
+            # repro fleet) is expected to restart the slot.
+            self._count("kills")
+            import os as _os
+            import signal as _signal
+
+            _os.kill(_os.getpid(), _signal.SIGKILL)
         return claim
 
     def heartbeat(self, claim: Claim, lease: float) -> bool:
@@ -269,6 +293,68 @@ class ChaosBroker(Broker):
 
     def close(self) -> None:
         self.inner.close()
+
+
+class DiskFaultInjector:
+    """Seeded fault injection for disk-store writes.
+
+    Wraps the atomic JSON writer an
+    :class:`~repro.service.cache.ArtifactCache` uses (its
+    ``disk_writer`` injection point) and, on a deterministic schedule,
+    either raises ``OSError(ENOSPC)`` — the write never happens, the
+    cache's retry policy and best-effort degradation absorb it — or
+    commits a **torn write**: the JSON rendered, truncated to half, and
+    placed at the final path without the atomic rename, exactly the
+    rot a powered-off disk leaves behind.  Torn entries must then be
+    caught by the read path's checksum verification (quarantine +
+    recompute) or by ``repro fsck``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        enospc_rate: float = 0.0,
+        torn_rate: float = 0.0,
+    ):
+        for name, rate in (("enospc_rate", enospc_rate), ("torn_rate", torn_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"chaos {name} must be in [0, 1], got {rate}")
+        self.enospc_rate = enospc_rate
+        self.torn_rate = torn_rate
+        self._rng = {
+            op: random.Random(f"{seed}:disk:{op}") for op in ("enospc", "torn")
+        }
+        self._lock = threading.Lock()
+        self.injected = {"enospc": 0, "torn": 0}
+
+    def _roll(self, op: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng[op].random() < rate
+
+    def write_json_atomic(self, payload, path) -> None:
+        """Drop-in for :func:`repro.experiments.persistence.write_json_atomic`."""
+        import errno
+        import json as _json
+
+        if self._roll("enospc", self.enospc_rate):
+            with self._lock:
+                self.injected["enospc"] += 1
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        if self._roll("torn", self.torn_rate):
+            with self._lock:
+                self.injected["torn"] += 1
+            text = _json.dumps(payload)
+            from pathlib import Path as _Path
+
+            target = _Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+            return
+        from repro.experiments.persistence import write_json_atomic
+
+        write_json_atomic(payload, path)
 
 
 def _corrupt(payload: bytes) -> bytes:

@@ -23,6 +23,14 @@ renamer wins; requeueing a lease-expired task moves it back (with
 so concurrent :meth:`~FilesystemBroker.requeue_expired` sweeps cannot
 duplicate a task.  Results and leases are staged in ``tmp/`` and
 renamed into place, so readers never observe partial writes.
+
+Task payloads and result envelopes additionally carry a sha256 frame
+(``CHK1:<hex>\\n`` prefix, see :mod:`repro.service.journal`) verified
+on every read: a torn or bit-rotted payload is quarantined (with an
+error result, so waiting executors fail fast) instead of being handed
+to a worker, and a corrupt result file is replaced by an explicit
+error envelope instead of crashing the submitter's decode.  Unframed
+payloads written by older builds still pass through unverified.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.service.dist.broker import (
     TaskEnvelope,
     encode_result,
 )
+from repro.service.journal import IntegrityError, frame_bytes, unframe_bytes
 
 #: Priority is encoded as ``_PRIORITY_OFFSET - priority`` so that an
 #: ascending directory sort yields highest-priority-first.
@@ -242,7 +251,7 @@ class FilesystemBroker(Broker):
             envelope.kind, envelope.affinity, envelope.task_id,
         )
         staging = self.root / "tmp" / f"{uuid.uuid4().hex}.tmp"
-        staging.write_bytes(envelope.payload)
+        staging.write_bytes(frame_bytes(envelope.payload))
         os.replace(staging, self.root / "queue" / name)
 
     def claim(self, worker: str, lease: float) -> Claim | None:
@@ -284,10 +293,25 @@ class FilesystemBroker(Broker):
                 self._lease_record(worker, lease, name),
             )
             try:
-                payload = (self.root / "claimed" / name).read_bytes()
+                payload = unframe_bytes((self.root / "claimed" / name).read_bytes())
             except OSError:
                 # Requeued from under us in the same instant; let go.
                 self._release_lease_if_mine(meta.task_id, worker)
+                continue
+            except IntegrityError as exc:
+                # Torn or corrupted payload: never hand it to a worker.
+                # We hold the lease and the claimed entry, so quarantine
+                # through the normal path (reason sidecar + error result
+                # so waiting executors fail fast).
+                poisoned = Claim(
+                    envelope=TaskEnvelope(
+                        task_id=meta.task_id, kind=meta.kind, payload=b"",
+                        priority=meta.priority, affinity=meta.affinity,
+                        attempts=meta.attempts,
+                    ),
+                    worker=worker, deadline=time.time() + lease, token=name,
+                )
+                self.quarantine(poisoned, f"payload checksum failed: {exc}")
                 continue
             envelope = TaskEnvelope(
                 task_id=meta.task_id, kind=meta.kind, payload=payload,
@@ -320,7 +344,9 @@ class FilesystemBroker(Broker):
     def complete(self, claim: Claim, payload: bytes) -> bool:
         """Record the result; clean up the claim when it is still ours."""
         task_id = claim.envelope.task_id
-        self._write_atomic(self.root / "results" / f"{task_id}.res", payload)
+        self._write_atomic(
+            self.root / "results" / f"{task_id}.res", frame_bytes(payload)
+        )
         current = self._read_json(self._lease_path(task_id))
         fresh = current is not None and current.get("worker") == claim.worker
         if fresh:
@@ -368,7 +394,11 @@ class FilesystemBroker(Broker):
         )
         self._write_atomic(
             self.root / "results" / f"{task_id}.res",
-            encode_result(error=f"task quarantined: {reason}", worker=claim.worker),
+            frame_bytes(
+                encode_result(
+                    error=f"task quarantined: {reason}", worker=claim.worker
+                )
+            ),
         )
         self._unlink_quiet(self._lease_path(task_id))
 
@@ -423,10 +453,12 @@ class FilesystemBroker(Broker):
                 )
                 self._write_atomic(
                     self.root / "results" / f"{meta.task_id}.res",
-                    encode_result(
-                        error=(
-                            f"task {meta.task_id} exceeded {max_attempts} "
-                            "delivery attempts (worker crash loop?)"
+                    frame_bytes(
+                        encode_result(
+                            error=(
+                                f"task {meta.task_id} exceeded {max_attempts} "
+                                "delivery attempts (worker crash loop?)"
+                            )
                         )
                     ),
                 )
@@ -464,11 +496,31 @@ class FilesystemBroker(Broker):
                 continue
 
     def get_result(self, task_id: str) -> bytes | None:
-        """Read a finished task's result envelope (``None`` while pending)."""
+        """Read a finished task's result envelope (``None`` while pending).
+
+        A result that fails its checksum frame (torn write, bit rot) is
+        moved to ``quarantine/`` for post-mortem and replaced in place
+        by an explicit error envelope, so the waiting executor fails
+        fast with a clear message instead of crashing on a truncated
+        pickle — and repeated polls see a consistent answer.
+        """
+        path = self.root / "results" / f"{task_id}.res"
         try:
-            return (self.root / "results" / f"{task_id}.res").read_bytes()
+            raw = path.read_bytes()
         except OSError:
             return None
+        try:
+            return unframe_bytes(raw)
+        except IntegrityError as exc:
+            try:
+                os.replace(path, self.root / "quarantine" / f"{path.name}.bad")
+            except OSError:
+                pass
+            replacement = encode_result(
+                error=f"result for task {task_id} failed its checksum: {exc}"
+            )
+            self._write_atomic(path, frame_bytes(replacement))
+            return replacement
 
     def forget_result(self, task_id: str) -> None:
         """Delete a consumed result file."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import socket
 import threading
 import time
@@ -285,7 +286,11 @@ def worker_loop(
         Exceptions from the observer are swallowed.
 
     The loop exits on: broker stop flag, ``max_tasks``, ``idle_exit``,
-    or ``KeyboardInterrupt``.
+    ``KeyboardInterrupt``, or — when running in a process main thread —
+    SIGTERM/SIGINT.  Signals drain gracefully: the current job runs to
+    completion and is completed on the broker, affinity holds are
+    released, and the final ``worker_exit`` trace event is written,
+    instead of dying mid-lease and costing the fleet a redelivery.
     """
     owns_broker = isinstance(broker, str)
     if owns_broker:
@@ -326,10 +331,29 @@ def worker_loop(
         if tracer is not None:
             tracer.emit("heartbeat", error=f"{type(exc).__name__}: {exc}")
 
+    # Graceful drain on SIGTERM/SIGINT: the handler only raises a flag
+    # checked at the loop top, so the in-flight job finishes, completes
+    # on the broker, and the finally block below still releases
+    # affinity holds and writes the final worker_exit event.  Signals
+    # can only be trapped from a process main thread (tests run
+    # worker_loop on helper threads) — elsewhere the loop still exits
+    # via the broker stop flag or KeyboardInterrupt.
+    drain = {"signal": None}
+    previous_handlers = {}
+
+    def _request_drain(signum, frame):  # pragma: no cover - signal path
+        drain["signal"] = signum
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _request_drain)
+        except ValueError:
+            break  # not the main thread; leave handlers untouched
+
     idle_since = time.time()
     try:
         while True:
-            if broker.stop_requested():
+            if drain["signal"] is not None or broker.stop_requested():
                 break
             try:
                 moved = broker.requeue_expired(max_attempts=max_attempts)
@@ -487,6 +511,11 @@ def worker_loop(
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):
+                pass
         # Hand owned logs back so queued same-log tasks are not stalled
         # until the (long) affinity ownership lease expires.
         try:
@@ -498,7 +527,15 @@ def worker_loop(
             # The exit stats used to be print-only and lost with stdout;
             # persisting them lets the doctor attribute lease losses
             # (heartbeat_errors/released/broker_errors) per worker.
-            tracer.emit("worker_exit", stats=stats.as_dict())
+            tracer.emit(
+                "worker_exit",
+                stats=stats.as_dict(),
+                drained_by=(
+                    signal.Signals(drain["signal"]).name
+                    if drain["signal"] is not None
+                    else None
+                ),
+            )
         if owns_broker:
             broker.close()
     return stats

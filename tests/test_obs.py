@@ -76,7 +76,8 @@ class TestTraceWriter:
             "submitted", "queued", "claimed", "heartbeat", "requeued",
             "released", "quarantined", "shed", "deadline_exceeded",
             "cache_hit", "artifact_build", "solve", "done", "worker_exit",
-            "metrics_endpoint",
+            "metrics_endpoint", "worker_restart", "supervisor_started",
+            "supervisor_slot_quarantined", "supervisor_exit",
         ):
             assert name in TRACE_EVENTS
 
