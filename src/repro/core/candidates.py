@@ -166,6 +166,11 @@ def exhaustive_candidates(
     return CandidateResult(candidates, stats)
 
 
+#: Groups per frontier batch handed to ``GroupChecker.check_level``;
+#: the wall-clock timeout is re-checked between batches.
+_LEVEL_CHUNK = 512
+
+
 def _has_mask_subset(mask: int, candidate_masks: set[int]) -> bool:
     """Bitmask form of :func:`_has_candidate_subset`: check the |g| parents."""
     remaining = mask
@@ -218,23 +223,35 @@ def _exhaustive_candidates_compiled(
             checker.instances.prime(list(level.values()))
         new_candidates: set[frozenset[str]] = set()
         new_masks: set[int] = set()
-        for mask, group in level.items():
+        # The monotonic subset prune only consults candidates of
+        # *previous* levels (candidate_masks grows after the loop), so
+        # every group's prune status is decidable up front and the
+        # whole level goes to the checker in frontier batches: one
+        # stacked segment reduction per instance kernel per batch
+        # instead of one dispatch per group.  Chunking bounds how much
+        # work one timeout check admits.
+        pending = list(level.items())
+        for chunk_start in range(0, len(pending), _LEVEL_CHUNK):
             if timeout is not None and time.perf_counter() - started > timeout:
                 stats.timed_out = True
                 stats.seconds = time.perf_counter() - started
                 return CandidateResult(candidates | new_candidates, stats)
-            if mode is CheckingMode.MONOTONIC and _has_mask_subset(
-                mask, candidate_masks
-            ):
-                stats.subset_prunes += 1
-                if checker.holds_given_satisfying_subset(group):
+            chunk = pending[chunk_start : chunk_start + _LEVEL_CHUNK]
+            entries = []
+            for mask, group in chunk:
+                pruned = mode is CheckingMode.MONOTONIC and _has_mask_subset(
+                    mask, candidate_masks
+                )
+                if pruned:
+                    stats.subset_prunes += 1
+                else:
+                    stats.groups_checked += 1
+                entries.append((group, pruned))
+            verdicts = checker.check_level(entries)
+            for (mask, group), verdict in zip(chunk, verdicts):
+                if verdict:
                     new_candidates.add(group)
                     new_masks.add(mask)
-                continue
-            stats.groups_checked += 1
-            if checker.holds(group):
-                new_candidates.add(group)
-                new_masks.add(mask)
         candidates |= new_candidates
         candidate_masks |= new_masks
 

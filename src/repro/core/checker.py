@@ -117,6 +117,137 @@ class GroupChecker:
                 return False
         return True
 
+    def _instance_level(self, groups: list[frozenset[str]]) -> list[bool]:
+        """Instance-constraint verdicts for several groups, batched.
+
+        Constraints run in set order with the sequential path's
+        short-circuiting — a group that fails one constraint is never
+        evaluated against later ones — so verdicts *and* the
+        ``kernel_checks``/``fallback_checks`` totals match looping
+        :meth:`_instance_constraints_hold` over the groups exactly.
+        The only difference is dispatch: each group-free columnar
+        kernel runs one segment reduction over the stacked instance
+        spans of all still-undecided groups
+        (:func:`~repro.core.columns.stack_instances`) instead of one
+        reduction per group.
+        """
+        if self._instance_plan is None:
+            return [
+                self.constraints.check_instance_constraints(
+                    group, self.instances.events(group)
+                )
+                for group in groups
+            ]
+        from repro.core.columns import stack_instances
+
+        verdicts = [True] * len(groups)
+        alive = list(range(len(groups)))
+        stats_list = [self.instances.stats(group) for group in groups]
+        events_list: list = [None] * len(groups)
+        for constraint, kernel in self._instance_plan:
+            if not alive:
+                break
+            batched: dict[int, bool] | None = None
+            if kernel is not None and kernel.group_free:
+                populated = [
+                    index for index in alive if len(stats_list[index])
+                ]
+                if len(populated) > 1:
+                    stacked = stack_instances(
+                        [stats_list[index] for index in populated]
+                    )
+                    rows = kernel.verdict_array(stacked, None)
+                    if rows is not None:
+                        offsets = stacked.offsets
+                        batched = {}
+                        for k, index in enumerate(populated):
+                            lo, hi = int(offsets[k]), int(offsets[k + 1])
+                            batched[index] = kernel.reduce(
+                                rows[lo:hi], hi - lo
+                            )
+            survivors = []
+            for index in alive:
+                if batched is not None:
+                    # Absent from the stack ⇒ no instances ⇒ vacuously
+                    # satisfied, same as the per-group kernel.
+                    verdict = batched.get(index, True)
+                    self.kernel_checks += 1
+                else:
+                    verdict = (
+                        kernel(stats_list[index], groups[index])
+                        if kernel is not None
+                        else None
+                    )
+                    if verdict is None:
+                        if events_list[index] is None:
+                            events_list[index] = self.instances.events(
+                                groups[index]
+                            )
+                        self.fallback_checks += 1
+                        verdict = constraint.check_instances(
+                            events_list[index], groups[index]
+                        )
+                    else:
+                        self.kernel_checks += 1
+                if verdict:
+                    survivors.append(index)
+                else:
+                    verdicts[index] = False
+            alive = survivors
+        return verdicts
+
+    def check_level(
+        self, entries: list[tuple[frozenset[str], bool]]
+    ) -> list[bool]:
+        """Verdicts for one search level, instance kernels batched.
+
+        ``entries`` is ``[(group, skip_class_checks), ...]`` with
+        distinct groups; the flag is set when a satisfying strict
+        subset is already known (monotonic mode), in which case
+        class-based checks are skipped exactly like
+        :meth:`holds_given_satisfying_subset`.  Returns one bool per
+        entry.  Verdicts, memoization, and every counter are identical
+        to looping :meth:`holds` /
+        :meth:`holds_given_satisfying_subset` over the level — only
+        the instance-kernel dispatch is batched
+        (see :meth:`_instance_level`).
+        """
+        results: list[bool] = [False] * len(entries)
+        pending: list[int] = []
+        instance_based = bool(self.constraints.instance_based)
+        for position, (group, skip_class) in enumerate(entries):
+            cached = self._cache.get(group)
+            if cached is not None:
+                results[position] = cached
+                continue
+            if skip_class:
+                if not instance_based:
+                    # Identical to holds_given_satisfying_subset():
+                    # the skipped class-based monotonic constraints
+                    # are guaranteed satisfied by the subset.
+                    self._cache[group] = True
+                    results[position] = True
+                    continue
+                self.checks_performed += 1
+                pending.append(position)
+                continue
+            self.checks_performed += 1
+            verdict = self.constraints.check_class_constraints(
+                group, self.class_attributes
+            )
+            if not verdict or not instance_based:
+                self._cache[group] = verdict
+                results[position] = verdict
+                continue
+            pending.append(position)
+
+        if pending:
+            groups = [entries[position][0] for position in pending]
+            for position, verdict in zip(pending, self._instance_level(groups)):
+                self._cache[entries[position][0]] = verdict
+                results[position] = verdict
+        return results
+
     def holds(self, group: Iterable[str]) -> bool:
         """Whether ``group`` satisfies all per-group constraints."""
         group = frozenset(group)

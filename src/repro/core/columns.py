@@ -271,14 +271,42 @@ def _segment_extreme(flags, values, starts, maximum):
 
 
 def _distinct_counts(seg_ids, codes, flags, num_codes, num_instances):
-    """Per-instance distinct-code counts over carrier hits."""
+    """Per-instance distinct-code counts over carrier hits.
+
+    Dedup via an explicit sort + boundary scan: exact like
+    ``np.unique`` but without its hash-table path, which dominates on
+    the large stacked key arrays of frontier-batched checking.
+    """
     keys = seg_ids[flags] * np.int64(num_codes + 1) + codes[flags]
     if keys.size == 0:
         return np.zeros(num_instances, dtype=np.int64)
-    unique = np.unique(keys)
+    keys.sort()
+    boundaries = np.empty(keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
     return np.bincount(
-        unique // np.int64(num_codes + 1), minlength=num_instances
+        keys[boundaries] // np.int64(num_codes + 1), minlength=num_instances
     )
+
+
+def _sorted_unique_counts(keys):
+    """``np.unique(keys, return_counts=True)`` via sort + boundary scan.
+
+    ``keys`` must be a fresh array (it is sorted in place).  Avoids
+    numpy's hash-table unique, which dominates on the large stacked
+    key arrays of frontier-batched checking.
+    """
+    if keys.size == 0:
+        return keys, np.zeros(0, dtype=np.int64)
+    keys.sort()
+    boundaries = np.empty(keys.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
+    firsts = np.flatnonzero(boundaries)
+    multiplicity = np.empty(firsts.size, dtype=np.int64)
+    multiplicity[:-1] = firsts[1:] - firsts[:-1]
+    multiplicity[-1] = keys.size - firsts[-1]
+    return keys[firsts], multiplicity
 
 
 def _sequential_sum(values) -> float:
@@ -486,7 +514,7 @@ def _events_per_class_verdicts(compiled, bound, minimum, classes):
         num_classes = np.int64(compiled.num_classes + 1)
         seg_ids = np.repeat(np.arange(num_instances, dtype=np.int64), counts)
         keys = seg_ids * num_classes + compiled.all_ids[hits]
-        unique, multiplicity = np.unique(keys, return_counts=True)
+        unique, multiplicity = _sorted_unique_counts(keys)
         owners = unique // num_classes
         if not minimum:
             worst = np.zeros(num_instances, dtype=np.int64)
@@ -560,11 +588,122 @@ def _per_instance_builder(constraint, columns, compiled):
     return _instance_verdict_builder(constraint, columns, compiled)
 
 
+class InstanceKernel:
+    """One instance constraint compiled to segment reductions.
+
+    Calling the kernel evaluates one group (``kernel(stats, group) ->
+    bool | None``, ``None`` meaning the needed column is unavailable
+    and the caller must fall back to the materialized-event path).
+    :meth:`verdict_array` and :meth:`reduce` expose the two halves
+    separately so :meth:`~repro.core.checker.GroupChecker.check_level`
+    can run the per-instance verdicts once over a whole frontier
+    level's *stacked* instance spans and reduce per group afterwards.
+
+    ``group_free`` marks kernels whose verdict builders never read the
+    ``group`` argument — every kernel except
+    :class:`~repro.constraints.instancebased.MinEventsPerClass`, whose
+    target classes depend on the group being checked.  Only group-free
+    kernels may be evaluated over a stack.
+    """
+
+    __slots__ = ("_verdicts", "fraction", "group_free")
+
+    def __init__(self, verdicts, fraction=None, group_free=True):
+        self._verdicts = verdicts
+        #: ``AtLeastFraction`` threshold, or ``None`` for plain
+        #: all-instances conjunction.
+        self.fraction = fraction
+        self.group_free = group_free
+
+    def verdict_array(self, stats, group):
+        """Per-instance verdicts (``None``: column unavailable)."""
+        return self._verdicts(stats, group)
+
+    def reduce(self, verdicts, num_instances: int) -> bool:
+        """Fold per-instance verdicts into one group verdict."""
+        if self.fraction is None:
+            return bool(verdicts.all())
+        satisfied = int(np.count_nonzero(verdicts))
+        return satisfied / num_instances >= self.fraction
+
+    def __call__(self, stats, group):
+        num_instances = len(stats)
+        if not num_instances:
+            return True  # no instances: vacuously satisfied (§IV-A)
+        verdicts = self._verdicts(stats, group)
+        if verdicts is None:
+            return None
+        return self.reduce(verdicts, num_instances)
+
+
+class StackedInstances:
+    """Concatenated instance spans of several groups (one search level).
+
+    Exposes the same ``hit_ids`` / ``segments()`` / ``len()`` surface
+    as :class:`~repro.core.encoding.GroupInstances`, so every
+    group-free verdict builder runs unchanged over the stack: all of
+    their reductions are segment-local and instance segments never
+    straddle group boundaries, hence per-instance verdicts over the
+    stack equal the per-group verdict arrays concatenated.  (The
+    certified ``sum``/``avg`` comparisons stay bitwise-faithful too:
+    any instance whose vectorized sum lands inside the error margin is
+    re-summed sequentially either way.)
+
+    ``offsets`` maps stacked verdict rows back to groups: group ``k``
+    owns rows ``offsets[k] : offsets[k + 1]``.
+    """
+
+    __slots__ = ("hit_ids", "offsets", "_starts", "_counts")
+
+    def __init__(self, hit_ids, starts, counts, offsets):
+        self.hit_ids = hit_ids
+        self.offsets = offsets
+        self._starts = starts
+        self._counts = counts
+
+    def __len__(self) -> int:
+        return int(self._counts.size)
+
+    def segments(self):
+        """``(starts, counts)`` span arrays, one entry per instance."""
+        return self._starts, self._counts
+
+
+def stack_instances(stats_list) -> StackedInstances:
+    """Stack per-group :class:`GroupInstances` for one batched kernel run."""
+    hit_arrays = []
+    starts_arrays = []
+    counts_arrays = []
+    offsets = np.zeros(len(stats_list) + 1, dtype=np.int64)
+    hit_base = 0
+    for index, stats in enumerate(stats_list):
+        starts, counts = stats.segments()
+        hits = np.asarray(stats.hit_ids, dtype=np.int64)
+        hit_arrays.append(hits)
+        starts_arrays.append(starts + hit_base)
+        counts_arrays.append(counts)
+        hit_base += int(hits.size)
+        offsets[index + 1] = offsets[index] + counts.size
+    return StackedInstances(
+        np.concatenate(hit_arrays),
+        np.concatenate(starts_arrays),
+        np.concatenate(counts_arrays),
+        offsets,
+    )
+
+
+def _innermost(constraint):
+    """The wrapped constraint under (possibly nested) loose wrappers."""
+    while type(constraint) is AtLeastFraction:
+        constraint = constraint.inner
+    return constraint
+
+
 def compile_instance_kernels(constraints, compiled):
     """Compile each instance constraint to a group-verdict kernel.
 
-    Returns ``[(constraint, kernel | None), ...]`` in evaluation order.
-    A kernel is ``fn(stats, group) -> bool | None``; ``None`` at
+    Returns ``[(constraint, kernel | None), ...]`` in evaluation order,
+    each kernel an :class:`InstanceKernel`.  A ``None`` verdict at
     runtime means the needed column is unavailable for this log and the
     caller must fall back to ``constraint.check_instances`` on
     materialized events (behavior is then identical by construction).
@@ -574,39 +713,18 @@ def compile_instance_kernels(constraints, compiled):
     plan = []
     for constraint in constraints:
         builder = None
+        group_free = type(_innermost(constraint)) is not MinEventsPerClass
         if type(constraint) is AtLeastFraction:
             verdicts = _per_instance_builder(constraint, columns, compiled)
             if verdicts is not None:
-                builder = _fraction_kernel(verdicts, constraint.fraction)
+                builder = InstanceKernel(
+                    verdicts,
+                    fraction=constraint.fraction,
+                    group_free=group_free,
+                )
         else:
             verdicts = _instance_verdict_builder(constraint, columns, compiled)
             if verdicts is not None:
-                builder = _all_kernel(verdicts)
+                builder = InstanceKernel(verdicts, group_free=group_free)
         plan.append((constraint, builder))
     return plan
-
-
-def _all_kernel(verdict_fn):
-    def kernel(stats, group):
-        if not len(stats):
-            return True  # no instances: vacuously satisfied (§IV-A)
-        verdicts = verdict_fn(stats, group)
-        if verdicts is None:
-            return None
-        return bool(verdicts.all())
-
-    return kernel
-
-
-def _fraction_kernel(verdict_fn, fraction):
-    def kernel(stats, group):
-        num_instances = len(stats)
-        if not num_instances:
-            return True
-        verdicts = verdict_fn(stats, group)
-        if verdicts is None:
-            return None
-        satisfied = int(np.count_nonzero(verdicts))
-        return satisfied / num_instances >= fraction
-
-    return kernel

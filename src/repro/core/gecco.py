@@ -540,6 +540,7 @@ class Gecco:
             num_candidates=num_candidates,
             solves=1,
             nodes=selection.nodes,
+            lp_bound_cuts=selection.lp_cuts,
             seconds=selection.seconds,
         )
 

@@ -61,6 +61,8 @@ class SelectionResult:
     backend: str = ""
     #: Branch-and-bound nodes explored (0 when HiGHS solved).
     nodes: int = 0
+    #: Prunes decided only by the LP-relaxation dual bound (bnb only).
+    lp_cuts: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -165,6 +167,7 @@ def select_optimal_grouping(
             solver_message=outcome.message,
             backend=backend,
             nodes=outcome.nodes_explored,
+            lp_cuts=outcome.lp_bound_cuts,
         )
 
     positions = sorted(
@@ -196,4 +199,5 @@ def select_optimal_grouping(
         solver_message=outcome.message,
         backend=backend,
         nodes=outcome.nodes_explored,
+        lp_cuts=outcome.lp_bound_cuts,
     )

@@ -17,6 +17,19 @@ Search strategy
   *cost share* ``cost(g)/|g|`` among candidates containing the class —
   admissible because any partition charges each class exactly its
   group's share, which is at least the class's minimum share.
+* **LP-relaxation bounding** (scipy-gated): on programs where the
+  search survives past an activation node budget, the LP relaxation of
+  the covering program is solved once and its per-class dual prices
+  ``y`` replace the cost shares wherever they are tighter.  Corrected
+  to exact dual feasibility (``Σ_{c∈g} y_c ≤ cost(g)`` for every
+  candidate, re-verified with :func:`math.fsum` and shaved by a
+  float-summation safety margin), the prices bound any exact cover of
+  the remaining classes from below by ``Σ_{c uncovered} y_c`` — an
+  admissible bound that prunes far deeper than cost shares on dense
+  components.  Without scipy the solver silently keeps the cost-share
+  bound; either way the returned selection is *identical* (an
+  admissible bound never prunes the first optimum in DFS order, and
+  adoption requires strict improvement).
 * **Cardinality pruning**: a partial solution with ``m`` groups is
   pruned when ``m`` exceeds the maximum, when even one group per
   remaining class cannot reach the minimum, or when the remaining
@@ -27,14 +40,25 @@ Search strategy
 from __future__ import annotations
 
 import math
+import sys
 import time
 from collections.abc import Sequence
 
 from repro.exceptions import SolverError
 from repro.mip.result import SolverResult, SolverStatus
 
-#: How often (in nodes) the search checks its wall-clock deadline.
+#: How often (in nodes) the search checks its wall-clock deadline and
+#: cooperative cancellation event.
 _TIME_CHECK_INTERVAL = 1024
+
+#: ``lp_bound=None`` (auto) solves the LP relaxation only once the
+#: search has burned this many nodes: easy instances never pay the
+#: linprog call, hard ones amortize it over deep pruning.
+LP_ACTIVATION_NODES = 2048
+
+
+class SolverCancelled(SolverError):
+    """The search was cooperatively cancelled (portfolio race lost)."""
 
 
 class SetPartitionSolver:
@@ -64,6 +88,17 @@ class SetPartitionSolver:
         Optional wall-clock budget in seconds; exceeding it raises
         :class:`SolverError` (the portfolio layer catches this and
         falls back to another backend).
+    lp_bound:
+        ``True`` solves the LP relaxation up front for dual-price
+        bounds, ``False`` keeps the cost-share bound only, ``None``
+        (default) activates the LP lazily after
+        :data:`LP_ACTIVATION_NODES` search nodes.  Ignored (cost-share
+        only) when scipy is unavailable; the returned selection is
+        identical in every case.
+    cancel_event:
+        Optional :class:`threading.Event`; once set, the search raises
+        :class:`SolverCancelled` at the next node-interval check (the
+        portfolio race uses this for first-finisher cancellation).
     """
 
     def __init__(
@@ -76,6 +111,8 @@ class SetPartitionSolver:
         node_limit: int = 2_000_000,
         incumbent: "tuple[Sequence[int], float] | None" = None,
         time_limit: float | None = None,
+        lp_bound: bool | None = None,
+        cancel_event=None,
     ):
         if len(candidates) != len(costs):
             raise SolverError("candidates and costs must have equal length")
@@ -118,6 +155,14 @@ class SetPartitionSolver:
         self._nodes = 0
         self._time_limit = time_limit
         self._deadline: float | None = None
+        self._cancel = cancel_event
+        self._lp_bound = lp_bound
+        self._lp_tried = False
+        self._lp_cuts = 0
+        #: ``cls -> dual price`` once the LP relaxation has been solved
+        #: and corrected to exact dual feasibility; ``None`` before.
+        self._dual: dict[str, float] | None = None
+        self._dual_slack = 0.0
         if incumbent is not None:
             self._adopt_incumbent(incumbent)
 
@@ -162,11 +207,14 @@ class SetPartitionSolver:
             )
         if self._time_limit is not None:
             self._deadline = time.perf_counter() + self._time_limit
+        if self._lp_bound is True:
+            self._solve_lp_relaxation()
         self._search(frozenset(), [], 0.0)
         if self._best_selection is None:
             return SolverResult(
                 SolverStatus.INFEASIBLE,
                 nodes_explored=self._nodes,
+                lp_bound_cuts=self._lp_cuts,
                 message="exhausted search without feasible partition",
             )
         values = {f"g{p}": 0 for p in range(len(self.candidates))}
@@ -177,6 +225,7 @@ class SetPartitionSolver:
             objective=self._best_cost,
             values=values,
             nodes_explored=self._nodes,
+            lp_bound_cuts=self._lp_cuts,
         )
 
     def selected_groups(self, result: SolverResult) -> list[frozenset[str]]:
@@ -186,11 +235,92 @@ class SetPartitionSolver:
             for name in result.selected()
         ]
 
+    # -- LP-relaxation bound -------------------------------------------------
+
+    def _solve_lp_relaxation(self) -> None:
+        """Solve the covering LP once and keep corrected dual prices.
+
+        Count bounds are deliberately left out of the relaxation: they
+        only shrink the feasible set, so the covering duals stay an
+        admissible lower bound for the bounded program too.  Any
+        failure (scipy missing, LP numerically troubled) leaves
+        ``self._dual`` unset and the cost-share bound in charge.
+        """
+        self._lp_tried = True
+        from repro.mip import scipy_backend
+
+        if not scipy_backend.HAVE_SCIPY or not self.candidates:
+            return
+        np = scipy_backend.np
+        try:
+            from scipy.optimize import linprog
+
+            class_row = {cls: row for row, cls in enumerate(self.universe)}
+            matrix = np.zeros((len(self.universe), len(self.candidates)))
+            for position, candidate in enumerate(self.candidates):
+                for cls in candidate:
+                    matrix[class_row[cls], position] = 1.0
+            outcome = linprog(
+                np.asarray(self.costs, dtype=float),
+                A_eq=matrix,
+                b_eq=np.ones(len(self.universe)),
+                bounds=(0, None),
+                method="highs",
+            )
+            if outcome.status != 0 or outcome.eqlin is None:
+                return
+            prices = {
+                cls: float(outcome.eqlin.marginals[row])
+                for cls, row in class_row.items()
+            }
+        except Exception:  # pragma: no cover - defensive: LP is optional
+            return
+        # Correct to exact dual feasibility: for every violated
+        # candidate spread the violation over its members (each member
+        # absorbs the worst per-class share among its violated groups,
+        # so every group's total reduction covers its own violation),
+        # then shave the fsum-measured residual off every class.
+        reduction = {cls: 0.0 for cls in self.universe}
+        for position, candidate in enumerate(self.candidates):
+            slack = self.costs[position] - math.fsum(
+                prices[cls] for cls in candidate
+            )
+            if slack < 0:
+                per_class = -slack / len(candidate)
+                for cls in candidate:
+                    if per_class > reduction[cls]:
+                        reduction[cls] = per_class
+        prices = {cls: prices[cls] - reduction[cls] for cls in self.universe}
+        residual = 0.0
+        for position, candidate in enumerate(self.candidates):
+            slack = self.costs[position] - math.fsum(
+                prices[cls] for cls in candidate
+            )
+            if -slack > residual:
+                residual = -slack
+        if residual > 0.0:
+            prices = {cls: value - residual for cls, value in prices.items()}
+        # Per-node bounds use a plain (not fsum) accumulation; reserve
+        # a rigorous sequential-summation error margin for it.
+        scale = math.fsum(abs(value) for value in prices.values())
+        self._dual_slack = (
+            4.0 * (len(self.universe) + 1) * sys.float_info.epsilon * scale
+        )
+        self._dual = prices
+
     # -- search --------------------------------------------------------------
 
     def _lower_bound(self, covered: frozenset[str]) -> float:
         return sum(
             self._min_share[cls] for cls in self.universe if cls not in covered
+        )
+
+    def _dual_bound(self, covered: frozenset[str]) -> float:
+        dual = self._dual
+        assert dual is not None
+        return (
+            sum(dual[cls] for cls in self.universe if cls not in covered)
+            - self._dual_slack
         )
 
     def _cardinality_prunes(self, covered: frozenset[str], count: int) -> bool:
@@ -214,14 +344,22 @@ class SetPartitionSolver:
             raise SolverError(
                 f"branch-and-bound node limit ({self.node_limit}) exceeded"
             )
+        if self._nodes % _TIME_CHECK_INTERVAL == 0:
+            if self._cancel is not None and self._cancel.is_set():
+                raise SolverCancelled("branch-and-bound search cancelled")
+            if (
+                self._deadline is not None
+                and time.perf_counter() > self._deadline
+            ):
+                raise SolverError(
+                    f"branch-and-bound time limit ({self._time_limit}s) exceeded"
+                )
         if (
-            self._deadline is not None
-            and self._nodes % _TIME_CHECK_INTERVAL == 0
-            and time.perf_counter() > self._deadline
+            self._lp_bound is None
+            and not self._lp_tried
+            and self._nodes >= LP_ACTIVATION_NODES
         ):
-            raise SolverError(
-                f"branch-and-bound time limit ({self._time_limit}s) exceeded"
-            )
+            self._solve_lp_relaxation()
         if len(covered) == len(self.universe):
             count = len(selection)
             if self.min_count is not None and count < self.min_count:
@@ -232,7 +370,15 @@ class SetPartitionSolver:
                 self._best_cost = cost
                 self._best_selection = list(selection)
             return
-        if cost + self._lower_bound(covered) >= self._best_cost:
+        share_bound = self._lower_bound(covered)
+        bound = share_bound
+        if self._dual is not None:
+            dual_bound = self._dual_bound(covered)
+            if dual_bound > bound:
+                bound = dual_bound
+        if cost + bound >= self._best_cost:
+            if cost + share_bound < self._best_cost:
+                self._lp_cuts += 1  # only the LP price made this prune
             return
         if self._cardinality_prunes(covered, len(selection)):
             return

@@ -29,6 +29,10 @@ class SolverResult:
         Variable assignment as ``name -> 0/1`` (``None`` unless optimal).
     nodes_explored:
         Search nodes visited (backend-specific; 0 when unknown).
+    lp_bound_cuts:
+        Branch-and-bound prunes decided *only* by the LP-relaxation
+        dual bound (the cost-share bound alone would have kept
+        searching); 0 for other backends or when the LP never ran.
     message:
         Backend diagnostic text.
     """
@@ -37,6 +41,7 @@ class SolverResult:
     objective: float | None = None
     values: dict[str, int] | None = None
     nodes_explored: int = 0
+    lp_bound_cuts: int = 0
     message: str = ""
 
     @property

@@ -208,8 +208,7 @@ def _run_tasks(
                     stats.cache_hits += 1
                     stats.cache_misses -= 1
                 else:
-                    stats.solves += 1
-                    stats.nodes += solution.nodes
+                    stats.record_solution(solution)
                 solutions[position] = solution
                 if cache is not None and solution.status in (
                     SolverStatus.OPTIMAL.value,
@@ -228,8 +227,7 @@ def _run_tasks(
                     cache=cache, deadline=deadline,
                 )
                 _deadline_guard(solution, deadline)
-                stats.solves += 1
-                stats.nodes += solution.nodes
+                stats.record_solution(solution)
                 solutions[position] = solution
     finally:
         if own_executor:

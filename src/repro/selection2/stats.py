@@ -42,7 +42,17 @@ class SelectionStats:
         Backend invocations, including per-count Pareto solves under
         Eq. 5 bounds.
     nodes:
-        Total branch-and-bound nodes explored (0 when only HiGHS ran).
+        Total branch-and-bound nodes explored (0 when only HiGHS ran);
+        surfaced as ``nodes_explored`` in :meth:`as_dict`.
+    lp_bound_cuts:
+        Branch-and-bound prunes decided only by the LP-relaxation dual
+        bound (the cost-share bound alone would have kept searching).
+    races:
+        Components decided by the parallel bnb-vs-HiGHS race.
+    race_winner:
+        Per-backend race win counts (diagnostic: the *groups* are
+        invariant to which racer finishes first — see
+        :func:`repro.selection2.portfolio.race_component`).
     cache_hits / cache_misses:
         Selection-artifact tier accounting (component solutions served
         from / missing in the :class:`~repro.service.cache.ArtifactCache`).
@@ -62,11 +72,25 @@ class SelectionStats:
     presolve: dict[str, int] = field(default_factory=dict)
     solves: int = 0
     nodes: int = 0
+    lp_bound_cuts: int = 0
+    races: int = 0
+    race_winner: dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
     seconds: float = 0.0
     workers: int = 1
     component_shape: list[list[int]] = field(default_factory=list)
+
+    def record_solution(self, solution) -> None:
+        """Fold one freshly solved component's counters into the record."""
+        self.solves += 1
+        self.nodes += solution.nodes
+        self.lp_bound_cuts += getattr(solution, "lp_cuts", 0)
+        if getattr(solution, "raced", False):
+            self.races += 1
+            winner = solution.race_winner
+            if winner:
+                self.race_winner[winner] = self.race_winner.get(winner, 0) + 1
 
     def as_dict(self) -> dict:
         """Plain-data rendering for batch rows, JSON stores, benchmarks."""
@@ -79,6 +103,10 @@ class SelectionStats:
             "presolve": dict(self.presolve),
             "solves": self.solves,
             "nodes": self.nodes,
+            "nodes_explored": self.nodes,
+            "lp_bound_cuts": self.lp_bound_cuts,
+            "races": self.races,
+            "race_winner": dict(self.race_winner),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "seconds": self.seconds,
@@ -88,6 +116,10 @@ class SelectionStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SelectionStats":
-        """Rebuild a record from :meth:`as_dict` output."""
+        """Rebuild a record from :meth:`as_dict` output.
+
+        ``nodes_explored`` is an alias of ``nodes`` in the JSON form;
+        unknown keys are dropped so older records round-trip too.
+        """
         known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - explicit
         return cls(**{key: value for key, value in data.items() if key in known})

@@ -82,6 +82,8 @@ def _selection_to_dict(solution) -> dict | None:
         "nodes": solution.nodes,
         "backend": solution.backend,
         "message": solution.message,
+        "lp_cuts": solution.lp_cuts,
+        "canonical": solution.canonical,
     }
 
 
@@ -91,6 +93,8 @@ def _selection_from_dict(payload: dict):
 
     if payload.get("schema") != "gecco-selection/1":
         raise ValueError(f"unknown selection entry schema: {payload.get('schema')!r}")
+    # ``raced``/``race_winner`` are deliberately not persisted: a cache
+    # hit is not a race, so replayed entries carry no race accounting.
     return ComponentSolution(
         status=payload["status"],
         groups=tuple(tuple(group) for group in payload["groups"]),
@@ -98,6 +102,8 @@ def _selection_from_dict(payload: dict):
         nodes=int(payload["nodes"]),
         backend=payload["backend"],
         message=payload.get("message", ""),
+        lp_cuts=int(payload.get("lp_cuts", 0)),
+        canonical=bool(payload.get("canonical", True)),
     )
 
 
